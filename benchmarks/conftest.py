@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark uses ``benchmark.pedantic(fn, rounds=1, iterations=1)``:
+the interesting output is the *simulated* throughput printed in the
+paper's layout, not the wall-clock time of running the simulator, so one
+round suffices.  ``-s`` is not required; printed tables are attached via
+``capsys``-independent stdout at the end of each test.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a data-producer exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,62 @@
+"""Ablation: long-context decode — MLA latent caching vs full-KV offload.
+
+DeepSeek's MLA stores a 512-wide latent per token per layer (~64 KB/token
+across DS-3's 61 layers) where a standard MHA cache of QW-2's width costs
+~400 KB/token; with weights already filling most VRAM, the MHA cache spills
+to host memory at moderate contexts and every decode step then drags the
+cold pages across PCIe.  This sweep quantifies both curves.
+"""
+
+from repro.bench import format_table
+from repro.hw import paper_testbed
+from repro.model import DS3, QW2
+from repro.sched import gpu_kv_budget_tokens, kv_offload_step_cost
+
+CONTEXTS = (1_000, 4_000, 16_000, 64_000, 128_000)
+
+
+def _sweep():
+    machine = paper_testbed("a100")
+    rows = []
+    for ctx in CONTEXTS:
+        mla = kv_offload_step_cost(
+            DS3, machine, ctx,
+            weight_bytes=DS3.gpu_params * DS3.quant_dtype.bytes_per_element)
+        mha = kv_offload_step_cost(
+            QW2, machine, ctx, weight_bytes=QW2.gpu_params * 2.0)
+        rows.append((
+            ctx,
+            mla.total_us_per_layer,
+            mla.offload_fraction * 100,
+            mha.total_us_per_layer,
+            mha.offload_fraction * 100,
+        ))
+    machine_budget = {
+        "mla": gpu_kv_budget_tokens(
+            DS3, machine,
+            DS3.gpu_params * DS3.quant_dtype.bytes_per_element),
+        "mha": gpu_kv_budget_tokens(QW2, machine, QW2.gpu_params * 2.0),
+    }
+    return rows, machine_budget
+
+
+def test_ablation_long_context(run_once):
+    rows, budgets = run_once(_sweep)
+    print()
+    print(format_table(
+        ["context", "MLA us/layer", "MLA offloaded %",
+         "MHA us/layer", "MHA offloaded %"],
+        rows,
+        title=f"Long-context decode attention (budgets: MLA "
+              f"{budgets['mla']:,} tokens, MHA {budgets['mha']:,} tokens)",
+    ))
+    # MLA holds vastly more context on-GPU.
+    assert budgets["mla"] > 5 * budgets["mha"]
+    by_ctx = {r[0]: r for r in rows}
+    # At 128k, MLA still fits while the MHA cache is mostly offloaded.
+    assert by_ctx[128_000][2] == 0.0
+    assert by_ctx[128_000][4] > 50.0
+    # Offloading makes the MHA step cost blow up past its budget.
+    assert by_ctx[128_000][3] > 10 * by_ctx[4_000][3]
+    # MLA's per-layer attention stays cheap even at 128k context.
+    assert by_ctx[128_000][1] < by_ctx[128_000][3] / 5

@@ -1,0 +1,56 @@
+"""Ablation: weight offloading vs computation offloading (Section 2.1).
+
+The paper's foundational design choice: instead of streaming activated
+experts to the GPU over PCIe (32 GB/s), keep them in DRAM and compute on
+the CPU (440 GB/s aggregate).  This bench measures both strategies on the
+same simulator and confirms (a) weight offloading is PCIe-bound for the
+large models, and (b) computation offloading wins decisively, with the gap
+widening as models grow.
+"""
+
+from repro.baselines import simulate_weight_offload_decode
+from repro.bench import format_table
+from repro.core import KTRANSFORMERS, run_decode
+from repro.hw import paper_testbed
+from repro.model import DS2, DS3, QW2
+from repro.tensor import BF16
+
+
+def _comparison():
+    machine = paper_testbed("a100")
+    rows = []
+    for preset in (QW2, DS2, DS3):
+        wo = simulate_weight_offload_decode(preset, machine, BF16, n_tokens=4)
+        kt = run_decode(KTRANSFORMERS, preset, machine, BF16, n_tokens=4)
+        pcie_share = wo.pcie_time_us / (wo.pcie_time_us + wo.gpu_time_us)
+        rows.append((
+            preset.name,
+            wo.tokens_per_s,
+            wo.cache_hit_rate * 100,
+            pcie_share * 100,
+            kt.tokens_per_s,
+            kt.tokens_per_s / wo.tokens_per_s,
+        ))
+    return rows
+
+
+def test_ablation_offload_strategy(run_once):
+    rows = run_once(_comparison)
+    print()
+    print(format_table(
+        ["model", "weight-offload tok/s", "VRAM cache hit %",
+         "PCIe share %", "compute-offload tok/s", "KT advantage"],
+        rows,
+        title="Weight offloading vs computation offloading (decode, BF16)",
+    ))
+    by = {r[0]: r for r in rows}
+    # Computation offloading wins for every model.
+    for model, row in by.items():
+        assert row[5] > 1.5, f"{model}: compute offloading must win"
+    # Weight offloading is PCIe-dominated for the big models.
+    assert by["ds3"][3] > 50.0
+    assert by["ds2"][3] > 50.0
+    # The advantage grows with model size (DS-3's experts are the largest
+    # relative to spare VRAM, so its cache hit rate is the worst).
+    assert by["ds3"][2] <= by["qw2"][2]
+    assert by["ds3"][5] >= by["qw2"][5]

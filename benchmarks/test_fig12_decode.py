@@ -1,0 +1,51 @@
+"""Figure 12: decode throughput of all systems, BF16 and quantized.
+
+Paper anchors: without deferral KT achieves 2.42x-4.09x over Fiddler and
+1.25x-1.76x over llama.cpp (BF16); with deferral the llama.cpp speedups
+grow to 1.66x-2.56x; quantized (RTX 4080) KT vs llama.cpp is 1.77x-1.93x.
+"""
+
+from repro.bench import fig12_decode, format_table
+
+
+def _print(data, title):
+    rows = []
+    for model, tps in data.items():
+        rows.append((
+            model,
+            tps.get("fiddler", float("nan")),
+            tps["llamacpp"],
+            tps["ktransformers"],
+            tps["kt_deferral"],
+        ))
+    print()
+    print(format_table(
+        ["model", "Fiddler", "llama.cpp", "KT", "KT+deferral"],
+        rows, title=f"{title} (tokens/s)",
+    ))
+
+
+def test_fig12_decode_bf16_a100(run_once):
+    data = run_once(fig12_decode)
+    _print(data, "Figure 12 (BF16, A100)")
+    for model, tps in data.items():
+        vs_fiddler = tps["ktransformers"] / tps["fiddler"]
+        vs_llama = tps["ktransformers"] / tps["llamacpp"]
+        overall = tps["kt_deferral"] / tps["llamacpp"]
+        gain = tps["kt_deferral"] / tps["ktransformers"]
+        assert 2.4 <= vs_fiddler <= 4.3, f"{model}: vs Fiddler {vs_fiddler:.2f}"
+        assert 1.25 <= vs_llama <= 1.8, f"{model}: vs llama.cpp {vs_llama:.2f}"
+        assert 1.6 <= overall <= 2.7, f"{model}: overall {overall:.2f}"
+        assert 1.05 <= gain <= 1.65, f"{model}: deferral gain {gain:.2f}"
+        # Ordering: Fiddler < llama.cpp < KT < KT+deferral.
+        assert (tps["fiddler"] < tps["llamacpp"]
+                < tps["ktransformers"] < tps["kt_deferral"])
+
+
+def test_fig12_decode_quantized_4080(run_once):
+    data = run_once(fig12_decode, quantized=True)
+    _print(data, "Figure 12 (quantized, RTX 4080)")
+    for model, tps in data.items():
+        vs_llama = tps["ktransformers"] / tps["llamacpp"]
+        assert 1.4 <= vs_llama <= 2.2, f"{model}: {vs_llama:.2f} (paper 1.77-1.93)"
+        assert tps["kt_deferral"] > tps["ktransformers"]

@@ -1,0 +1,57 @@
+"""Figure 14: cumulative optimization breakdown vs the Fiddler baseline.
+
+Optimizations merge in order: v (AVX-512 fused kernels), m (AMX kernels for
+prefill), d (dynamic work scheduling), n (NUMA-aware tensor parallelism),
+c (single CUDA graph).  Paper anchors: AVX-512 *hurts* prefill but helps
+decode (up to 2.22x); AMX lifts prefill up to 3.14x; dynamic scheduling is
+a prefill optimization (up to 1.83x) and NUMA-TP a decode one (up to
+1.63x, vs up to 1.22x at prefill); CUDA graphs add up to 1.23x at decode
+and almost nothing at prefill.
+"""
+
+from repro.bench import ABLATION_STEPS, fig14_breakdown, format_table
+
+
+def test_fig14_breakdown(run_once):
+    data = run_once(fig14_breakdown)
+    for model, rows in data.items():
+        print()
+        print(format_table(
+            ["step", "prefill speedup", "decode speedup"],
+            [(step, f"{p:.2f}x", f"{d:.2f}x") for step, (p, d) in rows.items()],
+            title=f"Figure 14 [{model}]: cumulative speedup vs Fiddler",
+        ))
+    assert set(data) == {"ds3", "ds2", "qw2"}
+    for model, rows in data.items():
+        steps = list(rows)
+        assert steps == list(ABLATION_STEPS)
+        prefill = {s: rows[s][0] for s in steps}
+        decode = {s: rows[s][1] for s in steps}
+
+        # v: AVX-512 only -- prefill gets *worse*, decode improves a lot.
+        assert prefill["+v (avx512)"] < 1.0, f"{model}: AVX should hurt prefill"
+        assert 1.5 <= decode["+v (avx512)"] <= 3.0, f"{model}: paper up to 2.22x"
+
+        # m: AMX kernels recover and dominate prefill.
+        assert prefill["+m (amx)"] > 1.5, f"{model}: AMX prefill gain"
+        # AMX applies to prefill only; decode unchanged from v.
+        assert abs(decode["+m (amx)"] - decode["+v (avx512)"]) < 0.05
+
+        # d: dynamic scheduling helps prefill, not decode.
+        d_prefill = prefill["+d (dyn sched)"] / prefill["+m (amx)"]
+        d_decode = decode["+d (dyn sched)"] / decode["+m (amx)"]
+        assert d_prefill >= 1.0
+        assert d_decode < 1.1
+
+        # n: NUMA-TP is a bigger decode win than prefill win.
+        n_prefill = prefill["+n (numa tp)"] / prefill["+d (dyn sched)"]
+        n_decode = decode["+n (numa tp)"] / decode["+d (dyn sched)"]
+        assert 1.2 <= n_decode <= 1.9, f"{model}: paper up to 1.63x"
+        assert 0.95 <= n_prefill <= 1.35, f"{model}: paper up to 1.22x"
+        assert n_decode > n_prefill
+
+        # c: CUDA graph matters at decode, is noise at prefill.
+        c_prefill = prefill["+c (cuda graph)"] / prefill["+n (numa tp)"]
+        c_decode = decode["+c (cuda graph)"] / decode["+n (numa tp)"]
+        assert 1.03 <= c_decode <= 1.35, f"{model}: paper up to 1.23x"
+        assert c_prefill < c_decode

@@ -1,0 +1,62 @@
+"""Figure 1: timeline of different execution modes.
+
+The paper's opening figure contrasts (a) GPU-only execution, impossible for
+models beyond VRAM, (b) the existing CPU/GPU hybrid with idle gaps, and
+(c) KTransformers with Expert Deferral keeping both devices busy.  This
+bench regenerates those timelines from real simulations and checks the
+story they tell: (a) does not fit, (b) leaves the GPU mostly idle, and (c)
+closes the gap.
+"""
+
+from repro.bench import format_table
+from repro.core import KTRANSFORMERS, run_decode
+from repro.baselines import FIDDLER
+from repro.hw import paper_testbed
+from repro.model import DS3
+from repro.tensor import BF16
+
+
+def _modes():
+    machine = paper_testbed("a100")
+
+    # (a) GPU-only: does the full model fit in VRAM?
+    full_bytes = DS3.total_params * BF16.bytes_per_element
+    fits = full_bytes <= machine.gpu.vram_capacity
+
+    # (b) existing hybrid (Fiddler-style) vs (c) KT with deferral.
+    hybrid = run_decode(FIDDLER, DS3, machine, BF16, n_tokens=4)
+    kt = run_decode(KTRANSFORMERS, DS3, machine, BF16, n_tokens=4,
+                    n_deferred=DS3.deferred_experts_bf16)
+    return fits, full_bytes, hybrid, kt
+
+
+def test_fig1_execution_modes(run_once):
+    fits, full_bytes, hybrid, kt = run_once(_modes)
+    print()
+    print(f"(a) GPU-only: DS-3 BF16 needs {full_bytes / 1e9:.0f} GB VRAM "
+          f"-> {'fits' if fits else 'does NOT fit'} a 40 GB A100")
+    rows = [
+        ("(b) existing hybrid", hybrid.tokens_per_s,
+         hybrid.utilization("cpu") * 100, hybrid.utilization("gpu") * 100,
+         hybrid.trace.overlap_fraction("cpu", "gpu") * 100),
+        ("(c) KT + deferral", kt.tokens_per_s,
+         kt.utilization("cpu") * 100, kt.utilization("gpu") * 100,
+         kt.trace.overlap_fraction("cpu", "gpu") * 100),
+    ]
+    print(format_table(
+        ["mode", "tokens/s", "CPU util %", "GPU util %", "overlap %"],
+        rows, title="Figure 1: execution modes (DS-3 BF16 decode)",
+    ))
+    print()
+    print("(b) timeline:")
+    print(hybrid.trace.render_gantt(width=72, resources=["gpu", "cpu"]))
+    print("(c) timeline:")
+    print(kt.trace.render_gantt(width=72, resources=["gpu", "cpu"]))
+
+    # (a): the 671B model cannot be GPU-only on one A100.
+    assert not fits
+    # (b) -> (c): deferral-augmented KT overlaps far more and runs faster.
+    assert kt.tokens_per_s > 2 * hybrid.tokens_per_s
+    assert (kt.trace.overlap_fraction("cpu", "gpu")
+            > 2 * hybrid.trace.overlap_fraction("cpu", "gpu"))
+    assert kt.utilization("cpu") > hybrid.utilization("cpu")

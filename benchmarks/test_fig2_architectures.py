@@ -1,0 +1,69 @@
+"""Figure 2: comparison of model architectures (dense FFN vs MoE vs
+shared+routed MoE).
+
+The figure is architectural, so this bench verifies its quantitative
+content on the functional models: a MoE layer holds many times the
+parameters of a dense layer while *activating* only a top-k slice per
+token, and shared experts guarantee a common processing floor for every
+token.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.model import DS3, MoETransformer, tiny_config
+from repro.moe import routing_summary
+
+
+def _architectures():
+    # Functional structure checks on tiny models.
+    moe_model = MoETransformer(tiny_config("tiny-qw"))
+    block = next(l.mlp for l in moe_model.layers if l.is_moe)
+    x = moe_model.embed_tokens(np.arange(1, 33))
+    routing = block.route(x)
+    summary = routing_summary(routing, block.n_experts)
+
+    cfg = moe_model.config
+    per_expert = 3 * cfg.hidden * cfg.moe_intermediate
+    rows = [
+        ("dense FFN (equal-size)", per_expert, per_expert, 1.0),
+        ("MoE (routed only)",
+         cfg.n_experts * per_expert,
+         cfg.top_k * per_expert,
+         cfg.top_k / cfg.n_experts),
+        ("MoE + shared expert",
+         (cfg.n_experts + cfg.n_shared_experts) * per_expert,
+         (cfg.top_k + cfg.n_shared_experts) * per_expert,
+         (cfg.top_k + cfg.n_shared_experts) / (cfg.n_experts + 1)),
+    ]
+    # Table-1-scale sparsity for DS-3.
+    ds3_sparsity = (DS3.top_k + DS3.n_shared_experts) / (
+        DS3.n_experts + DS3.n_shared_experts)
+    return rows, summary, ds3_sparsity
+
+
+def test_fig2_architectures(run_once):
+    rows, summary, ds3_sparsity = run_once(_architectures)
+    print()
+    print(format_table(
+        ["architecture", "params/layer", "activated/token", "activation frac"],
+        rows, title="Figure 2: FFN architectures (tiny-qw scale)",
+    ))
+    print(f"\nDS-3 activation fraction: {ds3_sparsity:.1%} "
+          f"(9 of 257 experts per token)")
+    print(f"Routing over 32 tokens: {summary['active_experts']:.0f} of 8 "
+          f"experts active, load balance factor "
+          f"{summary['load_balance_factor']:.2f}")
+
+    dense, moe, moe_shared = rows
+    # MoE holds n_experts x the dense parameters...
+    assert moe[1] == 8 * dense[1]
+    # ...but activates only the top-k slice.
+    assert moe[3] == 0.5
+    # Shared experts add a constant activated floor.
+    assert moe_shared[2] > moe[2]
+    # DS-3's activation fraction is ~3.5% -- the sparsity that makes
+    # CPU offloading viable at all.
+    assert ds3_sparsity < 0.05
+    # Balanced routing: every expert participates across a batch.
+    assert summary["active_experts"] == 8

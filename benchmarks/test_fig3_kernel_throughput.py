@@ -1,0 +1,30 @@
+"""Figure 3: MoE-layer throughput of PyTorch AMX/AVX-512 vs KT's AMX kernel.
+
+Paper anchors (one Xeon 8452Y socket, DS-3 expert shapes): KT-AMX peaks at
+21.3 TFLOPS, PyTorch-AMX at 5.4 TFLOPS (7% of the 73.7 theoretical peak),
+PyTorch-AVX512 at 1.8 TFLOPS; KT-AMX is ~3.98x the vendor baseline.
+"""
+
+from repro.bench import fig3_kernel_throughput, format_table
+
+
+def test_fig3_kernel_throughput(run_once):
+    rows = run_once(fig3_kernel_throughput)
+    print()
+    print(format_table(
+        ["tokens/expert", "PyTorch AMX", "PyTorch AVX-512", "KT AMX"],
+        rows,
+        title="Figure 3: MoE layer throughput (TFLOPS), DS-3, single socket",
+    ))
+    saturated = rows[-1]
+    __, torch_amx, torch_avx, kt_amx = saturated
+    assert 4.5 <= torch_amx <= 5.5          # paper: 5.4
+    assert 1.5 <= torch_avx <= 1.9          # paper: 1.8
+    assert 18.0 <= kt_amx <= 21.5           # paper: 21.3
+    assert 3.0 <= kt_amx / torch_amx <= 5.0  # paper: 3.98x
+
+    # Monotone ramp: throughput grows with arithmetic intensity.
+    kt_series = [r[3] for r in rows]
+    assert kt_series == sorted(kt_series)
+    # AMX dominates AVX-512 at saturation by far more than at low ARI.
+    assert rows[-1][3] / rows[-1][2] > rows[0][3] / rows[0][2]

@@ -1,0 +1,34 @@
+"""Figure 4: GPU kernel-launch analysis of DS-3 decode.
+
+Paper anchors: Fiddler issues >7,000 launches per decoded token at ~16 us
+each (73% of GPU execution time); llama.cpp ~3,000 at ~5 us (21%);
+KTransformers collapses the whole step into a single CUDA-graph launch.
+"""
+
+from repro.bench import fig4_launch_overhead, format_table
+
+
+def test_fig4_launch_overhead(run_once):
+    rows = run_once(fig4_launch_overhead)
+    print()
+    print(format_table(
+        ["System", "Launches/token", "Avg launch (us)", "Launch overhead %"],
+        [(r.system, r.launches_per_token, r.avg_launch_latency_us,
+          r.launch_overhead_fraction * 100) for r in rows],
+        title="Figure 4: kernel launch analysis, DS-3 decode",
+    ))
+    by = {r.system: r for r in rows}
+
+    fid = by["fiddler"]
+    assert 6000 <= fid.launches_per_token <= 8000        # paper: >7000
+    assert abs(fid.avg_launch_latency_us - 16.0) < 0.5   # paper: 16 us
+    assert 0.60 <= fid.launch_overhead_fraction <= 0.85  # paper: 73%
+
+    ll = by["llamacpp"]
+    assert 2500 <= ll.launches_per_token <= 3500         # paper: ~3000
+    assert abs(ll.avg_launch_latency_us - 5.0) < 0.5     # paper: 5 us
+    assert 0.12 <= ll.launch_overhead_fraction <= 0.35   # paper: 21%
+
+    kt = by["ktransformers"]
+    assert kt.launches_per_token == 1                    # one graph launch
+    assert kt.launch_overhead_fraction < 0.01            # "almost zero"

@@ -1,0 +1,33 @@
+"""Figure 7: KT AMX vs AVX-512 MoE-layer latency across models.
+
+Paper anchor: the AVX-512 kernel consistently outperforms AMX when at most
+four tokens are routed to an expert (up to ~1.2x), while AMX wins above
+(up to ~10.8x at prefill intensities).
+"""
+
+from repro.bench import fig7_kernel_crossover, format_table
+
+
+def test_fig7_kernel_crossover(run_once):
+    data = run_once(fig7_kernel_crossover)
+    for model, rows in data.items():
+        print()
+        print(format_table(
+            ["tokens/expert", "AMX (us)", "AVX-512 (us)", "AVX/AMX"],
+            [(m, a, v, v / a) for m, a, v in rows],
+            title=f"Figure 7 [{model}]: expert GEMM latency",
+        ))
+    assert set(data) == {"ds3", "ds2", "qw2"}
+    for model, rows in data.items():
+        lat = {m: (a, v) for m, a, v in rows}
+        # AVX-512 wins at <= 4 tokens/expert...
+        for m in (1, 2, 4):
+            amx, avx = lat[m]
+            assert avx < amx, f"{model}: AVX should win at {m} tokens"
+            assert amx / avx < 1.5, f"{model}: low-ARI gap should be modest"
+        # ...and AMX wins decisively at high ARI.
+        for m in (16, 64, 256):
+            amx, avx = lat[m]
+            assert amx < avx, f"{model}: AMX should win at {m} tokens"
+        amx, avx = lat[256]
+        assert avx / amx > 4.0, f"{model}: prefill-ARI AMX advantage too small"

@@ -1,0 +1,68 @@
+"""Micro-benchmark: dynamic vs static work scheduling (Section 3.2).
+
+Paper anchor: dynamic task scheduling yields up to a 1.83x prefill
+improvement under the imbalanced expert activations typical of prefill,
+and is neutral at decode where per-task work is uniform.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.hw import XEON_8452Y, cpu_gemm_time_us, KT_AMX
+from repro.model import DS3
+from repro.moe import (
+    RouterConfig,
+    WorkItem,
+    dynamic_schedule,
+    route,
+    skewed_synthetic_logits,
+    speedup,
+    static_schedule,
+)
+from repro.tensor import BF16
+
+
+def _expert_items(counts):
+    items = []
+    for e, tokens in enumerate(counts):
+        if tokens == 0:
+            continue
+        dur = cpu_gemm_time_us(
+            KT_AMX, int(tokens), DS3.hidden, 2 * DS3.moe_intermediate,
+            BF16, XEON_8452Y, threads_fraction=1.0 / XEON_8452Y.cores,
+        )
+        items.append(WorkItem(dur, e))
+    return items
+
+
+def _scenarios():
+    rng = np.random.default_rng(0)
+    cfg = RouterConfig(n_experts=DS3.n_experts, top_k=DS3.top_k)
+    rows = []
+    for hot_bonus in (0.0, 0.5, 0.8, 1.0):
+        logits = skewed_synthetic_logits(2048, cfg, rng, hot_fraction=0.05,
+                                         hot_bonus=hot_bonus)
+        counts = route(logits, cfg).expert_token_counts(cfg.n_experts)
+        items = _expert_items(counts)
+        st = static_schedule(items, XEON_8452Y.cores)
+        dy = dynamic_schedule(items, XEON_8452Y.cores, chunk_us=50.0)
+        rows.append((hot_bonus, int(counts.max()), st.makespan_us,
+                     dy.makespan_us, speedup(st, dy)))
+    return rows
+
+
+def test_micro_dynamic_scheduling(run_once):
+    rows = run_once(_scenarios)
+    print()
+    print(format_table(
+        ["hot-expert bias", "max tokens/expert", "static (us)",
+         "dynamic (us)", "speedup"],
+        rows,
+        title="Dynamic vs static scheduling, DS-3 prefill chunk (2048 tokens)",
+    ))
+    gains = [r[4] for r in rows]
+    # Balanced routing: dynamic is neutral-to-positive, not a regression.
+    assert gains[0] >= 0.98
+    # Gains grow with imbalance, reaching the paper's ~1.83x territory.
+    assert gains == sorted(gains)
+    assert 1.6 <= max(gains) <= 2.2

@@ -1,0 +1,21 @@
+"""Table 1: configuration of evaluated MoE models."""
+
+from repro.bench import format_table, table1_models
+
+
+def test_table1_models(run_once):
+    rows = run_once(table1_models)
+    print()
+    print(format_table(
+        ["Model", "Total (B)", "GPU (B)", "CPU (B)", "MoE layers",
+         "Routed experts", "Routing"],
+        rows,
+        title="Table 1: Configuration of evaluated MoE models",
+    ))
+    by_name = {r[0]: r for r in rows}
+    assert round(by_name["DS3"][1]) == 671
+    assert round(by_name["DS2"][1]) == 236
+    assert round(by_name["QW2"][1]) == 57
+    assert by_name["DS3"][5] == 256 and by_name["DS3"][6] == "Top-8"
+    assert by_name["DS2"][5] == 160 and by_name["DS2"][6] == "Top-6"
+    assert by_name["QW2"][5] == 64 and by_name["QW2"][6] == "Top-8"

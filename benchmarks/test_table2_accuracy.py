@@ -1,0 +1,68 @@
+"""Table 2: task accuracy with and without Expert Deferral.
+
+Paper anchor: across HumanEval/MBPP/GSM8K/StrategyQA and all three models,
+deferral changes scores by no more than ~2 points in either direction.
+
+Reproduction: two tiny architectures mirroring the evaluated families --
+``tiny-qw`` (MHA, plain top-k, like QW-2) and ``tiny-ds`` (MLA, grouped
+top-k, leading dense layer, like DS-2/DS-3) -- trained from scratch on the
+synthetic suite and compared between standard execution (k+0) and the
+deferred configuration (2 immediate + the rest deferred).  Teacher-forced
+answer NLL is reported alongside exact match as a continuous quality
+signal.
+"""
+
+from repro.bench import format_table
+from repro.core import DeferralConfig, DeferralEngine
+from repro.eval import accuracy_row, corpus_nll, trained_task
+
+# (architecture, top_k, deferred, tasks x training steps).
+CONFIGS = (
+    ("tiny-qw", 6, 4, (("modsum", 500), ("copy", 400), ("majority", 400),
+                       ("recall", 600))),
+    ("tiny-ds", 4, 2, (("modsum", 500), ("copy", 400))),
+)
+
+
+def _table2():
+    rows = []
+    for arch, top_k, n_def, tasks in CONFIGS:
+        for name, steps in tasks:
+            tt = trained_task(name, config_name=arch, steps=steps,
+                              top_k=top_k)
+            accs = accuracy_row(tt, [("standard", 0), ("deferral", n_def)])
+            nll_base = corpus_nll(
+                DeferralEngine(tt.model, DeferralConfig(0)), tt.test[:24])
+            nll_def = corpus_nll(
+                DeferralEngine(tt.model, DeferralConfig(n_def)), tt.test[:24])
+            rows.append((
+                arch, name, f"({top_k}+0)/(2+{n_def})",
+                accs["standard"] * 100,
+                accs[f"deferral@{n_def}"] * 100,
+                (accs[f"deferral@{n_def}"] - accs["standard"]) * 100,
+                nll_base, nll_def,
+            ))
+    return rows
+
+
+def test_table2_accuracy(run_once):
+    rows = run_once(_table2)
+    print()
+    print(format_table(
+        ["arch", "task", "config", "base acc %", "defer acc %", "delta",
+         "base NLL", "defer NLL"],
+        rows,
+        title="Table 2: accuracy with and without Expert Deferral",
+    ))
+    learned = [r for r in rows if r[3] >= 60.0]
+    assert len(learned) >= 4, "most tasks should be learnable to >=60% EM"
+    for arch, name, __, base, deferred, delta, nll_b, nll_d in rows:
+        if base < 60.0:
+            continue
+        # Paper: deltas within ~2 points; we allow a wider band for the
+        # small test sets (64 examples -> 1.6% quantization).
+        assert abs(delta) <= 6.5, f"{arch}/{name}: deferral moved {delta:.1f}"
+        # NLL under deferral stays close to the unmodified model.
+        assert nll_d <= nll_b + 0.5, f"{arch}/{name}: NLL jumped"
+    # Both architecture families are represented among learned tasks.
+    assert {r[0] for r in learned} == {"tiny-qw", "tiny-ds"}

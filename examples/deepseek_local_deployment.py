@@ -1,0 +1,91 @@
+"""Capacity planning and tuning for a local DeepSeek deployment.
+
+The scenario from the paper's introduction: you have one GPU (a 40 GB A100
+or a 16 GB RTX 4080) plus a dual-socket Xeon server, and want to host a
+trillion-parameter-class MoE locally.  This script:
+
+1. checks which precision fits each device (GPU weights in VRAM, routed
+   experts in DRAM);
+2. autotunes the Expert Deferral count with the Section 4.2 heuristic and
+   the simulation-driven search;
+3. reports end-to-end prefill/decode throughput and an execution timeline.
+
+Run:  python examples/deepseek_local_deployment.py [ds3|ds2|qw2] [a100|4080]
+"""
+
+import sys
+
+from repro import BF16, KTRANSFORMERS, paper_testbed, preset, run_decode, run_prefill
+from repro.core import autotune_deferral, decode_works, heuristic_deferred_count
+from repro.hw.units import GB
+
+
+def plan_capacity(model, machine, dtype) -> bool:
+    """Print the placement plan; returns False if it does not fit."""
+    gpu_bytes = model.gpu_params * dtype.bytes_per_element
+    cpu_bytes = model.cpu_dram_bytes(dtype)
+    print(f"Placement plan ({dtype.name}):")
+    print(f"  GPU  : attention + shared experts + dense layers = "
+          f"{gpu_bytes / GB:6.1f} GiB  "
+          f"(VRAM {machine.gpu.vram_capacity / GB:.0f} GiB)")
+    print(f"  DRAM : {model.n_moe_layers} layers x {model.n_experts} routed "
+          f"experts = {cpu_bytes / GB:6.1f} GiB  "
+          f"(DRAM {machine.total_dram_capacity / GB:.0f} GiB)")
+    fits = (gpu_bytes < machine.gpu.vram_capacity * 0.9
+            and cpu_bytes < machine.total_dram_capacity * 0.9)
+    print(f"  fits: {'yes' if fits else 'NO'}\n")
+    return fits
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "ds3"
+    gpu_name = sys.argv[2] if len(sys.argv) > 2 else "a100"
+    model = preset(model_name)
+    machine = paper_testbed(gpu_name)
+    print(f"Deploying {model.display_name} on {machine.name}\n")
+
+    # 1. Pick the highest-accuracy dtype that fits (paper Section 6.1).
+    dtype = BF16
+    if not plan_capacity(model, machine, dtype):
+        dtype = model.quant_dtype
+        print(f"BF16 does not fit; falling back to {dtype.name}.\n")
+        if not plan_capacity(model, machine, dtype):
+            print("Model does not fit this machine in any supported dtype.")
+            return
+
+    # 2. Tune Expert Deferral.
+    works = decode_works(KTRANSFORMERS, model, machine, dtype, context_len=128)
+    moe_work = works[-1]
+    heur = heuristic_deferred_count(moe_work, model.top_k)
+    tuned = autotune_deferral(works, machine, model.top_k, n_tokens=6)
+    print("Expert Deferral tuning:")
+    print(f"  Section 4.2 heuristic : defer {heur} of {model.top_k}")
+    print(f"  simulation search     : defer {tuned.n_deferred} "
+          f"(throughputs: "
+          + ", ".join(f"{d}->{tps:.2f}" for d, tps in
+                      sorted(tuned.all_throughputs.items())) + ")\n")
+
+    # 3. End-to-end throughput.
+    n_deferred = tuned.n_deferred
+    decode = run_decode(KTRANSFORMERS, model, machine, dtype,
+                        n_tokens=16, n_deferred=n_deferred)
+    prefill = run_prefill(KTRANSFORMERS, model, machine, dtype,
+                          prompt_len=2048)
+    print("Expected performance:")
+    print(f"  prefill: {prefill.tokens_per_s:7.1f} tokens/s (2048-token prompt)")
+    print(f"  decode : {decode.tokens_per_s:7.2f} tokens/s "
+          f"(deferring {n_deferred} experts)")
+    print(f"  CPU/GPU utilization: {decode.utilization('cpu') * 100:.0f}% / "
+          f"{decode.utilization('gpu') * 100:.0f}%\n")
+
+    print("Decode timeline (first ~3 tokens):")
+    lo, __ = decode.trace.span()
+    window = [iv for iv in decode.trace.intervals
+              if iv.start < lo + 3 * (decode.elapsed_us / decode.tokens)]
+    from repro.hw.trace import Trace
+    print(Trace(window).render_gantt(width=76,
+                                     resources=["host", "gpu", "pcie", "cpu"]))
+
+
+if __name__ == "__main__":
+    main()

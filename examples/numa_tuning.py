@@ -1,0 +1,96 @@
+"""NUMA placement and CPU work-scheduling tuning (Sections 3.2-3.3).
+
+Compares the three expert placements on a dual-socket machine (oblivious /
+expert parallelism / tensor parallelism) for both phases, then shows how
+dynamic work scheduling absorbs prefill imbalance.
+
+Run:  python examples/numa_tuning.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.hw import KT_AMX, KT_AVX512, XEON_8452Y, cpu_gemm_time_us, paper_testbed
+from repro.model import DS3
+from repro.moe import (
+    MoELayerDims,
+    NumaStrategy,
+    RouterConfig,
+    WorkItem,
+    dynamic_schedule,
+    moe_layer_time_us,
+    route,
+    skewed_synthetic_logits,
+    speedup,
+    static_schedule,
+)
+from repro.tensor import BF16
+
+
+def numa_comparison() -> None:
+    machine = paper_testbed()
+    dims = MoELayerDims(DS3.hidden, DS3.moe_intermediate, BF16)
+    decode_counts = [1, 0] * 4 + [0] * (DS3.n_experts - 8)
+    prefill_counts = [64] * DS3.n_experts
+
+    rows = []
+    for phase, counts, profile, streaming in (
+        ("decode", decode_counts, KT_AVX512, False),
+        ("prefill", prefill_counts, KT_AMX, True),
+    ):
+        times = {
+            s: moe_layer_time_us(counts, dims, profile, machine, s,
+                                 streaming_access=streaming)
+            for s in NumaStrategy
+        }
+        best = min(times, key=times.get)
+        rows.append((
+            phase,
+            times[NumaStrategy.OBLIVIOUS] / 1e3,
+            times[NumaStrategy.EXPERT_PARALLEL] / 1e3,
+            times[NumaStrategy.TENSOR_PARALLEL] / 1e3,
+            best.value,
+        ))
+    print(format_table(
+        ["phase", "oblivious (ms)", "expert-par (ms)", "tensor-par (ms)",
+         "winner"],
+        rows,
+        title="One DS-3 MoE layer on 2x Xeon 8452Y",
+    ))
+    print()
+
+
+def scheduling_comparison() -> None:
+    cfg = RouterConfig(n_experts=DS3.n_experts, top_k=DS3.top_k)
+    rng = np.random.default_rng(0)
+    rows = []
+    for label, bonus in (("balanced", 0.0), ("mild skew", 0.5),
+                         ("hot experts", 1.0)):
+        logits = skewed_synthetic_logits(2048, cfg, rng, hot_fraction=0.05,
+                                         hot_bonus=bonus)
+        counts = route(logits, cfg).expert_token_counts(cfg.n_experts)
+        items = [
+            WorkItem(cpu_gemm_time_us(
+                KT_AMX, int(t), DS3.hidden, 2 * DS3.moe_intermediate, BF16,
+                XEON_8452Y, threads_fraction=1.0 / XEON_8452Y.cores), e)
+            for e, t in enumerate(counts) if t > 0
+        ]
+        st = static_schedule(items, XEON_8452Y.cores)
+        dy = dynamic_schedule(items, XEON_8452Y.cores, chunk_us=50.0)
+        rows.append((label, int(counts.max()), st.makespan_us / 1e3,
+                     dy.makespan_us / 1e3, f"{speedup(st, dy):.2f}x"))
+    print(format_table(
+        ["workload", "hottest expert (tokens)", "static (ms)",
+         "dynamic (ms)", "dynamic gain"],
+        rows,
+        title="Static vs dynamic thread scheduling, 2048-token prefill chunk",
+    ))
+
+
+def main() -> None:
+    numa_comparison()
+    scheduling_comparison()
+
+
+if __name__ == "__main__":
+    main()

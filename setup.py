@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The canonical build configuration lives in pyproject.toml; this file only
+enables legacy editable installs in offline environments.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro: a pure-Python reproduction of KTransformers (SOSP 2025).
+
+CPU/GPU hybrid inference for Mixture-of-Experts models: AMX-style tiled
+kernels, asynchronous CPU-GPU scheduling over a single CUDA graph,
+NUMA-aware tensor parallelism, and the Expert Deferral mechanism --
+implemented functionally in numpy with a calibrated discrete-event
+performance simulator standing in for the paper's dual-Xeon + A100 testbed.
+
+Quick start::
+
+    from repro import KTRANSFORMERS, run_decode, paper_testbed, DS3
+    result = run_decode(KTRANSFORMERS, DS3, paper_testbed("a100"))
+    print(result.tokens_per_s)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .baselines import FIDDLER, LLAMACPP, SystemProfile
+from .core import (
+    KTRANSFORMERS,
+    DeferralConfig,
+    DeferralEngine,
+    SkippingConfig,
+    SkippingEngine,
+    ThroughputResult,
+    autotune_deferral,
+    heuristic_deferred_count,
+    run_decode,
+    run_prefill,
+)
+from .errors import ReproError
+from .hw import MachineSpec, Simulator, Trace, paper_testbed
+from .inject import inject, load_rules, parse_rules
+from .model import (
+    DS2,
+    DS3,
+    QW2,
+    ModelConfig,
+    ModelPreset,
+    MoETransformer,
+    preset,
+    tiny_config,
+)
+from .tensor import BF16, FP16, FP32, INT4, INT8, dtype
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FIDDLER", "LLAMACPP", "SystemProfile",
+    "KTRANSFORMERS", "DeferralConfig", "DeferralEngine", "SkippingConfig",
+    "SkippingEngine", "ThroughputResult", "autotune_deferral",
+    "heuristic_deferred_count", "run_decode", "run_prefill",
+    "ReproError",
+    "MachineSpec", "Simulator", "Trace", "paper_testbed",
+    "inject", "load_rules", "parse_rules",
+    "DS2", "DS3", "QW2", "ModelConfig", "ModelPreset", "MoETransformer",
+    "preset", "tiny_config",
+    "BF16", "FP16", "FP32", "INT4", "INT8", "dtype",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Reverse-mode autodiff substrate for training the tiny MoE models."""
+
+from .ops import (
+    causal_attend,
+    cross_entropy,
+    embedding,
+    rmsnorm,
+    rope_apply,
+    softmax,
+)
+from .optim import Adam, clip_grad_norm
+from .tensor import Tensor
+
+__all__ = [
+    "causal_attend", "cross_entropy", "embedding", "rmsnorm", "rope_apply",
+    "softmax", "Adam", "clip_grad_norm", "Tensor",
+]

@@ -1,0 +1,103 @@
+"""Composite autograd ops used by the trainable transformer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AutogradError
+from .tensor import Tensor, _accumulate
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of (n, vocab) logits against integer targets.
+
+    Implemented with a fused, numerically stable backward
+    (``softmax - onehot``) rather than composing primitive ops.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise AutogradError(
+            f"cross_entropy shapes: logits {logits.shape}, targets {targets.shape}"
+        )
+    z = logits.data
+    zmax = z.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(z - zmax).sum(axis=1, keepdims=True)) + zmax
+    n = z.shape[0]
+    nll = (logsumexp[:, 0] - z[np.arange(n), targets]).mean()
+
+    out = Tensor(np.float32(nll))
+
+    def backward(g: np.ndarray) -> None:
+        probs = np.exp(z - logsumexp)
+        probs[np.arange(n), targets] -= 1.0
+        _accumulate(logits, (g * probs / n).astype(np.float32))
+
+    return logits._make(out.data, (logits,), backward)
+
+
+def rmsnorm(x: Tensor, gain: Tensor, eps: float = 1e-6) -> Tensor:
+    """Root-mean-square norm, composed from differentiable primitives."""
+    ms = (x * x).mean(axis=-1, keepdims=True)
+    inv = (ms + eps) ** -0.5
+    return x * inv * gain
+
+
+def rope_apply(x: Tensor, positions: np.ndarray, base: float = 10000.0) -> Tensor:
+    """Rotary embedding as a fixed linear map; backward rotates by -angle.
+
+    ``x``: (seq, heads, dim even); matches :func:`repro.model.attention.rope`
+    exactly so trained weights transfer to the inference model.
+    """
+    d = x.shape[-1]
+    if d % 2 != 0:
+        raise AutogradError("rope requires an even last dimension")
+    half = d // 2
+    freqs = base ** (-np.arange(half, dtype=np.float32) / half)
+    angles = np.asarray(positions, dtype=np.float32)[:, None] * freqs[None, :]
+    cos = np.cos(angles)[:, None, :]
+    sin = np.sin(angles)[:, None, :]
+
+    x1 = x.data[..., :half]
+    x2 = x.data[..., half:]
+    data = np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos],
+                          axis=-1).astype(np.float32)
+
+    def backward(g: np.ndarray) -> None:
+        g1 = g[..., :half]
+        g2 = g[..., half:]
+        gx = np.concatenate([g1 * cos + g2 * sin, -g1 * sin + g2 * cos],
+                            axis=-1).astype(np.float32)
+        _accumulate(x, gx)
+
+    return x._make(data, (x,), backward)
+
+
+def embedding(weight: Tensor, token_ids: np.ndarray) -> Tensor:
+    """Differentiable table lookup (scatter-add backward)."""
+    return weight.take_rows(np.asarray(token_ids))
+
+
+def causal_attend(q: Tensor, k: Tensor, v: Tensor,
+                  q_positions: np.ndarray) -> Tensor:
+    """Causal attention over (seq, heads, dim) tensors (training path).
+
+    Matches ``repro.model.attention._attend`` numerically.
+    """
+    d = q.shape[-1]
+    qh = q.swapaxes(0, 1)                       # (h, q, d)
+    kh = k.swapaxes(0, 1)
+    vh = v.swapaxes(0, 1)
+    scores = (qh @ kh.swapaxes(1, 2)) * (1.0 / np.sqrt(d))
+    key_pos = np.arange(k.shape[0])
+    mask = (key_pos[None, :] > np.asarray(q_positions)[:, None])
+    penalty = np.where(mask, -1e9, 0.0).astype(np.float32)[None, :, :]
+    probs = softmax(scores + Tensor(penalty), axis=-1)
+    out = probs @ vh                            # (h, q, d)
+    return out.swapaxes(0, 1)                   # (q, h, d)

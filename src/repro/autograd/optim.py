@@ -1,0 +1,61 @@
+"""Optimizers for the training substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AutogradError
+from .tensor import Tensor
+
+
+class Adam:
+    """Standard Adam with bias correction."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        if not params:
+            raise AutogradError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise AutogradError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        self.t += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            self._m[i] = self.b1 * self._m[i] + (1 - self.b1) * g
+            self._v[i] = self.b2 * self._v[i] + (1 - self.b2) * (g * g)
+            m_hat = self._m[i] / (1 - self.b1 ** self.t)
+            v_hat = self._v[i] / (1 - self.b2 ** self.t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm

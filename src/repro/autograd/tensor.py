@@ -1,0 +1,340 @@
+"""A minimal reverse-mode automatic differentiation engine over numpy.
+
+Just enough machinery to train the tiny MoE transformers used by the
+accuracy experiments (Table 2, Figure 13): broadcast-aware arithmetic,
+batched matmul, softmax/cross-entropy, gather/scatter for expert routing,
+and rotary embeddings as a fixed linear op.
+
+The engine is eager: every op records its parents and a backward closure;
+``Tensor.backward()`` topologically sorts the graph and accumulates
+gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Union
+
+import numpy as np
+
+from ..errors import AutogradError
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the autograd graph wrapping a float32 ndarray."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False,
+                 name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # -- construction helpers ---------------------------------------------
+
+    @staticmethod
+    def param(data, name: str = "") -> "Tensor":
+        return Tensor(data, requires_grad=True, name=name)
+
+    @staticmethod
+    def _lift(x: ArrayLike) -> "Tensor":
+        return x if isinstance(x, Tensor) else Tensor(x)
+
+    def _make(self, data: np.ndarray, parents: Iterable["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        out = Tensor(data)
+        parents = tuple(parents)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._lift(other)
+        data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, _unbroadcast(g, self.shape))
+            _accumulate(other, _unbroadcast(g, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, -g)
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-Tensor._lift(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._lift(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._lift(other)
+        data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, _unbroadcast(g * other.data, self.shape))
+            _accumulate(other, _unbroadcast(g * self.data, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._lift(other)
+        data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, _unbroadcast(g / other.data, self.shape))
+            _accumulate(
+                other,
+                _unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+            )
+
+        return self._make(data, (self, other), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = Tensor._lift(other)
+        data = np.matmul(self.data, other.data)
+
+        def backward(g: np.ndarray) -> None:
+            ga = np.matmul(g, np.swapaxes(other.data, -1, -2))
+            gb = np.matmul(np.swapaxes(self.data, -1, -2), g)
+            _accumulate(self, _unbroadcast(ga, self.shape))
+            _accumulate(other, _unbroadcast(gb, other.shape))
+
+        return self._make(data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data ** exponent
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g * exponent * self.data ** (exponent - 1))
+
+        return self._make(data, (self,), backward)
+
+    # -- shape ops ----------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(*shape)
+        orig = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g.reshape(orig))
+
+        return self._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        data = np.swapaxes(self.data, a, b)
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, np.swapaxes(g, a, b))
+
+        return self._make(data, (self,), backward)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            if axis is None:
+                grad = np.broadcast_to(g, shape)
+            else:
+                gg = g if keepdims else np.expand_dims(g, axis)
+                grad = np.broadcast_to(gg, shape)
+            _accumulate(self, grad.astype(np.float32).copy())
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        n = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    # -- elementwise nonlinearities ----------------------------------------
+
+    def exp(self) -> "Tensor":
+        data = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g * data)
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(np.maximum(self.data, 1e-12))
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g / np.maximum(self.data, 1e-12))
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g * data * (1.0 - data))
+
+        return self._make(data, (self,), backward)
+
+    def silu(self) -> "Tensor":
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        data = self.data * sig
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g * (sig * (1.0 + self.data * (1.0 - sig))))
+
+        return self._make(data, (self,), backward)
+
+    # -- indexing -------------------------------------------------------------
+
+    def take_rows(self, idx: np.ndarray) -> "Tensor":
+        """Select rows (first axis); backward scatter-adds."""
+        idx = np.asarray(idx)
+        data = self.data[idx]
+        shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros(shape, dtype=np.float32)
+            np.add.at(grad, idx, g)
+            _accumulate(self, grad)
+
+        return self._make(data, (self,), backward)
+
+    def scatter_rows(self, idx: np.ndarray, n_rows: int) -> "Tensor":
+        """Place rows at ``idx`` of a zero (n_rows, ...) tensor, adding dups."""
+        idx = np.asarray(idx)
+        data = np.zeros((n_rows,) + self.shape[1:], dtype=np.float32)
+        np.add.at(data, idx, self.data)
+
+        def backward(g: np.ndarray) -> None:
+            _accumulate(self, g[idx])
+
+        return self._make(data, (self,), backward)
+
+    def gather(self, idx: np.ndarray, axis: int = -1) -> "Tensor":
+        """``np.take_along_axis``; backward scatter-adds along ``axis``."""
+        idx = np.asarray(idx)
+        data = np.take_along_axis(self.data, idx, axis=axis)
+        shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros(shape, dtype=np.float32)
+            np.put_along_axis(grad, idx, 0.0, axis=axis)  # ensure shape ok
+            # put_along_axis overwrites; emulate scatter-add manually:
+            flat = np.zeros(shape, dtype=np.float32)
+            it = np.nditer(idx, flags=["multi_index"])
+            for target in it:
+                mi = list(it.multi_index)
+                mi[axis] = int(target)
+                flat[tuple(mi)] += g[it.multi_index]
+            _accumulate(self, flat)
+
+        return self._make(data, (self,), backward)
+
+    # -- graph execution ------------------------------------------------------
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        if not self.requires_grad:
+            raise AutogradError("called backward() on a non-differentiable tensor")
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError(
+                    "backward() without an explicit gradient requires a scalar"
+                )
+            grad = np.ones_like(self.data)
+        order = _toposort(self)
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float32)}
+        global _GRAD_SINK
+        for node in order:
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf parameter: accumulate into .grad.
+                node.grad = g if node.grad is None else node.grad + g
+            if node._backward is not None:
+                _GRAD_SINK = grads
+                try:
+                    node._backward(g)
+                finally:
+                    _GRAD_SINK = None
+
+
+_GRAD_SINK: Optional[dict[int, np.ndarray]] = None
+
+
+def _accumulate(node: Tensor, grad: np.ndarray) -> None:
+    """Route a gradient either to the running backward pass or to a leaf."""
+    if not node.requires_grad:
+        return
+    if _GRAD_SINK is not None and node._backward is not None:
+        sink = _GRAD_SINK
+        if id(node) in sink:
+            sink[id(node)] = sink[id(node)] + grad
+        else:
+            sink[id(node)] = grad
+    elif node._backward is None:
+        node.grad = grad if node.grad is None else node.grad + grad
+    else:
+        # Interior node gradient arriving outside a backward pass.
+        raise AutogradError("gradient routed outside an active backward pass")
+
+
+def _toposort(root: Tensor) -> list[Tensor]:
+    seen: set[int] = set()
+    order: list[Tensor] = []
+
+    def visit(node: Tensor) -> None:
+        stack = [(node, iter(node._parents))]
+        seen.add(id(node))
+        while stack:
+            current, parents = stack[-1]
+            advanced = False
+            for p in parents:
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    stack.append((p, iter(p._parents)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(root)
+    return list(reversed(order))

@@ -1,0 +1,17 @@
+"""Baseline inference systems reimplemented over the shared simulator."""
+
+from .base import SystemProfile
+from .fiddler import FIDDLER
+from .llamacpp import LLAMACPP
+from .weight_offload import (
+    ExpertCache,
+    WeightOffloadResult,
+    simulate_weight_offload_decode,
+    spare_vram_experts,
+)
+
+__all__ = [
+    "SystemProfile", "FIDDLER", "LLAMACPP",
+    "ExpertCache", "WeightOffloadResult", "simulate_weight_offload_decode",
+    "spare_vram_experts",
+]

@@ -1,0 +1,36 @@
+"""System profiles: how each evaluated system executes hybrid inference.
+
+A :class:`SystemProfile` captures the operational differences the paper
+measures between Fiddler, llama.cpp, and KTransformers: which CPU kernels
+they use per phase, how they launch GPU kernels, whether they are
+NUMA-aware, whether CPU and GPU overlap, and how densely they fuse GPU
+operators (kernel launches per layer, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..hw.roofline import CPUKernelProfile
+from ..moe.numa import NumaStrategy
+from ..sched.cuda_graph import LaunchMode
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Operational profile of one inference system."""
+
+    name: str
+    display_name: str
+    prefill_kernel: CPUKernelProfile
+    decode_kernel: CPUKernelProfile
+    launch_mode: LaunchMode
+    numa_strategy: NumaStrategy
+    overlap_cpu_gpu: bool
+    dynamic_scheduling: bool
+    decode_kernels_per_layer: int
+    prefill_kernels_per_layer: int
+
+    def with_overrides(self, **kw) -> "SystemProfile":
+        """A copy with selected fields replaced (used by ablation benches)."""
+        return replace(self, **kw)

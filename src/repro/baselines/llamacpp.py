@@ -1,0 +1,32 @@
+"""llama.cpp baseline as characterized in the paper.
+
+llama.cpp brings aggressive operator fusion (~3,000 launches per token, ~49
+per layer) and a C++ host with ~5 us launch latency, so its launch overhead
+is 21% of GPU time rather than Fiddler's 73% (Figure 4).  Its hand-written
+AVX-512 kernels are competitive at decode but it has no AMX path, which is
+why Fiddler's oneDNN backend overtakes it at long prefill (Section 6.2).
+It disables CUDA graphs (repeated capture overhead) and is NUMA-oblivious.
+
+The paper extends llama.cpp with expert-level offloading for fairness; this
+profile models that extended version.
+"""
+
+from __future__ import annotations
+
+from ..hw.roofline import LLAMACPP_AVX512
+from ..moe.numa import NumaStrategy
+from ..sched.cuda_graph import LaunchMode
+from .base import SystemProfile
+
+LLAMACPP = SystemProfile(
+    name="llamacpp",
+    display_name="llama.cpp",
+    prefill_kernel=LLAMACPP_AVX512,
+    decode_kernel=LLAMACPP_AVX512,
+    launch_mode=LaunchMode.PER_KERNEL_CPP,
+    numa_strategy=NumaStrategy.OBLIVIOUS,
+    overlap_cpu_gpu=True,
+    dynamic_scheduling=False,
+    decode_kernels_per_layer=49,     # ~3000 launches / 61 layers
+    prefill_kernels_per_layer=49,
+)

@@ -1,0 +1,141 @@
+"""Weight-offloading baseline (Section 2.1's pre-Fiddler approach).
+
+Before computation offloading, MoE systems kept expert weights in CPU
+memory and **transferred the activated experts to the GPU on demand**
+(Mixtral-offloading, Pre-gated MoE, ProMoE, HOBBIT...).  The paper explains
+why this hits a wall: each decoded token activates top-k experts whose
+weights must cross PCIe (32 GB/s), while computation offloading only moves
+activations and exploits the CPU's 440 GB/s of DRAM bandwidth.
+
+This module models that approach over the same simulator -- including an
+expert cache in spare VRAM with an LRU policy -- so the crossover the paper
+argues from first principles can be *measured*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..hw.roofline import gpu_kernel_time_us, pcie_transfer_time_us
+from ..hw.spec import MachineSpec
+from ..model.presets import ModelPreset
+from ..tensor.dtypes import DType
+
+
+class ExpertCache:
+    """LRU cache of expert weights resident in spare VRAM."""
+
+    def __init__(self, capacity_experts: int) -> None:
+        if capacity_experts < 0:
+            raise ConfigError("cache capacity must be >= 0")
+        self.capacity = capacity_experts
+        self._lru: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, layer: int, expert: int) -> bool:
+        """Touch (layer, expert); returns True on hit."""
+        key = (layer, expert)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if self.capacity == 0:
+            return False
+        if len(self._lru) >= self.capacity:
+            self._lru.popitem(last=False)
+        self._lru[key] = None
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class WeightOffloadResult:
+    """Outcome of a simulated weight-offloading decode run."""
+
+    tokens: int
+    elapsed_us: float
+    cache_hit_rate: float
+    pcie_time_us: float
+    gpu_time_us: float
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.tokens / (self.elapsed_us / 1e6)
+
+
+def spare_vram_experts(preset: ModelPreset, machine: MachineSpec,
+                       dtype: DType) -> int:
+    """Experts that fit in VRAM left over after the GPU-resident weights."""
+    resident = preset.gpu_params * dtype.bytes_per_element
+    spare = machine.gpu.vram_capacity * 0.9 - resident
+    per_expert = preset.expert_bytes(dtype)
+    return max(0, int(spare // per_expert))
+
+
+def simulate_weight_offload_decode(
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    n_tokens: int = 16,
+    seed: int = 0,
+    cache_experts: int | None = None,
+) -> WeightOffloadResult:
+    """Decode with on-demand expert transfer over PCIe.
+
+    Per token and MoE layer: the router picks ``top_k`` experts uniformly
+    (MoE balancing); cache misses stream the expert's weights over PCIe,
+    then the GPU computes the (tiny) expert GEMV.  PCIe transfers serialize
+    with each other; the GPU compute is overlapped with the next transfer
+    (double buffering), so the wall time per layer is approximately
+    ``max(transfer_total, compute_total) + per-layer overheads``.
+    """
+    if n_tokens <= 0:
+        raise ConfigError("n_tokens must be positive")
+    rng = np.random.default_rng(seed)
+    cache = ExpertCache(
+        spare_vram_experts(preset, machine, dtype)
+        if cache_experts is None else cache_experts
+    )
+    expert_bytes = preset.expert_bytes(dtype)
+    link = machine.interconnect
+
+    total_pcie = 0.0
+    total_gpu = 0.0
+    elapsed = 0.0
+    for __ in range(n_tokens):
+        for layer in range(preset.n_moe_layers):
+            picked = rng.choice(preset.n_experts, size=preset.top_k,
+                                replace=False)
+            transfer_us = 0.0
+            for e in picked:
+                if not cache.access(layer, int(e)):
+                    transfer_us += pcie_transfer_time_us(expert_bytes, link)
+            # Expert GEMV + attention share the GPU; attention dominates the
+            # non-expert time and is identical to the hybrid systems'.
+            compute_us = preset.top_k * gpu_kernel_time_us(
+                2.0 * expert_bytes / dtype.bytes_per_element,
+                expert_bytes, machine.gpu,
+            )
+            attn_us = gpu_kernel_time_us(
+                0.0, preset.gpu_layer_bytes(dtype), machine.gpu,
+            )
+            total_pcie += transfer_us
+            total_gpu += compute_us + attn_us
+            elapsed += attn_us + max(transfer_us, compute_us)
+    return WeightOffloadResult(
+        tokens=n_tokens,
+        elapsed_us=elapsed,
+        cache_hit_rate=cache.hit_rate,
+        pcie_time_us=total_pcie,
+        gpu_time_us=total_gpu,
+    )

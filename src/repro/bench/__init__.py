@@ -1,0 +1,38 @@
+"""Benchmark harness: per-figure data producers and table rendering."""
+
+from .report import EvaluationReport, ReportSection, generate_report
+from .reporting import format_table, speedup_string
+from .workloads import (
+    ChatRequestSpec,
+    chat_workload_lengths,
+    expected_tokens,
+    zipf_token_stream,
+)
+from .runner import (
+    ABLATION_STEPS,
+    PAPER_PRESETS,
+    PREFILL_LENGTHS,
+    DeferralTimeline,
+    LaunchAnalysis,
+    fig3_kernel_throughput,
+    fig4_launch_overhead,
+    fig7_kernel_crossover,
+    fig10_deferral_timeline,
+    fig11_prefill,
+    fig12_decode,
+    fig14_breakdown,
+    quant_machine_and_dtype,
+    table1_models,
+)
+
+__all__ = [
+    "EvaluationReport", "ReportSection", "generate_report",
+    "format_table", "speedup_string",
+    "ChatRequestSpec", "chat_workload_lengths", "expected_tokens",
+    "zipf_token_stream",
+    "ABLATION_STEPS", "PAPER_PRESETS", "PREFILL_LENGTHS",
+    "DeferralTimeline", "LaunchAnalysis",
+    "fig3_kernel_throughput", "fig4_launch_overhead", "fig7_kernel_crossover",
+    "fig10_deferral_timeline", "fig11_prefill", "fig12_decode",
+    "fig14_breakdown", "quant_machine_and_dtype", "table1_models",
+]

@@ -1,0 +1,158 @@
+"""One-shot evaluation report: every throughput figure from live runs.
+
+``python -m repro report`` regenerates the Section 6 throughput results
+(Figures 3, 4, 7, 10, 11, 12, 14 and Table 1) as text tables in one pass.
+Accuracy experiments (Table 2, Figure 13) involve training and are left to
+``pytest benchmarks/ --benchmark-only``; the report notes where to find
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .reporting import format_table
+from .runner import (
+    ABLATION_STEPS,
+    fig3_kernel_throughput,
+    fig4_launch_overhead,
+    fig7_kernel_crossover,
+    fig10_deferral_timeline,
+    fig11_prefill,
+    fig12_decode,
+    fig14_breakdown,
+    table1_models,
+)
+
+
+@dataclass
+class ReportSection:
+    title: str
+    body: str
+
+
+@dataclass
+class EvaluationReport:
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def add(self, title: str, body: str) -> None:
+        self.sections.append(ReportSection(title, body))
+
+    def render(self) -> str:
+        parts = []
+        for s in self.sections:
+            parts.append("=" * 72)
+            parts.append(s.title)
+            parts.append("=" * 72)
+            parts.append(s.body)
+            parts.append("")
+        return "\n".join(parts)
+
+
+def _table1() -> str:
+    return format_table(
+        ["Model", "Total (B)", "GPU (B)", "CPU (B)", "MoE layers",
+         "Experts", "Routing"],
+        table1_models(),
+    )
+
+
+def _fig3() -> str:
+    rows = fig3_kernel_throughput(tokens_sweep=(1, 16, 256, 4096))
+    return format_table(
+        ["tokens/expert", "PyTorch AMX", "PyTorch AVX-512", "KT AMX"], rows,
+    )
+
+
+def _fig4() -> str:
+    rows = [(r.system, r.launches_per_token,
+             round(r.avg_launch_latency_us, 1),
+             round(r.launch_overhead_fraction * 100, 1))
+            for r in fig4_launch_overhead()]
+    return format_table(
+        ["system", "launches/token", "avg launch (us)", "overhead %"], rows,
+    )
+
+
+def _fig7() -> str:
+    data = fig7_kernel_crossover(tokens_sweep=(1, 4, 16, 256))
+    rows = []
+    for model, model_rows in data.items():
+        for m, amx, avx in model_rows:
+            rows.append((model, m, round(amx, 1), round(avx, 1),
+                         f"{avx / amx:.2f}x"))
+    return format_table(
+        ["model", "tokens/expert", "AMX (us)", "AVX (us)", "AVX/AMX"], rows,
+    )
+
+
+def _fig10() -> str:
+    rows = [(t.n_deferred, round(t.time_per_token_us / 1e3, 1),
+             round(t.cpu_utilization * 100), round(t.gpu_utilization * 100),
+             round(t.overlap_fraction * 100))
+            for t in fig10_deferral_timeline(n_tokens=4)]
+    return format_table(
+        ["deferred", "ms/token", "CPU %", "GPU %", "overlap %"], rows,
+    )
+
+
+def _fig11() -> str:
+    data = fig11_prefill(lengths=(32, 512, 2048, 8192))
+    rows = []
+    for model, model_rows in data.items():
+        for plen, fid, ll, kt in model_rows:
+            rows.append((model, plen, round(fid, 1), round(ll, 1),
+                         round(kt, 1)))
+    return format_table(
+        ["model", "prompt", "Fiddler", "llama.cpp", "KTransformers"], rows,
+    )
+
+
+def _fig12() -> str:
+    data = fig12_decode(n_tokens=6)
+    rows = [(m, round(t["fiddler"], 2), round(t["llamacpp"], 2),
+             round(t["ktransformers"], 2), round(t["kt_deferral"], 2))
+            for m, t in data.items()]
+    return format_table(
+        ["model", "Fiddler", "llama.cpp", "KT", "KT+deferral"], rows,
+    )
+
+
+def _fig14() -> str:
+    data = fig14_breakdown(prompt_len=2048, n_tokens=4)
+    rows = []
+    for model, steps in data.items():
+        for step in ABLATION_STEPS:
+            p, d = steps[step]
+            rows.append((model, step, f"{p:.2f}x", f"{d:.2f}x"))
+    return format_table(["model", "step", "prefill", "decode"], rows)
+
+
+_SECTIONS: list[tuple[str, Callable[[], str]]] = [
+    ("Table 1: evaluated models", _table1),
+    ("Figure 3: kernel throughput (TFLOPS, one socket)", _fig3),
+    ("Figure 4: kernel launch analysis (DS-3 decode)", _fig4),
+    ("Figure 7: AMX vs AVX-512 crossover", _fig7),
+    ("Figure 10: deferral timelines (DS-3 BF16)", _fig10),
+    ("Figure 11: prefill throughput (tokens/s, BF16 A100)", _fig11),
+    ("Figure 12: decode throughput (tokens/s, BF16 A100)", _fig12),
+    ("Figure 14: optimization breakdown (speedup vs Fiddler)", _fig14),
+]
+
+
+def generate_report(progress: Callable[[str], None] | None = None
+                    ) -> EvaluationReport:
+    """Run every throughput experiment and bundle the tables."""
+    report = EvaluationReport()
+    for title, build in _SECTIONS:
+        if progress is not None:
+            progress(title)
+        report.add(title, build())
+    report.add(
+        "Accuracy experiments",
+        "Table 2 and Figure 13 train tiny MoE models; run\n"
+        "  pytest benchmarks/test_table2_accuracy.py "
+        "benchmarks/test_fig13_deferral_vs_skipping.py --benchmark-only -s",
+    )
+    return report

@@ -1,0 +1,75 @@
+"""Synthetic workload generators (the Wikitext substitute).
+
+Throughput experiments only need prompt *lengths* and statistically
+realistic token streams; these generators provide both: Zipf-distributed
+token ids (natural-text-like frequencies) and a chat-style mixture of
+short interactive and long document-grounded requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def zipf_token_stream(n_tokens: int, vocab_size: int, alpha: float = 1.1,
+                      seed: int = 0) -> np.ndarray:
+    """Token ids with Zipfian frequencies (rank-frequency like real text).
+
+    Ranks are shuffled so frequent tokens are spread over the id space the
+    way a learned tokenizer's are.
+    """
+    if n_tokens <= 0 or vocab_size <= 1:
+        raise ConfigError("need positive tokens and vocab > 1")
+    if alpha <= 0:
+        raise ConfigError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = ranks ** -alpha
+    probs /= probs.sum()
+    perm = rng.permutation(vocab_size)
+    return perm[rng.choice(vocab_size, size=n_tokens, p=probs)]
+
+
+@dataclass(frozen=True)
+class ChatRequestSpec:
+    """Length profile of one synthetic chat request."""
+
+    prompt_tokens: int
+    generate_tokens: int
+
+
+def chat_workload_lengths(
+    n_requests: int,
+    seed: int = 0,
+    short_fraction: float = 0.7,
+) -> list[ChatRequestSpec]:
+    """Bimodal chat traffic: short interactive turns + long document tasks.
+
+    Short prompts: lognormal around ~60 tokens; long prompts: lognormal
+    around ~2500 tokens (RAG / long-context).  Generation lengths follow a
+    lognormal around ~180 tokens, clipped to [8, 1024].
+    """
+    if n_requests <= 0:
+        raise ConfigError("n_requests must be positive")
+    if not 0.0 <= short_fraction <= 1.0:
+        raise ConfigError("short_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    out = []
+    for __ in range(n_requests):
+        if rng.random() < short_fraction:
+            prompt = int(np.clip(rng.lognormal(4.1, 0.5), 8, 512))
+        else:
+            prompt = int(np.clip(rng.lognormal(7.8, 0.4), 512, 8192))
+        gen = int(np.clip(rng.lognormal(5.2, 0.6), 8, 1024))
+        out.append(ChatRequestSpec(prompt_tokens=prompt, generate_tokens=gen))
+    return out
+
+
+def expected_tokens(specs: list[ChatRequestSpec]) -> tuple[int, int]:
+    """Total (prompt, generated) token counts of a workload."""
+    return (sum(s.prompt_tokens for s in specs),
+            sum(s.generate_tokens for s in specs))

@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+    python -m repro simulate --model ds3 --system ktransformers --phase decode
+    python -m repro compare  --model ds3 --gpu a100
+    python -m repro plan     --model ds3 --gpu 4080
+    python -m repro trace    --model ds3 --out decode_trace.json
+    python -m repro demo
+
+All commands run offline: throughput numbers come from the calibrated
+simulator, the demo from the functional tiny model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .baselines import FIDDLER, LLAMACPP
+from .bench.reporting import format_table
+from .core import (
+    KTRANSFORMERS,
+    autotune_deferral,
+    decode_works,
+    heuristic_deferred_count,
+    run_decode,
+    run_prefill,
+)
+from .hw.spec import paper_testbed
+from .hw.units import GB
+from .model import MoETransformer, preset, tiny_config
+from .tensor import BF16, dtype as lookup_dtype
+
+SYSTEMS = {s.name: s for s in (FIDDLER, LLAMACPP, KTRANSFORMERS)}
+
+
+def _machine(args):
+    if getattr(args, "machine", None):
+        from .hw.custom import load_machine
+
+        return load_machine(args.machine)
+    return paper_testbed(args.gpu)
+
+
+def _dtype(args):
+    return lookup_dtype(args.dtype)
+
+
+def cmd_simulate(args) -> int:
+    """Run one system on one phase and print its throughput."""
+    system = SYSTEMS[args.system]
+    model = preset(args.model)
+    machine = _machine(args)
+    dt = _dtype(args)
+    if args.phase == "decode":
+        r = run_decode(system, model, machine, dt, n_tokens=args.tokens,
+                       n_deferred=args.defer)
+        print(f"{system.display_name} decode on {model.display_name}: "
+              f"{r.tokens_per_s:.2f} tokens/s "
+              f"(CPU {r.utilization('cpu'):.0%}, GPU {r.utilization('gpu'):.0%})")
+    else:
+        r = run_prefill(system, model, machine, dt, prompt_len=args.prompt_len)
+        print(f"{system.display_name} prefill on {model.display_name}: "
+              f"{r.tokens_per_s:.1f} tokens/s ({args.prompt_len}-token prompt)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare all systems on both phases for one model."""
+    model = preset(args.model)
+    machine = _machine(args)
+    dt = _dtype(args)
+    rows = []
+    for system in SYSTEMS.values():
+        dec = run_decode(system, model, machine, dt, n_tokens=args.tokens)
+        pre = run_prefill(system, model, machine, dt,
+                          prompt_len=args.prompt_len)
+        rows.append((system.display_name, pre.tokens_per_s, dec.tokens_per_s))
+    defer = run_decode(KTRANSFORMERS, model, machine, dt,
+                       n_tokens=args.tokens,
+                       n_deferred=model.deferred_experts_bf16)
+    rows.append(("KT + deferral", float("nan"), defer.tokens_per_s))
+    print(format_table(
+        ["system", f"prefill tok/s (@{args.prompt_len})", "decode tok/s"],
+        rows, title=f"{model.display_name} on {machine.name} ({dt.name})",
+    ))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Capacity-plan a deployment and autotune Expert Deferral."""
+    model = preset(args.model)
+    machine = _machine(args)
+    dt = BF16
+    gpu_bytes = model.gpu_params * dt.bytes_per_element
+    if gpu_bytes > machine.gpu.vram_capacity * 0.9:
+        dt = model.quant_dtype
+        print(f"BF16 exceeds VRAM; using {dt.name}.")
+    print(f"GPU weights : {model.gpu_params * dt.bytes_per_element / GB:.1f} GiB "
+          f"of {machine.gpu.vram_capacity / GB:.0f} GiB VRAM")
+    print(f"CPU experts : {model.cpu_dram_bytes(dt) / GB:.1f} GiB "
+          f"of {machine.total_dram_capacity / GB:.0f} GiB DRAM")
+    works = decode_works(KTRANSFORMERS, model, machine, dt, context_len=128)
+    heur = heuristic_deferred_count(works[-1], model.top_k)
+    tuned = autotune_deferral(works, machine, model.top_k, n_tokens=4)
+    print(f"Deferral    : heuristic {heur}, autotuned {tuned.n_deferred} "
+          f"-> {tuned.tokens_per_s:.2f} tokens/s decode")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export a decode timeline as Chrome-trace JSON."""
+    model = preset(args.model)
+    machine = _machine(args)
+    r = run_decode(KTRANSFORMERS, model, machine, _dtype(args),
+                   n_tokens=args.tokens, n_deferred=args.defer)
+    r.trace.save_chrome_trace(args.out)
+    print(f"Wrote {len(r.trace.intervals)} events to {args.out} "
+          f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Regenerate every throughput figure as text tables."""
+    from .bench.report import generate_report
+
+    report = generate_report(progress=lambda t: print(f"running: {t}..."))
+    print()
+    print(report.render())
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """Verify the cost models against the paper anchors."""
+    from .hw.calibration import format_calibration_report, run_calibration_check
+
+    results = run_calibration_check()
+    print(format_calibration_report(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_demo(args) -> int:
+    """Generate a few tokens with the functional tiny model."""
+    model = MoETransformer(tiny_config("tiny-ds"))
+    prompt = np.array([1, 2, 3, 4])
+    out = model.generate(prompt, max_new_tokens=args.tokens)
+    print(f"tiny-ds ({model.n_parameters():,} params) "
+          f"prompt={prompt.tolist()} -> {out.tolist()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KTransformers reproduction: CPU/GPU hybrid MoE inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--model", default="ds3", choices=["ds3", "ds2", "qw2"])
+        p.add_argument("--gpu", default="a100", choices=["a100", "4080"])
+        p.add_argument("--machine", default=None, metavar="YAML",
+                       help="custom machine spec file (overrides --gpu)")
+        p.add_argument("--dtype", default="bf16",
+                       choices=["bf16", "fp16", "int8", "int4"])
+
+    p = sub.add_parser("simulate", help="one system, one phase")
+    common(p)
+    p.add_argument("--system", default="ktransformers",
+                   choices=sorted(SYSTEMS))
+    p.add_argument("--phase", default="decode", choices=["decode", "prefill"])
+    p.add_argument("--tokens", type=int, default=8)
+    p.add_argument("--prompt-len", type=int, default=2048)
+    p.add_argument("--defer", type=int, default=0)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("compare", help="all systems, both phases")
+    common(p)
+    p.add_argument("--tokens", type=int, default=8)
+    p.add_argument("--prompt-len", type=int, default=2048)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("plan", help="capacity planning + deferral autotune")
+    common(p)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("trace", help="export a decode timeline (Chrome trace)")
+    common(p)
+    p.add_argument("--tokens", type=int, default=4)
+    p.add_argument("--defer", type=int, default=0)
+    p.add_argument("--out", default="decode_trace.json")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("report",
+                       help="regenerate all throughput figures as text")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("calibrate",
+                       help="verify cost models against the paper's anchors")
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("demo", help="generate with the functional tiny model")
+    p.add_argument("--tokens", type=int, default=8)
+    p.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Adaptive Expert Deferral (extension beyond the paper).
+
+The paper defers a *fixed* number of the lowest-score experts per layer
+(Section 4.2 tunes that number offline).  Its related-work section points
+at adaptive gating (NAEE, AdapMoE, Ada-K), which modulates expert usage per
+token based on routing confidence.  This module combines the two ideas:
+
+**Adaptive deferral** defers exactly the experts whose normalized gate
+weight falls below a threshold -- confident tokens (mass concentrated in a
+couple of experts) defer aggressively, uncertain tokens keep more experts
+immediate -- subject to the paper's floor of 2 immediate experts and a
+``max_deferred`` cap so the scheduler still has a worst-case bound.
+
+Because deferral (unlike skipping) preserves every expert's contribution,
+the adaptive variant trades scheduling slack against per-token behavioral
+change exactly like the fixed variant, but allocates the slack where the
+router says it is cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..model.moe_layer import MoEBlock
+from ..model.transformer import MoETransformer, _select_token
+from ..moe.router import RoutingResult
+from .deferral import MIN_IMMEDIATE_EXPERTS
+
+
+@dataclass(frozen=True)
+class AdaptiveDeferralConfig:
+    """Defer experts with gate weight below ``weight_threshold``."""
+
+    weight_threshold: float
+    max_deferred: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight_threshold < 1.0:
+            raise ConfigError("weight_threshold must be in [0, 1)")
+        if self.max_deferred < 0:
+            raise ConfigError("max_deferred must be >= 0")
+
+
+def adaptive_split(routing: RoutingResult, config: AdaptiveDeferralConfig
+                   ) -> tuple[RoutingResult, RoutingResult, int]:
+    """Split routing by weight threshold; returns (imm, def, n_deferred).
+
+    Slots are weight-sorted, so the deferred set is always a suffix.  The
+    per-token deferred count is the number of sub-threshold slots, clamped
+    by ``max_deferred`` and the >=2-immediate floor.  (Batch rows share the
+    most conservative count so the split stays a clean slot partition.)
+    """
+    k = routing.top_k
+    below = routing.weights < config.weight_threshold
+    # Per token: how many trailing slots fall below the threshold.
+    per_token = below[:, ::-1].cumprod(axis=1).sum(axis=1)
+    cap = min(config.max_deferred, max(k - MIN_IMMEDIATE_EXPERTS, 0))
+    n_deferred = int(min(per_token.min(initial=k), cap))
+
+    imm_w = routing.weights.copy()
+    def_w = routing.weights.copy()
+    split = k - n_deferred
+    imm_w[:, split:] = 0.0
+    def_w[:, :split] = 0.0
+    imm = RoutingResult(routing.indices, imm_w, routing.scores)
+    deferred = RoutingResult(routing.indices, def_w, routing.scores)
+    return imm, deferred, n_deferred
+
+
+class AdaptiveDeferralEngine:
+    """Decode with per-layer, router-driven deferral counts."""
+
+    def __init__(self, model: MoETransformer,
+                 config: AdaptiveDeferralConfig) -> None:
+        self.model = model
+        self.config = config
+        self.deferred_histogram: dict[int, int] = {}
+
+    def _record(self, n: int) -> None:
+        self.deferred_histogram[n] = self.deferred_histogram.get(n, 0) + 1
+
+    def _decode_step(self, token_ids: np.ndarray, caches: list,
+                     carried: dict[int, np.ndarray]) -> np.ndarray:
+        model = self.model
+        x = model.embed_tokens(np.atleast_1d(token_ids))
+        moe_layers = [i for i, l in enumerate(model.layers) if l.is_moe]
+        last_moe = moe_layers[-1]
+        prev_moe: Optional[int] = None
+
+        for idx, (layer, cache) in enumerate(zip(model.layers, caches)):
+            h = layer.attn_part(x, cache)
+            fin = layer.ffn_input(h)
+            if not layer.is_moe:
+                x = h + layer.mlp(fin)
+                continue
+            moe: MoEBlock = layer.mlp
+            routing = moe.route(fin)
+            contribution = moe.shared_forward(fin)
+            if prev_moe is not None and prev_moe in carried:
+                contribution = contribution + carried.pop(prev_moe)
+
+            if idx != last_moe:
+                imm, deferred, n = adaptive_split(routing, self.config)
+                self._record(n)
+                contribution = contribution + moe.routed_forward(fin, imm)
+                if n > 0:
+                    carried[idx] = moe.routed_forward(fin, deferred)
+            else:
+                contribution = contribution + moe.routed_forward(fin, routing)
+            x = h + contribution
+            prev_moe = idx
+        return model.lm_head(model.norm(x))
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        greedy: bool = True,
+        temperature: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        stop_token: Optional[int] = None,
+    ) -> np.ndarray:
+        """Standard prefill, adaptively-deferred decode."""
+        if max_new_tokens < 0:
+            raise ConfigError("max_new_tokens must be >= 0")
+        caches = self.model.new_caches()
+        logits = self.model.step(np.asarray(prompt), caches)
+        carried: dict[int, np.ndarray] = {}
+        sampler = rng or np.random.default_rng(0)
+        out = []
+        last = logits[-1]
+        for __ in range(max_new_tokens):
+            token = _select_token(last, greedy, temperature, sampler)
+            out.append(token)
+            if stop_token is not None and token == stop_token:
+                break
+            logits = self._decode_step(np.array([token]), caches, carried)
+            last = logits[-1]
+        return np.array(out, dtype=np.int64)
+
+    def mean_deferred(self) -> float:
+        """Average deferred count observed so far (scheduling slack)."""
+        total = sum(self.deferred_histogram.values())
+        if total == 0:
+            return 0.0
+        return sum(n * c for n, c in self.deferred_histogram.items()) / total

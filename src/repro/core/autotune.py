@@ -1,0 +1,96 @@
+"""Choosing the number of deferred experts (Section 4.2).
+
+The paper's heuristic: defer the **minimum** number of experts that
+saturates the CPU -- i.e. the deferred experts' CPU time must cover the GPU
+window (next layer's attention plus whatever shared-expert time is not
+already hidden under the immediate experts) -- while always keeping at
+least two immediate experts.
+
+Two implementations:
+
+- :func:`heuristic_deferred_count` applies the closed-form rule to one
+  layer's work profile (reproduces the paper's 3/4/2 BF16 and 6/4/4
+  quantized choices);
+- :func:`autotune_deferral` brute-forces the simulator over all legal
+  deferral counts and returns the smallest one within tolerance of the
+  best throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..hw.spec import MachineSpec
+from ..sched.cuda_graph import LaunchMode
+from ..sched.decode import DecodeScheduleConfig, simulate_decode
+from ..sched.workload import DecodeLayerWork
+from .deferral import MIN_IMMEDIATE_EXPERTS
+
+
+def heuristic_deferred_count(work: DecodeLayerWork, top_k: int) -> int:
+    """Smallest d whose deferred CPU time covers the exposed GPU window.
+
+    Per-expert CPU time is ``cpu_routed_us / top_k``.  With d deferred
+    experts, the GPU window that would otherwise stall the CPU is the next
+    layer's attention plus the part of the shared-expert kernel not hidden
+    under the immediate experts.  Returns 0 when even the full GPU window
+    is negligible (nothing to overlap).
+    """
+    if top_k < MIN_IMMEDIATE_EXPERTS:
+        raise ConfigError(f"top_k={top_k} below minimum immediate experts")
+    per_expert = work.cpu_routed_us / top_k
+    if per_expert <= 0:
+        return 0
+    max_deferred = top_k - MIN_IMMEDIATE_EXPERTS
+    for d in range(0, max_deferred + 1):
+        imm_time = per_expert * (top_k - d)
+        window = work.gpu_attn_us + max(0.0, work.gpu_shared_us - imm_time)
+        if per_expert * d >= window:
+            return d
+    return max_deferred
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Outcome of the simulation-driven search."""
+
+    n_deferred: int
+    tokens_per_s: float
+    all_throughputs: dict[int, float]
+
+
+def autotune_deferral(
+    works: list[DecodeLayerWork],
+    machine: MachineSpec,
+    top_k: int,
+    launch_mode: LaunchMode = LaunchMode.CUDA_GRAPH,
+    n_tokens: int = 8,
+    tolerance: float = 0.01,
+) -> AutotuneResult:
+    """Simulate every legal deferral count and pick the smallest near-best.
+
+    Preferring the smallest count within ``tolerance`` of the best
+    throughput follows the paper's accuracy-first tie-breaking (fewer
+    deferred experts means less behavioral change).
+    """
+    if not works:
+        raise ConfigError("autotune needs at least one layer of work")
+    max_deferred = top_k - MIN_IMMEDIATE_EXPERTS
+    throughputs: dict[int, float] = {}
+    for d in range(0, max_deferred + 1):
+        cfg = DecodeScheduleConfig(
+            launch_mode=launch_mode, overlap_cpu_gpu=True,
+            top_k=top_k, n_deferred=d,
+        )
+        sim = simulate_decode(works, cfg, machine, n_tokens)
+        throughputs[d] = n_tokens / (sim.now / 1e6)
+    best = max(throughputs.values())
+    chosen = min(
+        d for d, tps in throughputs.items() if tps >= best * (1.0 - tolerance)
+    )
+    return AutotuneResult(
+        n_deferred=chosen,
+        tokens_per_s=throughputs[chosen],
+        all_throughputs=throughputs,
+    )

@@ -1,0 +1,179 @@
+"""Expert Deferral: functional execution (Section 4).
+
+Deferral reorders MoE execution during decode: at layer k only the
+``n_immediate`` experts with the highest routing scores feed the next
+layer; the remaining ``n_deferred`` experts' outputs are *delayed* one MoE
+layer and added through the residual stream:
+
+    O_k = I_k + S_k(I_k) + R_{k-1}^def(I_{k-1}) + R_k^imm(I_k)   (1 < k < L)
+
+with no deferral at the last MoE layer (it computes all experts *and*
+absorbs the carried deferred output).  Prefill is never deferred
+(Section 4.1).  This module implements the mechanism exactly on the
+functional numpy transformer so its accuracy impact is measurable; the
+timing benefit is modeled separately by :mod:`repro.sched.decode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..model.moe_layer import MoEBlock
+from ..model.transformer import MoETransformer, _select_token
+from ..moe.router import RoutingResult
+
+MIN_IMMEDIATE_EXPERTS = 2  # Section 4.2 stability heuristic
+
+
+def split_routing(routing: RoutingResult, n_immediate: int
+                  ) -> tuple[RoutingResult, RoutingResult]:
+    """Split a routing decision into immediate and deferred parts by score.
+
+    Routing slots are already sorted by descending gate weight, so the
+    first ``n_immediate`` slots per token are the immediate experts.  The
+    two parts partition the full routed contribution exactly:
+    ``R_imm(x) + R_def(x) == R_all(x)``.
+    """
+    if not 0 <= n_immediate <= routing.top_k:
+        raise ConfigError(
+            f"n_immediate={n_immediate} out of range for top_k={routing.top_k}"
+        )
+    imm_w = routing.weights.copy()
+    imm_w[:, n_immediate:] = 0.0
+    def_w = routing.weights.copy()
+    def_w[:, :n_immediate] = 0.0
+    imm = RoutingResult(routing.indices, imm_w, routing.scores)
+    deferred = RoutingResult(routing.indices, def_w, routing.scores)
+    return imm, deferred
+
+
+@dataclass(frozen=True)
+class DeferralConfig:
+    """How many routed experts to defer per MoE layer during decode."""
+
+    n_deferred: int
+
+    def __post_init__(self) -> None:
+        if self.n_deferred < 0:
+            raise ConfigError("n_deferred must be >= 0")
+
+    def n_immediate(self, top_k: int) -> int:
+        imm = top_k - self.n_deferred
+        if self.n_deferred > 0 and imm < MIN_IMMEDIATE_EXPERTS:
+            raise ConfigError(
+                f"deferring {self.n_deferred} of {top_k} experts leaves "
+                f"{imm} immediate; at least {MIN_IMMEDIATE_EXPERTS} required"
+            )
+        return imm
+
+
+class DeferralEngine:
+    """Runs a :class:`MoETransformer` with Expert Deferral at decode time."""
+
+    def __init__(self, model: MoETransformer, config: DeferralConfig) -> None:
+        self.model = model
+        self.config = config
+        # Validate against the model's top_k eagerly.
+        config.n_immediate(model.config.top_k)
+
+    # -- internals ----------------------------------------------------------
+
+    def _moe_layers(self) -> list[int]:
+        return [i for i, layer in enumerate(self.model.layers) if layer.is_moe]
+
+    def _decode_step(self, token_ids: np.ndarray, caches: list,
+                     carried: dict[int, np.ndarray]) -> np.ndarray:
+        """One deferred decode step; ``carried`` maps layer index -> the
+        deferred contribution computed at that layer (consumed by the next
+        MoE layer)."""
+        model = self.model
+        x = model.embed_tokens(np.atleast_1d(token_ids))
+        moe_layers = self._moe_layers()
+        last_moe = moe_layers[-1]
+        prev_moe: Optional[int] = None
+
+        for idx, (layer, cache) in enumerate(zip(model.layers, caches)):
+            h = layer.attn_part(x, cache)
+            fin = layer.ffn_input(h)
+            if not layer.is_moe:
+                x = h + layer.mlp(fin)
+                continue
+            moe: MoEBlock = layer.mlp
+            routing = moe.route(fin)
+            contribution = moe.shared_forward(fin)
+            if prev_moe is not None and prev_moe in carried:
+                contribution = contribution + carried.pop(prev_moe)
+
+            if self.config.n_deferred > 0 and idx != last_moe:
+                n_imm = self.config.n_immediate(model.config.top_k)
+                imm_routing, def_routing = split_routing(routing, n_imm)
+                contribution = contribution + moe.routed_forward(fin, imm_routing)
+                carried[idx] = moe.routed_forward(fin, def_routing)
+            else:
+                contribution = contribution + moe.routed_forward(fin, routing)
+            x = h + contribution
+            prev_moe = idx
+        return model.lm_head(model.norm(x))
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        greedy: bool = True,
+        temperature: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        stop_token: Optional[int] = None,
+    ) -> np.ndarray:
+        """Prefill normally, then decode with Expert Deferral.
+
+        Matches :meth:`MoETransformer.generate`'s interface so evaluation
+        harnesses can swap engines transparently.
+        """
+        if max_new_tokens < 0:
+            raise ConfigError("max_new_tokens must be >= 0")
+        caches = self.model.new_caches()
+        # Prefill: standard execution (deferral is decode-only).
+        logits = self.model.step(np.asarray(prompt), caches)
+        carried: dict[int, np.ndarray] = {}
+        sampler = rng or np.random.default_rng(0)
+        out = []
+        last = logits[-1]
+        for __ in range(max_new_tokens):
+            token = _select_token(last, greedy, temperature, sampler)
+            out.append(token)
+            if stop_token is not None and token == stop_token:
+                break
+            logits = self._decode_step(np.array([token]), caches, carried)
+            last = logits[-1]
+        return np.array(out, dtype=np.int64)
+
+    def decode_logits(self, prompt: np.ndarray, n_steps: int,
+                      forced_tokens: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-step decode logits under this engine's execution.
+
+        Without ``forced_tokens`` the model feeds on its own greedy picks
+        (free-running, used by fidelity metrics).  With ``forced_tokens``
+        the given sequence is fed instead (teacher forcing, used by
+        NLL/perplexity metrics); ``n_steps`` is ignored in that case.
+        """
+        if forced_tokens is not None:
+            forced_tokens = np.asarray(forced_tokens)
+            n_steps = len(forced_tokens)
+        caches = self.model.new_caches()
+        logits = self.model.step(np.asarray(prompt), caches)
+        carried: dict[int, np.ndarray] = {}
+        rows = []
+        last = logits[-1]
+        for i in range(n_steps):
+            rows.append(last)
+            token = (int(forced_tokens[i]) if forced_tokens is not None
+                     else int(np.argmax(last)))
+            logits = self._decode_step(np.array([token]), caches, carried)
+            last = logits[-1]
+        return np.stack(rows)

@@ -1,0 +1,200 @@
+"""End-to-end throughput engine: lower a model onto a machine and measure.
+
+`KTRANSFORMERS` is the system profile of this paper (hybrid AMX/AVX-512
+kernels, one CUDA graph per step, NUMA-aware tensor parallelism, async
+CPU-GPU overlap).  ``run_prefill`` / ``run_decode`` execute any
+:class:`~repro.baselines.base.SystemProfile` on any Table 1 preset and
+machine, returning throughput plus the full execution trace -- every
+figure in Section 6 is produced through these two entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.base import SystemProfile
+from ..errors import ConfigError
+from ..hw.event_sim import Simulator
+from ..hw.roofline import KT_AMX, KT_AVX512
+from ..hw.spec import MachineSpec
+from ..hw.trace import Trace
+from ..hw.units import tokens_per_second
+from ..model.presets import ModelPreset
+from ..moe.numa import NumaStrategy
+from ..sched.cuda_graph import LaunchMode
+from ..sched.decode import DecodeScheduleConfig, simulate_decode
+from ..sched.prefill import simulate_prefill
+from ..sched.workload import (
+    DecodeLayerWork,
+    PrefillLayerWork,
+    decode_layer_work,
+    prefill_layer_work,
+)
+from ..tensor.dtypes import BF16, DType
+
+KTRANSFORMERS = SystemProfile(
+    name="ktransformers",
+    display_name="KTransformers",
+    prefill_kernel=KT_AMX,
+    decode_kernel=KT_AVX512,
+    launch_mode=LaunchMode.CUDA_GRAPH,
+    numa_strategy=NumaStrategy.TENSOR_PARALLEL,
+    overlap_cpu_gpu=True,
+    dynamic_scheduling=True,
+    decode_kernels_per_layer=45,
+    prefill_kernels_per_layer=45,
+)
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one simulated prefill or decode run."""
+
+    system: str
+    model: str
+    phase: str
+    tokens: int
+    elapsed_us: float
+    trace: Trace
+
+    @property
+    def tokens_per_s(self) -> float:
+        return tokens_per_second(self.tokens, self.elapsed_us)
+
+    def utilization(self, resource: str) -> float:
+        return self.trace.utilization(resource)
+
+
+def _supported_kernel(kernel, system: SystemProfile, machine: MachineSpec):
+    """Fall back to the (AVX-512) decode kernel on CPUs without AMX."""
+    if kernel.uses_amx and not machine.cpu.has_amx:
+        return system.decode_kernel
+    return kernel
+
+
+def _dense_decode_work(moe_work: DecodeLayerWork) -> DecodeLayerWork:
+    """A dense (non-MoE) layer: GPU-only, no routed experts."""
+    return DecodeLayerWork(
+        gpu_attn_us=moe_work.gpu_attn_us,
+        gpu_shared_us=0.0,
+        cpu_routed_us=0.0,
+        transfer_bytes=0.0,
+        n_gpu_kernels=moe_work.n_gpu_kernels,
+    )
+
+
+def decode_works(
+    system: SystemProfile,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    context_len: int,
+    batch_size: int = 1,
+) -> list[DecodeLayerWork]:
+    """Per-layer decode work: dense layers first, then MoE layers."""
+    # ARI-aware dispatch also applies to batched decode: large batches push
+    # per-expert token counts past the AVX-512/AMX crossover.
+    tokens_per_expert = batch_size * preset.top_k / preset.n_experts
+    kernel = (system.decode_kernel if tokens_per_expert <= 4
+              else system.prefill_kernel)
+    kernel = _supported_kernel(kernel, system, machine)
+    moe = decode_layer_work(
+        preset, machine, dtype, context_len,
+        cpu_profile=kernel,
+        numa_strategy=system.numa_strategy,
+        kernels_per_layer=system.decode_kernels_per_layer,
+        batch_size=batch_size,
+    )
+    dense = _dense_decode_work(moe)
+    return [dense] * preset.n_dense_layers + [moe] * preset.n_moe_layers
+
+
+def run_decode(
+    system: SystemProfile,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType = BF16,
+    n_tokens: int = 32,
+    context_len: int = 32,
+    n_deferred: int | None = None,
+    batch_size: int = 1,
+) -> ThroughputResult:
+    """Simulate decoding ``n_tokens`` steps of ``batch_size`` sequences.
+
+    ``n_deferred`` enables Expert Deferral (None or 0 disables it; the
+    paper's per-model defaults live on the preset).  Reported throughput
+    counts ``n_tokens * batch_size`` generated tokens.
+    """
+    works = decode_works(system, preset, machine, dtype, context_len,
+                         batch_size=batch_size)
+    config = DecodeScheduleConfig(
+        launch_mode=system.launch_mode,
+        overlap_cpu_gpu=system.overlap_cpu_gpu,
+        top_k=preset.top_k,
+        n_deferred=n_deferred or 0,
+    )
+    sim = simulate_decode(works, config, machine, n_tokens)
+    return _result(system, preset, "decode", n_tokens * batch_size, sim)
+
+
+def run_prefill(
+    system: SystemProfile,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType = BF16,
+    prompt_len: int = 1024,
+    chunk_tokens: int = 2048,
+    seed: int = 0,
+) -> ThroughputResult:
+    """Simulate prefilling a ``prompt_len``-token prompt in chunks."""
+    if prompt_len <= 0:
+        raise ConfigError("prompt_len must be positive")
+    chunks: list[int] = []
+    remaining = prompt_len
+    while remaining > 0:
+        take = min(chunk_tokens, remaining)
+        chunks.append(take)
+        remaining -= take
+
+    works_per_chunk: list[list[PrefillLayerWork]] = []
+    for i, size in enumerate(chunks):
+        # ARI-aware dispatch (Section 3.2): short chunks route so few
+        # tokens to each expert that the low-latency decode kernel wins.
+        tokens_per_expert = size * preset.top_k / preset.n_experts
+        kernel = (system.decode_kernel if tokens_per_expert <= 4
+                  else system.prefill_kernel)
+        kernel = _supported_kernel(kernel, system, machine)
+        moe = prefill_layer_work(
+            preset, machine, dtype, size,
+            cpu_profile=kernel,
+            numa_strategy=system.numa_strategy,
+            kernels_per_layer=system.prefill_kernels_per_layer,
+            dynamic_scheduling=system.dynamic_scheduling,
+            seed=seed + i,
+        )
+        dense = PrefillLayerWork(
+            gpu_attn_us=moe.gpu_attn_us,
+            gpu_shared_us=0.0,
+            cpu_routed_us=0.0,
+            transfer_bytes=0.0,
+            n_gpu_kernels=moe.n_gpu_kernels,
+        )
+        works_per_chunk.append(
+            [dense] * preset.n_dense_layers + [moe] * preset.n_moe_layers
+        )
+
+    sim = simulate_prefill(works_per_chunk, system.launch_mode, machine,
+                           system.overlap_cpu_gpu)
+    return _result(system, preset, "prefill", prompt_len, sim)
+
+
+def _result(system: SystemProfile, preset: ModelPreset, phase: str,
+            tokens: int, sim: Simulator) -> ThroughputResult:
+    return ThroughputResult(
+        system=system.name,
+        model=preset.name,
+        phase=phase,
+        tokens=tokens,
+        elapsed_us=sim.now,
+        trace=Trace.from_simulator(sim),
+    )

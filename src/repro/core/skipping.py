@@ -1,0 +1,112 @@
+"""Expert Skipping baseline (Section 6.3, Figure 13).
+
+The straightforward alternative to deferral: simply *discard* the experts
+with the lowest routing scores instead of delaying them.  It yields a
+similar speedup (the skipped work disappears) but loses their contribution
+entirely -- the paper measures a 13.3% average accuracy drop at 6 affected
+experts versus 0.5% for deferral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..model.transformer import MoETransformer, _select_token
+from .deferral import MIN_IMMEDIATE_EXPERTS, split_routing
+
+
+@dataclass(frozen=True)
+class SkippingConfig:
+    """How many lowest-score routed experts to drop per MoE layer."""
+
+    n_skipped: int
+
+    def __post_init__(self) -> None:
+        if self.n_skipped < 0:
+            raise ConfigError("n_skipped must be >= 0")
+
+    def n_kept(self, top_k: int) -> int:
+        kept = top_k - self.n_skipped
+        if self.n_skipped > 0 and kept < MIN_IMMEDIATE_EXPERTS:
+            raise ConfigError(
+                f"skipping {self.n_skipped} of {top_k} experts leaves {kept}; "
+                f"at least {MIN_IMMEDIATE_EXPERTS} required"
+            )
+        return kept
+
+
+class SkippingEngine:
+    """Runs a :class:`MoETransformer`, dropping low-score experts at decode."""
+
+    def __init__(self, model: MoETransformer, config: SkippingConfig) -> None:
+        self.model = model
+        self.config = config
+        config.n_kept(model.config.top_k)
+
+    def _decode_step(self, token_ids: np.ndarray, caches: list) -> np.ndarray:
+        model = self.model
+        x = model.embed_tokens(np.atleast_1d(token_ids))
+        for layer, cache in zip(model.layers, caches):
+            h = layer.attn_part(x, cache)
+            fin = layer.ffn_input(h)
+            if not layer.is_moe:
+                x = h + layer.mlp(fin)
+                continue
+            moe = layer.mlp
+            routing = moe.route(fin)
+            if self.config.n_skipped > 0:
+                kept, __ = split_routing(
+                    routing, self.config.n_kept(model.config.top_k)
+                )
+            else:
+                kept = routing
+            x = h + moe.shared_forward(fin) + moe.routed_forward(fin, kept)
+        return model.lm_head(model.norm(x))
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        greedy: bool = True,
+        temperature: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        stop_token: Optional[int] = None,
+    ) -> np.ndarray:
+        """Prefill normally, then decode with Expert Skipping."""
+        if max_new_tokens < 0:
+            raise ConfigError("max_new_tokens must be >= 0")
+        caches = self.model.new_caches()
+        logits = self.model.step(np.asarray(prompt), caches)
+        sampler = rng or np.random.default_rng(0)
+        out = []
+        last = logits[-1]
+        for __ in range(max_new_tokens):
+            token = _select_token(last, greedy, temperature, sampler)
+            out.append(token)
+            if stop_token is not None and token == stop_token:
+                break
+            logits = self._decode_step(np.array([token]), caches)
+            last = logits[-1]
+        return np.array(out, dtype=np.int64)
+
+    def decode_logits(self, prompt: np.ndarray, n_steps: int,
+                      forced_tokens: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-step decode logits (see DeferralEngine.decode_logits)."""
+        if forced_tokens is not None:
+            forced_tokens = np.asarray(forced_tokens)
+            n_steps = len(forced_tokens)
+        caches = self.model.new_caches()
+        logits = self.model.step(np.asarray(prompt), caches)
+        rows = []
+        last = logits[-1]
+        for i in range(n_steps):
+            rows.append(last)
+            token = (int(forced_tokens[i]) if forced_tokens is not None
+                     else int(np.argmax(last)))
+            logits = self._decode_step(np.array([token]), caches)
+            last = logits[-1]
+        return np.stack(rows)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid model, hardware, or engine configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A task graph or scheduler invariant was violated."""
+
+
+class KernelError(ReproError):
+    """A compute kernel was invoked with incompatible shapes or layouts."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters or payloads are malformed."""
+
+
+class LayoutError(ReproError):
+    """A tensor does not satisfy the tile-layout contract."""
+
+
+class InjectionError(ReproError):
+    """A module-injection rule failed to parse or apply."""
+
+
+class GraphCaptureError(ReproError):
+    """CUDA-graph capture was used incorrectly (e.g. nested capture)."""
+
+
+class AutogradError(ReproError):
+    """An autograd graph operation failed (shape mismatch, double backward...)."""

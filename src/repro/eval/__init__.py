@@ -1,0 +1,19 @@
+"""Accuracy evaluation: fidelity metrics and the trained-task harness."""
+
+from .fidelity import mean_kl, relative_accuracy_change, top1_agreement
+from .perplexity import answer_nll, corpus_nll, perplexity
+from .harness import (
+    TrainedTask,
+    accuracy_row,
+    deferral_vs_skipping_grid,
+    engine_for,
+    exact_match,
+    trained_task,
+)
+
+__all__ = [
+    "mean_kl", "relative_accuracy_change", "top1_agreement",
+    "answer_nll", "corpus_nll", "perplexity",
+    "TrainedTask", "accuracy_row", "deferral_vs_skipping_grid",
+    "engine_for", "exact_match", "trained_task",
+]

@@ -1,0 +1,45 @@
+"""Output-fidelity metrics between execution engines.
+
+Used alongside task accuracy to quantify how far deferral/skipping moves a
+model's next-token distributions from the unmodified execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    e = np.exp(x - x.max(axis=-1, keepdims=True))
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _check(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ConfigError(f"logit arrays must match (steps, vocab): {a.shape} vs {b.shape}")
+    return a, b
+
+
+def top1_agreement(logits_a: np.ndarray, logits_b: np.ndarray) -> float:
+    """Fraction of decode steps where both engines pick the same token."""
+    a, b = _check(logits_a, logits_b)
+    return float((a.argmax(axis=-1) == b.argmax(axis=-1)).mean())
+
+
+def mean_kl(logits_a: np.ndarray, logits_b: np.ndarray) -> float:
+    """Mean KL(P_a || P_b) over decode steps (nats)."""
+    a, b = _check(logits_a, logits_b)
+    pa = _softmax(a)
+    pb = np.maximum(_softmax(b), 1e-12)
+    return float((pa * (np.log(np.maximum(pa, 1e-12)) - np.log(pb))).sum(-1).mean())
+
+
+def relative_accuracy_change(baseline: float, modified: float) -> float:
+    """Percentage change in accuracy relative to the baseline (Figure 13)."""
+    if baseline <= 0:
+        raise ConfigError("baseline accuracy must be positive")
+    return (modified - baseline) / baseline * 100.0

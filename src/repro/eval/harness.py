@@ -1,0 +1,128 @@
+"""Accuracy-evaluation harness: Table 2 and Figure 13 reproductions.
+
+The harness trains tiny MoE models on the synthetic task suite, deploys
+them to the inference stack, and measures exact-match accuracy under
+standard execution, Expert Deferral, and Expert Skipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from ..core.deferral import DeferralConfig, DeferralEngine
+from ..core.skipping import SkippingConfig, SkippingEngine
+from ..errors import ConfigError
+from ..model.presets import tiny_config
+from ..model.transformer import MoETransformer
+from ..train.tasks import Example, default_suite
+from ..train.trainer import TrainConfig, train_for_task
+
+
+def exact_match(engine, examples: list[Example]) -> float:
+    """Fraction of examples whose full answer is generated exactly.
+
+    ``engine`` is anything with ``generate(prompt, max_new_tokens, greedy)``
+    -- the plain model, a DeferralEngine, or a SkippingEngine.
+    """
+    if not examples:
+        raise ConfigError("no evaluation examples")
+    hits = 0
+    for ex in examples:
+        out = engine.generate(ex.prompt, max_new_tokens=len(ex.target))
+        if np.array_equal(out, ex.target):
+            hits += 1
+    return hits / len(examples)
+
+
+def engine_for(model: MoETransformer, mode: str, n_affected: int):
+    """Build an execution engine: ``standard`` / ``deferral`` / ``skipping``."""
+    if mode == "standard":
+        return model
+    if mode == "deferral":
+        return DeferralEngine(model, DeferralConfig(n_affected))
+    if mode == "skipping":
+        return SkippingEngine(model, SkippingConfig(n_affected))
+    raise ConfigError(f"unknown execution mode {mode!r}")
+
+
+@dataclass
+class TrainedTask:
+    """A trained model plus its held-out test split."""
+
+    task_name: str
+    model: MoETransformer
+    test: list[Example]
+    final_loss: float
+
+
+@lru_cache(maxsize=16)
+def _trained_task_cached(config_name: str, task_name: str, steps: int,
+                         n_train: int, top_k: int, seed: int,
+                         n_shared_experts: int, n_layers: int,
+                         router_entropy_coef: float, lr: float) -> TrainedTask:
+    suite = default_suite()
+    task = suite[task_name]
+    cfg = tiny_config(config_name, top_k=top_k, seed=seed,
+                      n_shared_experts=n_shared_experts, n_layers=n_layers)
+    model, report, test = train_for_task(
+        cfg, task, n_train=n_train,
+        train_config=TrainConfig(steps=steps, seed=seed, lr=lr,
+                                 router_entropy_coef=router_entropy_coef),
+    )
+    return TrainedTask(task_name, model, test, report.final_loss)
+
+
+def trained_task(task_name: str, config_name: str = "tiny-qw",
+                 steps: int = 400, n_train: int = 256, top_k: int = 6,
+                 seed: int = 0, n_shared_experts: int = 1, n_layers: int = 2,
+                 router_entropy_coef: float = 0.0,
+                 lr: float = 3e-3) -> TrainedTask:
+    """Train (or fetch a cached) model for one task.
+
+    ``top_k=6`` matches DS-2's routing and leaves room for the Figure 13
+    sweep over up to 4 affected experts (>= 2 immediate must remain).
+    ``router_entropy_coef > 0`` spreads gate weights across the selected
+    experts (production-style load balancing), which makes the expert tail
+    carry real signal -- required for the skipping-degradation experiments.
+    """
+    return _trained_task_cached(config_name, task_name, steps, n_train,
+                                top_k, seed, n_shared_experts, n_layers,
+                                router_entropy_coef, lr)
+
+
+def accuracy_row(tt: TrainedTask, modes: list[tuple[str, int]]
+                 ) -> dict[str, float]:
+    """Exact-match accuracy of one trained model under several engines.
+
+    ``modes`` is a list of (mode, n_affected) pairs; keys in the result are
+    ``mode@n`` (``standard`` has no suffix).
+    """
+    out: dict[str, float] = {}
+    for mode, n in modes:
+        key = "standard" if mode == "standard" else f"{mode}@{n}"
+        out[key] = exact_match(engine_for(tt.model, mode, n), tt.test)
+    return out
+
+
+def deferral_vs_skipping_grid(
+    tt: TrainedTask,
+    affected_counts: list[int],
+) -> dict[str, dict[int, float]]:
+    """Figure 13 grid: relative accuracy change (%) per mechanism and count."""
+    from .fidelity import relative_accuracy_change
+
+    base = exact_match(tt.model, tt.test)
+    if base == 0:
+        raise ConfigError(
+            f"model failed to learn task {tt.task_name!r}; cannot normalize"
+        )
+    grid: dict[str, dict[int, float]] = {"deferral": {}, "skipping": {}}
+    for n in affected_counts:
+        for mode in ("deferral", "skipping"):
+            acc = exact_match(engine_for(tt.model, mode, n), tt.test)
+            grid[mode][n] = relative_accuracy_change(base, acc)
+    return grid

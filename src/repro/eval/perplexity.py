@@ -1,0 +1,58 @@
+"""Teacher-forced NLL / perplexity metrics (WikiText-style quality).
+
+Exact match is coarse; the negative log-likelihood a model assigns to the
+*correct* answer tokens under each execution engine is a continuous
+quality signal -- the language-model analogue of the WikiText perplexity
+the paper's throughput experiments prompt with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..train.tasks import Example
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+def answer_nll(engine, example: Example) -> float:
+    """Mean NLL (nats/token) of the example's answer under the engine.
+
+    The first answer token is scored from the prefill logits; subsequent
+    tokens are teacher-forced through the engine's decode path -- i.e. the
+    only path deferral/skipping modify, so the metric isolates their
+    effect.  ``engine`` must expose
+    ``decode_logits(prompt, n_steps, forced_tokens=...)``.
+    """
+    target = np.asarray(example.target)
+    if target.size == 0:
+        raise ConfigError("example has an empty answer")
+    logits = engine.decode_logits(example.prompt, n_steps=0,
+                                  forced_tokens=target)
+    logp = _log_softmax(logits.astype(np.float64))
+    picked = logp[np.arange(len(target)), target]
+    return float(-picked.mean())
+
+
+def corpus_nll(engine, examples: list[Example]) -> float:
+    """Token-weighted mean answer NLL over a test split."""
+    if not examples:
+        raise ConfigError("no evaluation examples")
+    total = 0.0
+    tokens = 0
+    for ex in examples:
+        n = len(ex.target)
+        total += answer_nll(engine, ex) * n
+        tokens += n
+    return total / tokens
+
+
+def perplexity(nll_nats: float) -> float:
+    """exp(NLL): the effective branching factor of the answer tokens."""
+    if nll_nats < 0:
+        raise ConfigError("NLL must be non-negative")
+    return float(np.exp(nll_nats))

@@ -1,0 +1,103 @@
+"""Calibration self-check: recompute every paper anchor and report drift.
+
+The cost models in :mod:`repro.hw.roofline` are calibrated against numbers
+the paper publishes.  This module re-derives each anchor from the current
+constants and reports relative drift, so any future retuning immediately
+shows which published numbers it moves.  Used by tests and by
+``python -m repro calibrate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..tensor.dtypes import BF16
+from .roofline import (
+    KT_AMX,
+    KT_AVX512,
+    TORCH_AMX,
+    TORCH_AVX512,
+    cpu_gemm_achieved_tflops,
+    cpu_gemm_time_us,
+)
+from .spec import XEON_8452Y
+
+# DeepSeek-V3 expert GEMM shape used throughout the paper's microbenchmarks.
+_K, _N = 7168, 4096
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One published number and how to recompute it."""
+
+    name: str
+    paper_value: float
+    tolerance: float                   # allowed relative drift
+    compute: Callable[[], float]
+
+    def check(self) -> "AnchorResult":
+        measured = self.compute()
+        drift = abs(measured - self.paper_value) / abs(self.paper_value)
+        return AnchorResult(self, measured, drift, drift <= self.tolerance)
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    anchor: Anchor
+    measured: float
+    drift: float
+    ok: bool
+
+
+def _tflops(profile, m):
+    return cpu_gemm_achieved_tflops(profile, m, _K, _N, BF16, XEON_8452Y)
+
+
+def _ratio_avx_over_amx(m):
+    amx = cpu_gemm_time_us(KT_AMX, m, _K, _N, BF16, XEON_8452Y)
+    avx = cpu_gemm_time_us(KT_AVX512, m, _K, _N, BF16, XEON_8452Y)
+    return avx / amx
+
+
+def paper_anchors() -> list[Anchor]:
+    """Every microbenchmark anchor the cost models are calibrated against."""
+    return [
+        Anchor("KT AMX saturated TFLOPS (Fig. 3)", 21.3, 0.10,
+               lambda: _tflops(KT_AMX, 4096)),
+        Anchor("PyTorch AMX saturated TFLOPS (Fig. 3)", 5.4, 0.10,
+               lambda: _tflops(TORCH_AMX, 4096)),
+        Anchor("PyTorch AVX-512 saturated TFLOPS (Fig. 3)", 1.8, 0.10,
+               lambda: _tflops(TORCH_AVX512, 4096)),
+        Anchor("KT AMX / PyTorch AMX speedup (Fig. 3)", 3.98, 0.15,
+               lambda: _tflops(KT_AMX, 2048) / _tflops(TORCH_AMX, 2048)),
+        Anchor("AMX/AVX prefill advantage (Sec. 3.2, 10.81x)", 10.81, 0.25,
+               lambda: _ratio_avx_over_amx(2048)),
+        Anchor("AVX decode advantage at 1 token (Sec. 3.2, ~1.2x)", 1.20, 0.15,
+               lambda: 1.0 / _ratio_avx_over_amx(1)),
+        Anchor("AMX theoretical peak utilization (Sec. 2.2, 7%)", 0.07, 0.12,
+               lambda: _tflops(TORCH_AMX, 4096) / 73.7),
+    ]
+
+
+def run_calibration_check() -> list[AnchorResult]:
+    """Evaluate all anchors; results carry measured values and drift."""
+    return [a.check() for a in paper_anchors()]
+
+
+def format_calibration_report(results: list[AnchorResult]) -> str:
+    """Human-readable pass/drift summary of the anchor checks."""
+    lines = ["Calibration check vs paper anchors:"]
+    width = max(len(r.anchor.name) for r in results)
+    for r in results:
+        status = "ok " if r.ok else "DRIFTED"
+        lines.append(
+            f"  [{status}] {r.anchor.name:<{width}}  paper "
+            f"{r.anchor.paper_value:>7.3f}  measured {r.measured:>7.3f}  "
+            f"drift {r.drift * 100:5.1f}% (tol {r.anchor.tolerance * 100:.0f}%)"
+        )
+    n_bad = sum(1 for r in results if not r.ok)
+    lines.append(
+        f"  {len(results) - n_bad}/{len(results)} anchors within tolerance"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Discrete-event simulator for heterogeneous hardware.
+
+This is the execution substrate for every performance experiment in the
+reproduction.  The simulator models *time only*: each :class:`Task` occupies
+one slot of a :class:`Resource` (a GPU stream, a CPU socket's thread pool, a
+PCIe link, the host launch thread...) for a precomputed duration.  Durations
+come from the roofline cost models in :mod:`repro.hw.roofline`.
+
+Key properties:
+
+- tasks form a DAG: a task becomes *ready* only when all dependencies finish;
+- resources have integer capacity and FIFO-with-priority queues;
+- completion callbacks may create new tasks, enabling reactive schedulers
+  (the asynchronous CPU-GPU scheduler and the dynamic MoE work queue both
+  rely on this);
+- every task's `(resource, start, end)` triple is recorded, giving exact
+  utilization and overlap accounting for the timeline figures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Optional
+
+from ..errors import SimulationError
+
+
+class TaskState(Enum):
+    PENDING = "pending"      # waiting on dependencies
+    QUEUED = "queued"        # ready, waiting for a resource slot
+    RUNNING = "running"
+    DONE = "done"
+
+
+class Task:
+    """A unit of simulated work bound to one resource.
+
+    ``duration`` is in microseconds.  ``deps`` are tasks that must complete
+    before this one may start queuing.  ``on_complete`` callbacks fire at the
+    task's end time and may submit further tasks.
+    """
+
+    __slots__ = (
+        "name", "resource", "duration", "priority", "meta",
+        "state", "start_time", "end_time",
+        "_remaining_deps", "_dependents", "_on_complete",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        resource: "Resource",
+        duration: float,
+        priority: int = 0,
+        meta: Optional[dict] = None,
+    ) -> None:
+        if duration < 0:
+            raise SimulationError(f"task {name!r} has negative duration {duration}")
+        self.name = name
+        self.resource = resource
+        self.duration = float(duration)
+        self.priority = priority
+        self.meta = meta or {}
+        self.state = TaskState.PENDING
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self._remaining_deps = 0
+        self._dependents: list[Task] = []
+        self._on_complete: list[Callable[[Task], None]] = []
+
+    def on_complete(self, fn: Callable[["Task"], None]) -> "Task":
+        """Register a callback invoked (at simulated end time) on completion."""
+        if self.state is TaskState.DONE:
+            raise SimulationError(f"task {self.name!r} already completed")
+        self._on_complete.append(fn)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task({self.name!r}, res={self.resource.name!r}, "
+            f"dur={self.duration:.2f}us, state={self.state.value})"
+        )
+
+
+class Resource:
+    """A capacity-limited execution resource (device queue, link, thread pool)."""
+
+    def __init__(self, sim: "Simulator", name: str, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource {name!r} needs positive capacity")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_flight = 0
+        self._queue: list[tuple[int, int, Task]] = []  # (priority, seq, task)
+        self._seq = itertools.count()
+        self.busy_time = 0.0  # accumulated task-occupancy (us * slots)
+
+    def _enqueue(self, task: Task) -> None:
+        task.state = TaskState.QUEUED
+        heapq.heappush(self._queue, (task.priority, next(self._seq), task))
+        # Defer dispatch to the event loop so that all tasks becoming ready
+        # at the same instant enter the queue before any slot is assigned --
+        # otherwise priorities would be ignored among same-time arrivals.
+        self.sim.after(0.0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        while self._in_flight < self.capacity and self._queue:
+            __, __, task = heapq.heappop(self._queue)
+            self._start(task)
+
+    def _start(self, task: Task) -> None:
+        self._in_flight += 1
+        task.state = TaskState.RUNNING
+        task.start_time = self.sim.now
+        self.sim.after(task.duration, lambda: self._finish(task))
+
+    def _finish(self, task: Task) -> None:
+        task.state = TaskState.DONE
+        task.end_time = self.sim.now
+        self.busy_time += task.duration
+        self._in_flight -= 1
+        for dep in task._dependents:
+            dep._remaining_deps -= 1
+            if dep._remaining_deps == 0 and dep.state is TaskState.PENDING:
+                dep.resource._enqueue(dep)
+        for fn in task._on_complete:
+            fn(task)
+        self._dispatch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.name!r}, cap={self.capacity})"
+
+
+class Simulator:
+    """Event loop: a priority queue of timed callbacks plus task bookkeeping."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.all_tasks: list[Task] = []
+        self._resources: dict[str, Resource] = {}
+
+    # -- resources ----------------------------------------------------------
+
+    def resource(self, name: str, capacity: int = 1) -> Resource:
+        """Create (or fetch) a named resource."""
+        if name in self._resources:
+            existing = self._resources[name]
+            if existing.capacity != capacity:
+                raise SimulationError(
+                    f"resource {name!r} already exists with capacity "
+                    f"{existing.capacity}, requested {capacity}"
+                )
+            return existing
+        res = Resource(self, name, capacity)
+        self._resources[name] = res
+        return res
+
+    @property
+    def resources(self) -> dict[str, Resource]:
+        return dict(self._resources)
+
+    # -- events -------------------------------------------------------------
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < now={self.now})"
+            )
+        heapq.heappush(self._events, (time, next(self._seq), fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.at(self.now + delay, fn)
+
+    # -- tasks --------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        resource: Resource,
+        duration: float,
+        deps: Iterable[Task] = (),
+        priority: int = 0,
+        meta: Optional[dict] = None,
+    ) -> Task:
+        """Create a task and wire its dependencies.
+
+        The task queues on its resource as soon as all ``deps`` are done
+        (immediately if they already are, or if there are none).
+        """
+        task = Task(name, resource, duration, priority=priority, meta=meta)
+        self.all_tasks.append(task)
+        pending = [d for d in deps if d.state is not TaskState.DONE]
+        task._remaining_deps = len(pending)
+        for dep in pending:
+            dep._dependents.append(task)
+        if task._remaining_deps == 0:
+            # Defer enqueue to the event loop so that submission order inside
+            # a callback does not depend on Python evaluation order.
+            self.after(0.0, lambda: self._enqueue_if_pending(task))
+        return task
+
+    def _enqueue_if_pending(self, task: Task) -> None:
+        if task.state is TaskState.PENDING:
+            task.resource._enqueue(task)
+
+    @property
+    def completed_tasks(self) -> list[Task]:
+        """All tasks that have finished executing, in submission order."""
+        return [t for t in self.all_tasks if t.state is TaskState.DONE]
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains (or simulated ``until``).
+
+        Returns the final simulated time.
+        """
+        while self._events:
+            time, __, fn = heapq.heappop(self._events)
+            if until is not None and time > until:
+                heapq.heappush(self._events, (time, next(self._seq), fn))
+                self.now = until
+                return self.now
+            if time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = time
+            fn()
+        return self.now
+
+    def drain(self) -> float:
+        """Run to completion and verify no task is left unfinished.
+
+        A stuck task indicates a dependency cycle or an unsatisfiable wait.
+        """
+        end = self.run()
+        stuck = [t for t in self.all_tasks if t.state is not TaskState.DONE]
+        if stuck:
+            raise SimulationError(f"{len(stuck)} tasks never completed: {stuck[:5]}")
+        return end
+
+
+@dataclass
+class Barrier:
+    """Convenience: a zero-duration task used to join many predecessors."""
+
+    task: Task
+
+    @classmethod
+    def join(cls, sim: Simulator, name: str, resource: Resource,
+             deps: Iterable[Task]) -> "Barrier":
+        return cls(sim.submit(name, resource, 0.0, deps=deps))

@@ -1,0 +1,227 @@
+"""Roofline cost models calibrated to the paper's microbenchmarks.
+
+Every simulated kernel duration in this repository comes from one of the
+functions below.  The CPU model is
+
+    time = max(compute_time, memory_time) + call_overhead
+
+where ``compute_time`` honors the kernel's achievable fraction of the AMX or
+AVX-512 peak (and AMX's 16-row tile padding), and ``memory_time`` streams the
+expert weights from DRAM at a kernel- and ARI-dependent effective bandwidth.
+
+Calibration anchors (all from the paper):
+
+- Figure 3: at high arithmetic intensity on one Xeon 8452Y socket the KT AMX
+  kernel reaches 21.3 TFLOPS, PyTorch/oneDNN-AMX 5.4 TFLOPS (7% of the
+  73.7 TFLOPS peak), PyTorch AVX-512 1.8 TFLOPS.
+- Figure 7: the KT AVX-512 kernel beats the KT AMX kernel iff the per-expert
+  token count is <= 4 (up to ~1.2x), and loses by up to ~10.8x at prefill.
+- Section 2.3: PyTorch-style per-kernel launches cost ~16 us, llama.cpp's
+  C++ launches ~5 us, CUDA-graph replay is near free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..tensor.dtypes import DType
+from .spec import CPUSpec, GPUSpec, InterconnectSpec
+
+
+@dataclass(frozen=True)
+class CPUKernelProfile:
+    """Achievable-performance profile of one CPU GEMM kernel family.
+
+    ``compute_fraction`` scales the socket's instruction-set peak to the
+    kernel's saturated throughput.  ``bw_eff_low``/``bw_eff_high`` give the
+    effective DRAM bandwidth fraction at 1 token/expert and at saturation;
+    the ramp is linear in tokens-per-expert up to ``bw_ramp_tokens``.
+    ``tile_m`` models AMX's 16-row tile granularity: GEMM rows are padded up
+    to a multiple of it when computing FLOP cost.
+    """
+
+    name: str
+    uses_amx: bool
+    compute_fraction: float
+    bw_eff_low: float
+    bw_eff_high: float
+    bw_ramp_tokens: int
+    tile_m: int
+    call_overhead_us: float
+
+    def peak_flops(self, cpu: CPUSpec) -> float:
+        base = cpu.amx_peak_flops if self.uses_amx else cpu.avx512_peak_flops
+        return base * self.compute_fraction
+
+    def bandwidth_fraction(self, tokens: int) -> float:
+        if tokens <= 0:
+            return self.bw_eff_low
+        ramp = min(1.0, tokens / self.bw_ramp_tokens)
+        return self.bw_eff_low + (self.bw_eff_high - self.bw_eff_low) * ramp
+
+
+# ---------------------------------------------------------------------------
+# Calibrated kernel profiles (anchored to the 8452Y numbers above).
+# ---------------------------------------------------------------------------
+
+# KTransformers' cache-friendly AMX kernel (Section 3.2): 21.3/73.7 = 28.9%
+# of peak; tile-aligned streaming reaches ~85% of DRAM bandwidth once at
+# least one full 16-row tile of tokens is available.
+KT_AMX = CPUKernelProfile(
+    name="kt_amx",
+    uses_amx=True,
+    compute_fraction=21.3 / 73.7,
+    bw_eff_low=0.70,
+    bw_eff_high=0.85,
+    bw_ramp_tokens=16,
+    tile_m=16,
+    call_overhead_us=12.0,
+)
+
+# KTransformers' lightweight AVX-512 kernel sharing the AMX memory layout:
+# low-latency row streaming, ~2.0 TFLOPS saturated (5.5 * 0.36), no tile
+# padding, slightly better effective bandwidth than AMX at 1-4 tokens.
+KT_AVX512 = CPUKernelProfile(
+    name="kt_avx512",
+    uses_amx=False,
+    compute_fraction=2.0 / 5.5,
+    bw_eff_low=0.82,
+    bw_eff_high=0.82,
+    bw_ramp_tokens=1,
+    tile_m=1,
+    call_overhead_us=6.0,
+)
+
+# PyTorch dispatching to oneDNN's AMX path: 5.4 TFLOPS saturated (7% of
+# peak), generic row-major layout wastes bandwidth (Section 2.2 attributes
+# the gap to suboptimal memory layouts).
+TORCH_AMX = CPUKernelProfile(
+    name="torch_amx",
+    uses_amx=True,
+    compute_fraction=5.4 / 73.7,
+    bw_eff_low=0.22,
+    bw_eff_high=0.30,
+    bw_ramp_tokens=16,
+    tile_m=16,
+    call_overhead_us=25.0,
+)
+
+# PyTorch's AVX-512 path: 1.8 TFLOPS saturated.
+TORCH_AVX512 = CPUKernelProfile(
+    name="torch_avx512",
+    uses_amx=False,
+    compute_fraction=1.8 / 5.5,
+    bw_eff_low=0.40,
+    bw_eff_high=0.40,
+    bw_ramp_tokens=1,
+    tile_m=1,
+    call_overhead_us=25.0,
+)
+
+# llama.cpp's hand-written AVX-512 kernels: good fusion, decent bandwidth,
+# no AMX (the paper notes Fiddler overtakes it at long prompts because
+# oneDNN does use AMX).
+LLAMACPP_AVX512 = CPUKernelProfile(
+    name="llamacpp_avx512",
+    uses_amx=False,
+    compute_fraction=2.0 / 5.5,
+    bw_eff_low=0.80,
+    bw_eff_high=0.80,
+    bw_ramp_tokens=1,
+    tile_m=1,
+    call_overhead_us=8.0,
+)
+
+CPU_KERNEL_PROFILES = {
+    p.name: p
+    for p in (KT_AMX, KT_AVX512, TORCH_AMX, TORCH_AVX512, LLAMACPP_AVX512)
+}
+
+
+# ---------------------------------------------------------------------------
+# Cost functions.
+# ---------------------------------------------------------------------------
+
+def cpu_gemm_time_us(
+    profile: CPUKernelProfile,
+    m: int,
+    k: int,
+    n: int,
+    weight_dtype: DType,
+    cpu: CPUSpec,
+    threads_fraction: float = 1.0,
+    weights_cached: bool = False,
+) -> float:
+    """Simulated time of one (m x k) @ (k x n) GEMM on one socket.
+
+    ``threads_fraction`` models running on a subset of the socket's cores
+    (both compute and bandwidth scale down, bandwidth sub-linearly since a
+    few cores can nearly saturate DRAM).  ``weights_cached`` drops the DRAM
+    weight traffic (used when a block provably stays resident in L2/L3).
+    """
+    if m <= 0 or k <= 0 or n <= 0:
+        return profile.call_overhead_us
+    peak = profile.peak_flops(cpu)
+    if peak <= 0:
+        raise ValueError(
+            f"kernel {profile.name!r} has zero compute peak on {cpu.name!r} "
+            f"(AMX kernel on a CPU without AMX?); select an AVX-512 profile"
+        )
+    m_eff = math.ceil(m / profile.tile_m) * profile.tile_m
+    flops = 2.0 * m_eff * k * n
+    compute_s = flops / (peak * threads_fraction)
+
+    weight_bytes = k * n * weight_dtype.bytes_per_element
+    if weights_cached:
+        weight_bytes = 0.0
+    bw_frac = profile.bandwidth_fraction(m)
+    # Bandwidth saturates with relatively few cores: use sqrt scaling.
+    bw = cpu.dram_bandwidth * bw_frac * math.sqrt(max(threads_fraction, 1e-9))
+    memory_s = weight_bytes / bw if weight_bytes else 0.0
+
+    return max(compute_s, memory_s) * 1e6 + profile.call_overhead_us
+
+
+def cpu_gemm_achieved_tflops(
+    profile: CPUKernelProfile,
+    m: int,
+    k: int,
+    n: int,
+    weight_dtype: DType,
+    cpu: CPUSpec,
+) -> float:
+    """Achieved TFLOPS of the *logical* GEMM (unpadded FLOPs / time)."""
+    t_us = cpu_gemm_time_us(profile, m, k, n, weight_dtype, cpu)
+    return (2.0 * m * k * n) / (t_us * 1e-6) / 1e12
+
+
+def gpu_kernel_time_us(
+    flops: float,
+    bytes_moved: float,
+    gpu: GPUSpec,
+    compute_efficiency: float = 0.60,
+    bandwidth_efficiency: float = 0.45,
+) -> float:
+    """Roofline time of one GPU kernel (excluding launch cost)."""
+    compute_s = flops / (gpu.peak_flops * compute_efficiency) if flops else 0.0
+    memory_s = (
+        bytes_moved / (gpu.hbm_bandwidth * bandwidth_efficiency)
+        if bytes_moved else 0.0
+    )
+    return max(max(compute_s, memory_s) * 1e6, gpu.min_kernel_duration_us)
+
+
+def pcie_transfer_time_us(bytes_moved: float, link: InterconnectSpec) -> float:
+    """Host<->device DMA transfer time over PCIe."""
+    if bytes_moved <= 0:
+        return link.pcie_latency_us
+    return bytes_moved / link.pcie_bandwidth * 1e6 + link.pcie_latency_us
+
+
+def cross_socket_transfer_time_us(bytes_moved: float,
+                                  link: InterconnectSpec) -> float:
+    """Socket-to-socket transfer (UPI) time, e.g. for reduce-scatter."""
+    if bytes_moved <= 0:
+        return link.cross_socket_latency_us
+    return bytes_moved / link.cross_socket_bandwidth * 1e6 + link.cross_socket_latency_us

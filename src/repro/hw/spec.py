@@ -1,0 +1,158 @@
+"""Hardware specifications mirroring the paper's testbed (Section 6.1).
+
+The evaluation machine is a dual-socket Intel Xeon Platinum 8452Y server
+(36 physical cores and 1 TB DDR5 per socket; 220 GB/s intra-socket and
+125 GB/s cross-socket bandwidth measured with Intel MLC) paired with either
+an NVIDIA A100-40G or an RTX 4080-16G over PCIe 4.0 (32 GB/s).
+
+These dataclasses are *descriptions*; the discrete-event simulator and the
+roofline cost models consume them to produce kernel timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from .units import GB, GBps, TFLOPS
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU socket.
+
+    ``amx_peak_flops`` is the theoretical dense-BF16 peak of the AMX units;
+    the paper quotes 73.7 TFLOPS for the 36-core 8452Y.  ``avx512_peak_flops``
+    is the corresponding AVX-512 BF16 FMA peak.
+    """
+
+    name: str
+    cores: int
+    amx_peak_flops: float
+    avx512_peak_flops: float
+    dram_bandwidth: float          # bytes/s, local socket
+    dram_capacity: float           # bytes
+    l2_cache_bytes: float = 2 * 1024 * 1024
+    l3_cache_bytes: float = 67.5 * 1024 * 1024
+    has_amx: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError(f"CPU {self.name!r} must have positive cores")
+        if self.dram_bandwidth <= 0:
+            raise ConfigError(f"CPU {self.name!r} must have positive bandwidth")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU accelerator."""
+
+    name: str
+    peak_flops: float              # dense BF16/FP16 tensor-core peak
+    hbm_bandwidth: float           # bytes/s
+    vram_capacity: float           # bytes
+    kernel_launch_latency_us: float = 5.0   # host-side launch cost per kernel
+    graph_replay_latency_us: float = 0.5    # per-kernel cost inside a CUDA graph
+    min_kernel_duration_us: float = 1.5     # floor for any launched kernel
+
+    def __post_init__(self) -> None:
+        if self.vram_capacity <= 0:
+            raise ConfigError(f"GPU {self.name!r} must have positive VRAM")
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """CPU<->GPU link (PCIe) and CPU<->CPU (UPI cross-socket) fabrics."""
+
+    pcie_bandwidth: float          # bytes/s each direction
+    pcie_latency_us: float = 8.0   # DMA setup + completion latency per transfer
+    cross_socket_bandwidth: float = GBps(125)
+    cross_socket_latency_us: float = 1.2
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A full hybrid machine: ``sockets`` identical CPU sockets + one GPU."""
+
+    name: str
+    cpu: CPUSpec
+    sockets: int
+    gpu: GPUSpec
+    interconnect: InterconnectSpec
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ConfigError("machine must have at least one socket")
+
+    @property
+    def total_cores(self) -> int:
+        return self.cpu.cores * self.sockets
+
+    @property
+    def total_dram_bandwidth(self) -> float:
+        """Aggregate local bandwidth if every socket only touches local DRAM."""
+        return self.cpu.dram_bandwidth * self.sockets
+
+    @property
+    def total_dram_capacity(self) -> float:
+        return self.cpu.dram_capacity * self.sockets
+
+
+# --------------------------------------------------------------------------
+# Presets matching Section 6.1 of the paper.
+# --------------------------------------------------------------------------
+
+XEON_8452Y = CPUSpec(
+    name="Intel Xeon Platinum 8452Y",
+    cores=36,
+    amx_peak_flops=TFLOPS(73.7),
+    avx512_peak_flops=TFLOPS(5.5),
+    dram_bandwidth=GBps(220),
+    dram_capacity=1024 * GB,
+)
+
+A100_40G = GPUSpec(
+    name="NVIDIA A100 40GB",
+    peak_flops=TFLOPS(312),
+    hbm_bandwidth=GBps(1555),
+    vram_capacity=40 * GB,
+)
+
+RTX_4080_16G = GPUSpec(
+    name="NVIDIA RTX 4080 16GB",
+    peak_flops=TFLOPS(98),
+    hbm_bandwidth=GBps(717),
+    vram_capacity=16 * GB,
+)
+
+PCIE4_X16 = InterconnectSpec(pcie_bandwidth=GBps(32))
+
+
+def paper_testbed(gpu: str = "a100") -> MachineSpec:
+    """The dual-8452Y testbed from Section 6.1 with the requested GPU.
+
+    ``gpu`` is ``"a100"`` (full-precision experiments) or ``"4080"``
+    (quantized experiments on the consumer GPU).
+    """
+    gpus = {"a100": A100_40G, "4080": RTX_4080_16G}
+    if gpu not in gpus:
+        raise ConfigError(f"unknown gpu {gpu!r}; expected one of {sorted(gpus)}")
+    return MachineSpec(
+        name=f"2x Xeon 8452Y + {gpus[gpu].name}",
+        cpu=XEON_8452Y,
+        sockets=2,
+        gpu=gpus[gpu],
+        interconnect=PCIE4_X16,
+    )
+
+
+def single_socket_testbed(gpu: str = "a100") -> MachineSpec:
+    """Single-socket variant used by NUMA micro-benchmarks."""
+    full = paper_testbed(gpu)
+    return MachineSpec(
+        name=f"1x Xeon 8452Y + {full.gpu.name}",
+        cpu=full.cpu,
+        sockets=1,
+        gpu=full.gpu,
+        interconnect=full.interconnect,
+    )

@@ -1,0 +1,24 @@
+"""Flexible module-injection framework (Section 5)."""
+
+from .injector import (
+    InjectionReport,
+    build_replacement,
+    inject,
+    register_operator,
+    resolve_class,
+)
+from .operators import FlashInferMLA, FusedMoEOperator, MarlinLinear, make_kernel
+from .rules import (
+    InjectionRule,
+    MatchClause,
+    ReplaceClause,
+    load_rules,
+    parse_rules,
+)
+
+__all__ = [
+    "InjectionReport", "build_replacement", "inject", "register_operator",
+    "resolve_class",
+    "FlashInferMLA", "FusedMoEOperator", "MarlinLinear", "make_kernel",
+    "InjectionRule", "MatchClause", "ReplaceClause", "load_rules", "parse_rules",
+]

@@ -1,0 +1,112 @@
+"""The module injector: walk the model tree and substitute matches.
+
+During initialization the framework walks the model tree; whenever a module
+satisfies a rule's match clause it is replaced by the rule's class
+(constructed from the original module so weights carry over), and traversal
+continues recursively through the *new* submodules.  The procedure adds no
+runtime overhead beyond construction and leaves the model's public
+interface unchanged (Section 5).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import InjectionError
+from ..model.modules import Module
+from .rules import InjectionRule
+
+# Registry of injectable operator classes, keyed by the names rule files
+# use (e.g. "operators.experts.FusedMoE").  Dotted paths not found here
+# fall back to a real import.
+_REGISTRY: dict[str, type] = {}
+
+
+def register_operator(name: str) -> Callable[[type], type]:
+    """Class decorator: expose a replacement operator to rule files."""
+
+    def deco(cls: type) -> type:
+        _REGISTRY[name] = cls
+        _REGISTRY[cls.__name__] = cls
+        return cls
+
+    return deco
+
+
+def resolve_class(ref: str) -> type:
+    """Resolve a replace-clause class reference to a Python class."""
+    if ref in _REGISTRY:
+        return _REGISTRY[ref]
+    if "." in ref:
+        module_path, cls_name = ref.rsplit(".", 1)
+        try:
+            mod = importlib.import_module(module_path)
+            return getattr(mod, cls_name)
+        except (ImportError, AttributeError):
+            pass
+    raise InjectionError(f"cannot resolve replacement class {ref!r}")
+
+
+@dataclass
+class InjectionReport:
+    """What the injector did: dotted name -> replacement class name."""
+
+    replacements: dict[str, str] = field(default_factory=dict)
+
+    def count(self) -> int:
+        return len(self.replacements)
+
+
+def build_replacement(rule: InjectionRule, original: Module) -> Module:
+    """Construct the replacement module from the original.
+
+    Replacement classes provide ``from_module(original, **kwargs)`` (the
+    preferred protocol, letting them repack weights); otherwise they are
+    called as ``cls(original, **kwargs)``.
+    """
+    cls = resolve_class(rule.replace.class_ref)
+    kwargs = dict(rule.replace.kwargs)
+    if hasattr(cls, "from_module"):
+        new = cls.from_module(original, **kwargs)
+    else:
+        new = cls(original, **kwargs)
+    if not isinstance(new, Module):
+        raise InjectionError(
+            f"replacement {rule.replace.class_ref!r} did not produce a Module"
+        )
+    if rule.replace.device is not None:
+        object.__setattr__(new, "device", rule.replace.device)
+    return new
+
+
+def inject(model: Module, rules: list[InjectionRule],
+           report: Optional[InjectionReport] = None) -> InjectionReport:
+    """Apply rules to ``model`` in place; first matching rule wins.
+
+    The root module itself is never replaced (only descendants), matching
+    the framework's semantics of editing a HuggingFace model in place.
+    """
+    if report is None:
+        report = InjectionReport()
+    _walk(model, "", rules, report)
+    return report
+
+
+def _walk(parent: Module, prefix: str, rules: list[InjectionRule],
+          report: InjectionReport) -> None:
+    for child_name, child in list(parent.named_children()):
+        dotted = f"{prefix}.{child_name}" if prefix else child_name
+        replaced = False
+        for rule in rules:
+            if rule.match.matches(dotted, child):
+                new = build_replacement(rule, child)
+                parent.add_module(child_name, new)
+                report.replacements[dotted] = type(new).__name__
+                # Traversal continues through the new submodules.
+                _walk(new, dotted, rules, report)
+                replaced = True
+                break
+        if not replaced:
+            _walk(child, dotted, rules, report)

@@ -1,0 +1,188 @@
+"""Injectable replacement operators (the classes Listing 1 references).
+
+These are the optimized modules the YAML rules swap in:
+
+- ``operators.experts.FusedMoE`` -- replaces a stock MoE block with the
+  fused CPU operator, selecting the kernel backend, quantizing expert
+  weights, and recording the Expert Deferral configuration;
+- ``operators.attention.FlashInferMLA`` -- replaces self-attention with the
+  FlashInfer-backed MLA module (functionally identical here; carries the
+  backend tag and the target device);
+- ``operators.linear.MarlinLinear`` -- replaces ``Linear`` projections with
+  group-quantized (Marlin-style) versions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InjectionError
+from ..kernels.amx import AMXKernel
+from ..kernels.avx512 import AVX512Kernel
+from ..kernels.base import CPUGemmKernel
+from ..kernels.dispatch import HybridKernel
+from ..model.modules import Linear, Module
+from ..model.moe_layer import ExpertModule, ModuleList, MoEBlock
+from ..tensor.dtypes import BF16, QUANT_GROUP_SIZE, DType, dtype as lookup_dtype
+from ..tensor.quant import QuantizedTensor, dequantize, quantize
+from .injector import register_operator
+
+_BACKENDS: dict[str, type[CPUGemmKernel] | type[HybridKernel]] = {
+    "amx": AMXKernel,
+    "avx512": AVX512Kernel,
+    "hybrid_amx_avx512": HybridKernel,
+}
+
+
+def make_kernel(backend: str) -> CPUGemmKernel:
+    """Instantiate a CPU kernel backend by its YAML name."""
+    key = backend.lower()
+    if key not in _BACKENDS:
+        raise InjectionError(
+            f"unknown kernel backend {backend!r}; "
+            f"expected one of {sorted(_BACKENDS)}"
+        )
+    return _BACKENDS[key]()
+
+
+def _parse_dtype(name: str) -> DType:
+    try:
+        return lookup_dtype(name)
+    except Exception as exc:
+        raise InjectionError(f"unknown data_type {name!r}") from exc
+
+
+@register_operator("operators.experts.FusedMoE")
+class FusedMoEOperator(MoEBlock):
+    """Optimized MoE block: fused CPU kernels + quantization + deferral tag.
+
+    Shares the original block's router/shared/expert weights (no copies);
+    only the packed representation and the kernel change.
+    """
+
+    backend: str
+    n_deferred_experts: int
+
+    @classmethod
+    def from_module(
+        cls,
+        block: MoEBlock,
+        backend: str = "hybrid_AMX_AVX512",
+        data_type: str = "bf16",
+        n_deferred_experts: int = 0,
+    ) -> "FusedMoEOperator":
+        if not isinstance(block, MoEBlock):
+            raise InjectionError(
+                f"FusedMoE can only replace MoE blocks, got {type(block).__name__}"
+            )
+        if n_deferred_experts < 0:
+            raise InjectionError("n_deferred_experts must be >= 0")
+        dt = _parse_dtype(data_type)
+        self = cls.__new__(cls)
+        Module.__init__(self)
+        self.hidden = block.hidden
+        self.intermediate = block.intermediate
+        self.router_config = block.router_config
+        self.kernel = make_kernel(backend)
+        self.gate = block.gate
+        self.shared_experts = block.shared_experts
+        self.experts = ModuleList([
+            _requantized_expert(e, dt) for e in block.experts
+        ])
+        self._fused = None
+        object.__setattr__(self, "backend", backend)
+        object.__setattr__(self, "n_deferred_experts", n_deferred_experts)
+        return self
+
+
+def _requantized_expert(expert: ExpertModule, dt: DType) -> ExpertModule:
+    """An ExpertModule view over the same raw weights with a new storage dtype."""
+    new = ExpertModule.__new__(ExpertModule)
+    Module.__init__(new)
+    new.hidden = expert.hidden
+    new.intermediate = expert.intermediate
+    new.weight_dtype = dt
+    new.w_gate = expert.w_gate
+    new.w_up = expert.w_up
+    new.w_down = expert.w_down
+    new._packed = None
+    return new
+
+
+@register_operator("operators.attention.FlashInferMLA")
+class FlashInferMLA(Module):
+    """Attention wrapper tagged with the FlashInfer backend.
+
+    The numpy reproduction has no CUDA kernels to swap, so this delegates
+    to the wrapped attention module while carrying the backend metadata
+    (and, in the simulator, the FlashInfer kernel-count profile).
+    """
+
+    backend = "flashinfer"
+
+    def __init__(self, inner: Module, absorb: bool = True) -> None:
+        super().__init__()
+        if not hasattr(inner, "make_cache"):
+            raise InjectionError(
+                f"FlashInferMLA must wrap an attention module, "
+                f"got {type(inner).__name__}"
+            )
+        self.inner = inner
+        self.absorb = absorb
+
+    @classmethod
+    def from_module(cls, inner: Module, absorb: bool = True) -> "FlashInferMLA":
+        return cls(inner, absorb=absorb)
+
+    def make_cache(self):
+        return self.inner.make_cache()
+
+    def forward(self, x, cache, positions=None):
+        return self.inner(x, cache, positions)
+
+
+@register_operator("operators.linear.MarlinLinear")
+class MarlinLinear(Module):
+    """Group-quantized linear projection (Marlin-style Int4/Int8 GEMM)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 qweight: QuantizedTensor, bias: Optional[np.ndarray],
+                 data_type: DType) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.qweight = qweight
+        self.data_type = data_type
+        object.__setattr__(self, "bias", bias)
+        self._dense: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_module(cls, linear: Linear, data_type: str = "int4") -> "MarlinLinear":
+        if not isinstance(linear, Linear):
+            raise InjectionError(
+                f"MarlinLinear can only replace Linear, got {type(linear).__name__}"
+            )
+        dt = _parse_dtype(data_type)
+        if not dt.quantized:
+            raise InjectionError("MarlinLinear requires a quantized data_type")
+        w = linear.weight
+        k, n = w.shape
+        pad = (-n) % QUANT_GROUP_SIZE
+        if pad:
+            w = np.concatenate(
+                [w, np.zeros((k, pad), dtype=np.float32)], axis=1
+            )
+        return cls(k, n, quantize(w, dt), linear.bias, dt)
+
+    def _weight(self) -> np.ndarray:
+        if self._dense is None:
+            self._dense = dequantize(self.qweight)[:, :self.out_features]
+        return self._dense
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=np.float32) @ self._weight()
+        if self.bias is not None:
+            y = y + self.bias
+        return y

@@ -1,0 +1,16 @@
+"""CPU compute kernels: KT AMX/AVX-512, vendor baselines, hybrid dispatch."""
+
+from .amx import AMXKernel, BlockPlan, plan_blocks
+from .avx512 import AVX512Kernel
+from .base import CPUGemmKernel
+from .dispatch import DEFAULT_ARI_THRESHOLD, HybridKernel
+from .gemm_ref import reference_gemm
+from .vendor import LlamaCppKernel, TorchAMXKernel, TorchAVX512Kernel
+
+__all__ = [
+    "AMXKernel", "BlockPlan", "plan_blocks",
+    "AVX512Kernel", "CPUGemmKernel",
+    "DEFAULT_ARI_THRESHOLD", "HybridKernel",
+    "reference_gemm",
+    "LlamaCppKernel", "TorchAMXKernel", "TorchAVX512Kernel",
+]

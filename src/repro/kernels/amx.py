@@ -1,0 +1,90 @@
+"""KTransformers' cache-friendly AMX kernel (Section 3.2, Figure 6).
+
+Execution structure reproduced here:
+
+1. the weight matrix is **vertically partitioned** into column tasks that
+   can be scheduled across threads;
+2. each task walks the weight rows in **L2-fitting blocks**;
+3. each block is a grid of 16-row x 64-byte **tiles**; inputs are read from
+   L3 and weights from DRAM exactly once per block;
+4. tile-level multiply-accumulates keep partial sums in tile registers.
+
+The numpy implementation follows the same traversal (task -> block -> tile)
+so that layout mistakes break numerics, while the simulated duration comes
+from the calibrated ``KT_AMX`` roofline profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.roofline import KT_AMX
+from ..hw.spec import CPUSpec
+from ..tensor.layout import PackedWeights
+from ..tensor.tiles import TILE_ROWS, tile_bytes
+from .base import CPUGemmKernel
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """How a packed weight matrix is carved into L2-resident blocks."""
+
+    row_tiles_per_block: int
+    n_row_blocks: int
+    n_col_tasks: int
+
+    @property
+    def n_blocks(self) -> int:
+        return self.n_row_blocks * self.n_col_tasks
+
+
+def plan_blocks(weights: PackedWeights, cpu: CPUSpec,
+                l2_budget_fraction: float = 0.5) -> BlockPlan:
+    """Choose a row-block size whose weight tiles fit the L2 budget.
+
+    One column task covers one column tile (16 output columns for bf16);
+    its row blocks must fit ``l2_budget_fraction`` of L2 alongside the
+    streamed activations.
+    """
+    row_tiles, col_tiles = weights.tile_grid
+    budget = cpu.l2_cache_bytes * l2_budget_fraction
+    per_tile = tile_bytes()
+    max_tiles = max(1, int(budget // per_tile))
+    rows_per_block = min(row_tiles, max_tiles)
+    return BlockPlan(
+        row_tiles_per_block=rows_per_block,
+        n_row_blocks=math.ceil(row_tiles / rows_per_block),
+        n_col_tasks=col_tiles,
+    )
+
+
+class AMXKernel(CPUGemmKernel):
+    """Tile-blocked GEMM over the AMX layout."""
+
+    profile = KT_AMX
+
+    def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        xp = self._check_shapes(x, weights)
+        tiles = weights.dense_tiles()            # (rt, ct, 16, tc)
+        row_tiles, col_tiles, tr, tc = tiles.shape
+        m = xp.shape[0]
+        out = np.zeros((m, col_tiles * tc), dtype=np.float32)
+
+        # Step 1: vertical partition into column tasks.
+        for ct in range(col_tiles):
+            col_lo = ct * tc
+            # Step 2: walk rows in blocks (block size chosen by plan_blocks
+            # at schedule time; here every tile is visited in block order).
+            acc = np.zeros((m, tc), dtype=np.float32)
+            for rt_idx in range(row_tiles):
+                k_lo = rt_idx * TILE_ROWS
+                # Steps 3-5: one tile multiply-accumulate.  The activation
+                # sub-panel comes from L3, the weight tile from DRAM/L2.
+                a_panel = xp[:, k_lo:k_lo + TILE_ROWS]
+                acc += a_panel @ tiles[rt_idx, ct]
+            out[:, col_lo:col_lo + tc] = acc
+
+        return out[:, :weights.cols]

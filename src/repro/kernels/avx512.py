@@ -1,0 +1,54 @@
+"""KTransformers' lightweight AVX-512 kernel (Section 3.2).
+
+Shares the AMX tile layout (so no repacking is ever needed to switch
+kernels) but streams weights row-by-row with 512-bit vector FMAs instead of
+tile multiplies.  This avoids AMX's 16-row tile padding, which is pure
+waste when only one or a few tokens are being decoded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.roofline import KT_AVX512
+from ..tensor.layout import PackedWeights
+from ..tensor.tiles import TILE_ROWS
+from .base import CPUGemmKernel
+
+# One AVX-512 register holds 16 fp32 lanes; the kernel fuses multiply-add
+# over strips of this width.
+VECTOR_LANES = 16
+
+
+class AVX512Kernel(CPUGemmKernel):
+    """Row-streaming vector GEMM over the AMX layout (low-ARI path)."""
+
+    profile = KT_AVX512
+
+    def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        xp = self._check_shapes(x, weights)
+        tiles = weights.dense_tiles()            # (rt, ct, 16, tc)
+        row_tiles, col_tiles, tr, tc = tiles.shape
+        m = xp.shape[0]
+        out = np.zeros((m, col_tiles * tc), dtype=np.float32)
+
+        # The vector kernel walks the *same* tile stream as AMX but expands
+        # each tile into scalar-row x vector-lane FMAs: for every weight row
+        # r, broadcast x[:, r] and FMA against the row's 512-bit strips.
+        for ct in range(col_tiles):
+            col_lo = ct * tc
+            acc = np.zeros((m, tc), dtype=np.float32)
+            for rt_idx in range(row_tiles):
+                k_lo = rt_idx * TILE_ROWS
+                tile = tiles[rt_idx, ct]                       # (16, tc)
+                for r in range(TILE_ROWS):
+                    # broadcast-FMA: acc += x_col outer tile_row, computed
+                    # strip-by-strip in VECTOR_LANES-wide chunks.
+                    xcol = xp[:, k_lo + r:k_lo + r + 1]        # (m, 1)
+                    for s in range(0, tc, VECTOR_LANES):
+                        acc[:, s:s + VECTOR_LANES] += (
+                            xcol * tile[r, s:s + VECTOR_LANES]
+                        )
+            out[:, col_lo:col_lo + tc] = acc
+
+        return out[:, :weights.cols]

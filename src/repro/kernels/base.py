@@ -1,0 +1,57 @@
+"""Kernel interface: functional numpy execution + simulated cost.
+
+Each kernel family bundles two views of the same operation:
+
+- :meth:`run` executes the GEMM for real (numpy), following the memory
+  traversal order of the corresponding native kernel so that layout bugs
+  surface as wrong numerics in tests;
+- :meth:`cost_us` returns the simulated wall-clock duration from the
+  calibrated roofline profile, used by the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import KernelError
+from ..hw.roofline import CPUKernelProfile, cpu_gemm_time_us
+from ..hw.spec import CPUSpec
+from ..tensor.layout import PackedWeights, pad_activations
+
+
+class CPUGemmKernel(abc.ABC):
+    """A CPU kernel computing ``x @ W`` over tile-packed weights."""
+
+    profile: CPUKernelProfile
+
+    @abc.abstractmethod
+    def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        """Compute ``x @ W`` functionally; returns an (m, n) float32 array."""
+
+    def cost_us(
+        self,
+        m: int,
+        weights: PackedWeights,
+        cpu: CPUSpec,
+        threads_fraction: float = 1.0,
+        weights_cached: bool = False,
+    ) -> float:
+        """Simulated duration of :meth:`run` on ``cpu``."""
+        k, n = weights.original_shape
+        return cpu_gemm_time_us(
+            self.profile, m, k, n, weights.dtype, cpu,
+            threads_fraction=threads_fraction,
+            weights_cached=weights_cached,
+        )
+
+    def _check_shapes(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2:
+            raise KernelError(f"activations must be (m, k), got shape {x.shape}")
+        if x.shape[1] != weights.rows:
+            raise KernelError(
+                f"activation width {x.shape[1]} != weight rows {weights.rows}"
+            )
+        return pad_activations(x, weights.padded_shape[0])

@@ -1,0 +1,60 @@
+"""ARI-based hybrid kernel dispatch (Section 3.2).
+
+Figure 7 shows the AVX-512 kernel beating AMX whenever at most four tokens
+are routed to an expert, because AMX must pad work to full 16-row tiles and
+pays higher per-call latency.  The hybrid backend therefore switches kernels
+per GEMM based on the token count -- both kernels consume the same packed
+layout, so switching is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.spec import CPUSpec
+from ..tensor.layout import PackedWeights
+from .amx import AMXKernel
+from .avx512 import AVX512Kernel
+from .base import CPUGemmKernel
+
+# Paper: "AVX-512 consistently outperforming AMX when ARI is four or fewer
+# tokens per expert."
+DEFAULT_ARI_THRESHOLD = 4
+
+
+class HybridKernel(CPUGemmKernel):
+    """Selects AVX-512 for <= ``ari_threshold`` tokens, AMX above."""
+
+    def __init__(self, ari_threshold: int = DEFAULT_ARI_THRESHOLD) -> None:
+        if ari_threshold < 0:
+            raise ValueError("ari_threshold must be non-negative")
+        self.ari_threshold = ari_threshold
+        self._amx = AMXKernel()
+        self._avx = AVX512Kernel()
+
+    @property
+    def profile(self):  # type: ignore[override]
+        # The hybrid kernel has no single profile; expose the AMX one for
+        # introspection.  Cost and run always go through select().
+        return self._amx.profile
+
+    def select(self, tokens: int) -> CPUGemmKernel:
+        """The kernel that will execute a GEMM over ``tokens`` rows."""
+        return self._avx if tokens <= self.ari_threshold else self._amx
+
+    def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        return self.select(np.asarray(x).shape[0]).run(x, weights)
+
+    def cost_us(
+        self,
+        m: int,
+        weights: PackedWeights,
+        cpu: CPUSpec,
+        threads_fraction: float = 1.0,
+        weights_cached: bool = False,
+    ) -> float:
+        return self.select(m).cost_us(
+            m, weights, cpu,
+            threads_fraction=threads_fraction,
+            weights_cached=weights_cached,
+        )

@@ -1,0 +1,13 @@
+"""Reference GEMM used as numerical ground truth in kernel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor.layout import PackedWeights, unpack_matrix
+
+
+def reference_gemm(x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+    """Plain ``x @ W`` over the unpacked (dequantized) weight matrix."""
+    w = unpack_matrix(weights)
+    return np.asarray(x, dtype=np.float32) @ w

@@ -1,0 +1,43 @@
+"""Vendor-baseline kernels: PyTorch dispatching to oneDNN (Section 2.2).
+
+These model the *existing* software stack the paper benchmarks against in
+Figure 3: oneDNN's AMX path reaches only ~7% of the theoretical peak, and
+the generic AVX-512 path ~1.8 TFLOPS, both hampered by row-major layouts
+that were not co-designed with the tile registers.  Functionally they are
+plain GEMMs (PyTorch is numerically correct, just slow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.roofline import LLAMACPP_AVX512, TORCH_AMX, TORCH_AVX512
+from ..tensor.layout import PackedWeights, unpack_matrix
+from .base import CPUGemmKernel
+
+
+class _DenseGemmKernel(CPUGemmKernel):
+    """Functional fallback: unpack to row-major and matmul."""
+
+    def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        xp = self._check_shapes(x, weights)
+        w = unpack_matrix(weights)
+        return xp[:, :weights.rows] @ w
+
+
+class TorchAMXKernel(_DenseGemmKernel):
+    """PyTorch -> oneDNN AMX path (5.4 TFLOPS saturated, 7% of peak)."""
+
+    profile = TORCH_AMX
+
+
+class TorchAVX512Kernel(_DenseGemmKernel):
+    """PyTorch -> oneDNN AVX-512 path (1.8 TFLOPS saturated)."""
+
+    profile = TORCH_AVX512
+
+
+class LlamaCppKernel(_DenseGemmKernel):
+    """llama.cpp's hand-rolled AVX-512 kernels (good fusion, no AMX)."""
+
+    profile = LLAMACPP_AVX512

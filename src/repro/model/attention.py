@@ -1,0 +1,146 @@
+"""Attention modules: standard multi-head attention and simplified MLA.
+
+Both support incremental decoding through the caches in
+:mod:`repro.model.kvcache`.  Rotary position embeddings give the tiny
+trained models real positional structure (needed by the sequence tasks in
+the accuracy experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .kvcache import KVCache, LatentKVCache
+from .modules import Linear, Module
+
+
+def rope(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
+    """Rotary position embedding over the last axis (must be even)."""
+    d = x.shape[-1]
+    if d % 2 != 0:
+        raise ConfigError("RoPE requires an even head dimension")
+    half = d // 2
+    freqs = base ** (-np.arange(half, dtype=np.float32) / half)
+    angles = positions[:, None].astype(np.float32) * freqs[None, :]
+    cos = np.cos(angles)
+    sin = np.sin(angles)
+    # x is (seq, heads, d); broadcast cos/sin over heads.
+    x1, x2 = x[..., :half], x[..., half:]
+    cos_b = cos[:, None, :]
+    sin_b = sin[:, None, :]
+    return np.concatenate(
+        [x1 * cos_b - x2 * sin_b, x1 * sin_b + x2 * cos_b], axis=-1
+    ).astype(np.float32)
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    e = np.exp(x - x.max(axis=-1, keepdims=True))
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _attend(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+            q_positions: np.ndarray) -> np.ndarray:
+    """Causal scaled-dot-product attention.
+
+    ``q``: (new, heads, d); ``k``/``v``: (total, heads, d);
+    ``q_positions``: absolute position of each query row.  Query i may only
+    attend to keys at positions <= q_positions[i].
+    """
+    d = q.shape[-1]
+    scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(d)
+    key_pos = np.arange(k.shape[0])
+    mask = key_pos[None, :] > q_positions[:, None]          # (new, total)
+    scores = np.where(mask[None, :, :], -1e9, scores)
+    probs = _softmax(scores)
+    return np.einsum("hqk,khd->qhd", probs, v)
+
+
+class MultiHeadAttention(Module):
+    """Standard MHA with RoPE and an incremental KV cache."""
+
+    def __init__(self, hidden: int, n_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if hidden % n_heads != 0:
+            raise ConfigError(f"hidden {hidden} not divisible by {n_heads} heads")
+        self.hidden = hidden
+        self.n_heads = n_heads
+        self.head_dim = hidden // n_heads
+        if self.head_dim % 2 != 0:
+            raise ConfigError("head_dim must be even for RoPE")
+        r = rng or np.random.default_rng(0)
+        self.wq = Linear(hidden, hidden, rng=r)
+        self.wk = Linear(hidden, hidden, rng=r)
+        self.wv = Linear(hidden, hidden, rng=r)
+        self.wo = Linear(hidden, hidden, rng=r)
+
+    def make_cache(self) -> KVCache:
+        return KVCache(self.n_heads, self.head_dim)
+
+    def forward(self, x: np.ndarray, cache: KVCache,
+                positions: Optional[np.ndarray] = None) -> np.ndarray:
+        """Process ``x`` (new_tokens, hidden), appending to ``cache``."""
+        x = np.asarray(x, dtype=np.float32)
+        new = x.shape[0]
+        if positions is None:
+            positions = np.arange(len(cache), len(cache) + new)
+        q = self.wq(x).reshape(new, self.n_heads, self.head_dim)
+        k = self.wk(x).reshape(new, self.n_heads, self.head_dim)
+        v = self.wv(x).reshape(new, self.n_heads, self.head_dim)
+        q = rope(q, positions)
+        k = rope(k, positions)
+        cache.append(k, v)
+        out = _attend(q, cache.keys(), cache.values(), positions)
+        return self.wo(out.reshape(new, self.hidden))
+
+
+class MLAAttention(Module):
+    """Simplified Multi-head Latent Attention (DeepSeek V2/V3 style).
+
+    Keys and values are reconstructed from a shared low-rank latent
+    ``kv_c = x @ w_kv_down`` of dimension ``kv_rank``; only the latent is
+    cached, shrinking cache traffic by ``hidden*2/kv_rank``.  (The
+    decoupled RoPE key of the real model is folded into the reconstructed
+    keys here for simplicity.)
+    """
+
+    def __init__(self, hidden: int, n_heads: int, kv_rank: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if hidden % n_heads != 0:
+            raise ConfigError(f"hidden {hidden} not divisible by {n_heads} heads")
+        self.hidden = hidden
+        self.n_heads = n_heads
+        self.head_dim = hidden // n_heads
+        if self.head_dim % 2 != 0:
+            raise ConfigError("head_dim must be even for RoPE")
+        self.kv_rank = kv_rank
+        r = rng or np.random.default_rng(0)
+        self.wq = Linear(hidden, hidden, rng=r)
+        self.w_kv_down = Linear(hidden, kv_rank, rng=r)
+        self.w_k_up = Linear(kv_rank, hidden, rng=r)
+        self.w_v_up = Linear(kv_rank, hidden, rng=r)
+        self.wo = Linear(hidden, hidden, rng=r)
+
+    def make_cache(self) -> LatentKVCache:
+        return LatentKVCache(self.kv_rank)
+
+    def forward(self, x: np.ndarray, cache: LatentKVCache,
+                positions: Optional[np.ndarray] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        new = x.shape[0]
+        if positions is None:
+            positions = np.arange(len(cache), len(cache) + new)
+        q = self.wq(x).reshape(new, self.n_heads, self.head_dim)
+        q = rope(q, positions)
+        cache.append(self.w_kv_down(x))
+        latents = cache.latents()
+        total = latents.shape[0]
+        k = self.w_k_up(latents).reshape(total, self.n_heads, self.head_dim)
+        v = self.w_v_up(latents).reshape(total, self.n_heads, self.head_dim)
+        k = rope(k, np.arange(total))
+        out = _attend(q, k, v, positions)
+        return self.wo(out.reshape(new, self.hidden))

@@ -1,0 +1,175 @@
+"""A minimal PyTorch-like module tree.
+
+The injection framework (Section 5) and the model definitions both need a
+named, recursively walkable module hierarchy with replaceable children --
+exactly the surface HuggingFace models expose.  This implements that
+surface over numpy parameters: named submodules, named parameters,
+``get/set_submodule`` for injection, and ``state_dict`` round-trips for
+loading trained weights.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class Module:
+    """Base class: auto-registers child modules and numpy parameters."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "device", "cpu")
+
+    # -- registration ---------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Module):
+            self._modules[name] = value
+        elif isinstance(value, np.ndarray):
+            self._params[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal --------------------------------------------------------
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield (dotted_name, module) for this module and all descendants."""
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, p in self._params.items():
+            yield (f"{prefix}.{name}" if prefix else name), p
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def get_submodule(self, target: str) -> "Module":
+        """Fetch a descendant by dotted path (empty path returns self)."""
+        mod: Module = self
+        if not target:
+            return mod
+        for part in target.split("."):
+            if part not in mod._modules:
+                raise ConfigError(f"no submodule {part!r} in path {target!r}")
+            mod = mod._modules[part]
+        return mod
+
+    def set_submodule(self, target: str, module: "Module") -> None:
+        """Replace a descendant by dotted path (injection entry point)."""
+        if not target:
+            raise ConfigError("cannot replace the root module")
+        parts = target.split(".")
+        parent = self.get_submodule(".".join(parts[:-1]))
+        if parts[-1] not in parent._modules:
+            raise ConfigError(f"no submodule {parts[-1]!r} to replace in {target!r}")
+        parent.add_module(parts[-1], module)
+
+    # -- state ---------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ConfigError(
+                f"state dict mismatch: missing={sorted(missing)[:5]}, "
+                f"unexpected={sorted(unexpected)[:5]}"
+            )
+        for name in own:
+            if own[name].shape != state[name].shape:
+                raise ConfigError(
+                    f"shape mismatch for {name}: "
+                    f"{own[name].shape} vs {state[name].shape}"
+                )
+            own[name][...] = state[name]
+        for __, mod in self.named_modules():
+            mod.on_weights_loaded()
+
+    def on_weights_loaded(self) -> None:
+        """Hook: refresh derived state (e.g. packed weights) after loading."""
+
+    def n_parameters(self) -> int:
+        return sum(int(p.size) for __, p in self.named_parameters())
+
+    # -- execution -------------------------------------------------------
+
+    def forward(self, *args: Any, **kwargs: Any) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Dense projection ``y = x @ weight`` (optionally + bias)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = False,
+                 rng: Optional[np.random.Generator] = None,
+                 scale: float = 0.05) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        r = rng or np.random.default_rng(0)
+        self.weight = (r.standard_normal((in_features, out_features))
+                       .astype(np.float32) * scale)
+        if bias:
+            self.bias = np.zeros(out_features, dtype=np.float32)
+        else:
+            object.__setattr__(self, "bias", None)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=np.float32) @ self.weight
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+class RMSNorm(Module):
+    """Root-mean-square layer norm with a learned gain."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gain = np.ones(dim, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        rms = np.sqrt((x * x).mean(axis=-1, keepdims=True) + self.eps)
+        return x / rms * self.gain
+
+
+class Embedding(Module):
+    """Token-id -> vector lookup table."""
+
+    def __init__(self, vocab_size: int, dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.vocab_size = vocab_size
+        r = rng or np.random.default_rng(0)
+        self.weight = r.standard_normal((vocab_size, dim)).astype(np.float32) * 0.05
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(token_ids)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocab_size:
+            raise ConfigError("token id out of vocabulary range")
+        return self.weight[ids]

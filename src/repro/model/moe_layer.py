@@ -1,0 +1,169 @@
+"""MoE and dense feed-forward blocks for the functional transformer.
+
+The MoE block mirrors DeepSeek/Qwen structure: a router (``gate``), a set
+of always-active shared experts, and a pool of routed experts executed by
+the fused CPU operator.  The block exposes its pieces (``route``,
+``shared_forward``, ``routed_forward``) separately because Expert Deferral
+reorders exactly these pieces across layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..kernels.base import CPUGemmKernel
+from ..kernels.dispatch import HybridKernel
+from ..moe.experts import ExpertWeights, silu
+from ..moe.fused import FusedMoE
+from ..moe.router import RouterConfig, RoutingResult, route
+from ..tensor.dtypes import BF16, DType
+from ..tensor.layout import pack_matrix
+from .modules import Linear, Module
+
+
+class ExpertModule(Module):
+    """One expert's raw parameters plus a cached tile-packed view."""
+
+    def __init__(self, hidden: int, intermediate: int,
+                 rng: Optional[np.random.Generator] = None,
+                 dtype: DType = BF16, scale: float = 0.05) -> None:
+        super().__init__()
+        r = rng or np.random.default_rng(0)
+        self.hidden = hidden
+        self.intermediate = intermediate
+        self.weight_dtype = dtype
+        self.w_gate = r.standard_normal((hidden, intermediate)).astype(np.float32) * scale
+        self.w_up = r.standard_normal((hidden, intermediate)).astype(np.float32) * scale
+        self.w_down = r.standard_normal((intermediate, hidden)).astype(np.float32) * scale
+        self._packed: Optional[ExpertWeights] = None
+
+    def on_weights_loaded(self) -> None:
+        self._packed = None
+
+    def packed(self) -> ExpertWeights:
+        if self._packed is None:
+            self._packed = ExpertWeights(
+                gate=pack_matrix(self.w_gate, self.weight_dtype),
+                up=pack_matrix(self.w_up, self.weight_dtype),
+                down=pack_matrix(self.w_down, self.weight_dtype),
+            )
+        return self._packed
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Dense (unrouted) execution; shared experts use this path."""
+        g = x @ self.w_gate
+        u = x @ self.w_up
+        return (silu(g) * u) @ self.w_down
+
+
+class ModuleList(Module):
+    """Sequence of submodules registered under their indices."""
+
+    def __init__(self, modules: list[Module]) -> None:
+        super().__init__()
+        for i, m in enumerate(modules):
+            self.add_module(str(i), m)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[str(idx)]
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+
+class DenseFFN(Module):
+    """SwiGLU feed-forward used by the non-MoE (dense) layers."""
+
+    def __init__(self, hidden: int, intermediate: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        r = rng or np.random.default_rng(0)
+        self.gate_proj = Linear(hidden, intermediate, rng=r)
+        self.up_proj = Linear(hidden, intermediate, rng=r)
+        self.down_proj = Linear(intermediate, hidden, rng=r)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.down_proj(silu(self.gate_proj(x)) * self.up_proj(x))
+
+
+class MoEBlock(Module):
+    """Router + shared experts + routed experts.
+
+    ``forward`` returns the *contribution* ``S(x) + R_all(x)``; the caller
+    (transformer layer or deferral engine) adds the residual, matching the
+    paper's ``O_k = I_k + S_k(I_k) + R_k(I_k)``.
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        intermediate: int,
+        router_config: RouterConfig,
+        n_shared_experts: int = 1,
+        kernel: Optional[CPUGemmKernel] = None,
+        rng: Optional[np.random.Generator] = None,
+        dtype: DType = BF16,
+    ) -> None:
+        super().__init__()
+        if n_shared_experts < 0:
+            raise ConfigError("n_shared_experts must be >= 0")
+        r = rng or np.random.default_rng(0)
+        self.hidden = hidden
+        self.intermediate = intermediate
+        self.router_config = router_config
+        self.kernel = kernel or HybridKernel()
+        self.gate = Linear(hidden, router_config.n_experts, rng=r, scale=0.5)
+        self.shared_experts = ModuleList([
+            ExpertModule(hidden, intermediate, rng=r, dtype=dtype)
+            for __ in range(n_shared_experts)
+        ])
+        self.experts = ModuleList([
+            ExpertModule(hidden, intermediate, rng=r, dtype=dtype)
+            for __ in range(router_config.n_experts)
+        ])
+        self._fused: Optional[FusedMoE] = None
+
+    @property
+    def n_experts(self) -> int:
+        return self.router_config.n_experts
+
+    def on_weights_loaded(self) -> None:
+        self._fused = None
+
+    def _fused_moe(self) -> FusedMoE:
+        if self._fused is None:
+            self._fused = FusedMoE(
+                [e.packed() for e in self.experts], self.kernel
+            )
+        return self._fused
+
+    # -- pieces (used directly by Expert Deferral) -------------------------
+
+    def route(self, x: np.ndarray) -> RoutingResult:
+        return route(self.gate(x), self.router_config)
+
+    def shared_forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(np.asarray(x, dtype=np.float32))
+        for expert in self.shared_experts:
+            out = out + expert(x)
+        return out
+
+    def routed_forward(
+        self,
+        x: np.ndarray,
+        routing: RoutingResult,
+        expert_subset: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return self._fused_moe().forward(x, routing, expert_subset=expert_subset)
+
+    # -- standard composition ------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        routing = self.route(x)
+        return self.shared_forward(x) + self.routed_forward(x, routing)

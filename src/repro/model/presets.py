@@ -1,0 +1,197 @@
+"""Model presets: the exact Table 1 configurations plus tiny functional ones.
+
+The three evaluated models (shape metadata used by the performance
+simulator -- no weights are ever allocated at these sizes):
+
+==================  ======  ======  ======
+field               DS-3    DS-2    QW-2
+==================  ======  ======  ======
+total parameters    671B    236B    57B
+GPU parameters      17B     13B     8B
+CPU parameters      654B    223B    49B
+MoE layers          58      59      28
+routed experts      256     160     64
+routing             top-8   top-6   top-8
+==================  ======  ======  ======
+
+``tiny_config`` returns runnable :class:`~repro.model.transformer.ModelConfig`
+instances with the same *structure* (shared + routed experts, grouped
+routing, MLA) at laptop scale for the functional/accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..tensor.dtypes import BF16, INT4, INT8, DType
+from .transformer import ModelConfig
+
+
+@dataclass(frozen=True)
+class ModelPreset:
+    """Shape metadata of one evaluated model (Table 1 plus architecture)."""
+
+    name: str
+    display_name: str
+    hidden: int
+    moe_intermediate: int
+    n_layers: int
+    n_moe_layers: int
+    n_experts: int
+    top_k: int
+    n_shared_experts: int
+    shared_intermediate: int
+    n_heads: int
+    kv_rank: int                 # 0 -> standard MHA; >0 -> MLA latent width
+    vocab_size: int
+    gpu_params: float            # parameters resident on the GPU (Table 1)
+    quant_dtype: DType           # highest-accuracy dtype fitting the RTX 4080
+    # Expert Deferral defaults from Section 6.3: (bf16, quantized).
+    deferred_experts_bf16: int
+    deferred_experts_quant: int
+
+    @property
+    def n_dense_layers(self) -> int:
+        return self.n_layers - self.n_moe_layers
+
+    @property
+    def cpu_params(self) -> float:
+        """Routed-expert parameters offloaded to CPU DRAM."""
+        return (
+            float(self.n_moe_layers) * self.n_experts
+            * 3.0 * self.hidden * self.moe_intermediate
+        )
+
+    @property
+    def total_params(self) -> float:
+        return self.cpu_params + self.gpu_params
+
+    def expert_bytes(self, dtype: DType) -> float:
+        """Storage of one routed expert's three projections."""
+        return 3.0 * self.hidden * self.moe_intermediate * dtype.bytes_per_element
+
+    def shared_expert_bytes(self, dtype: DType) -> float:
+        return (
+            self.n_shared_experts * 3.0 * self.hidden
+            * self.shared_intermediate * dtype.bytes_per_element
+        )
+
+    def gpu_layer_bytes(self, dtype: DType) -> float:
+        """Per-layer GPU-resident weight bytes (attention + dense + shared)."""
+        return self.gpu_params * dtype.bytes_per_element / self.n_layers
+
+    def cpu_dram_bytes(self, dtype: DType) -> float:
+        return self.n_moe_layers * self.n_experts * self.expert_bytes(dtype)
+
+
+DS3 = ModelPreset(
+    name="ds3",
+    display_name="DeepSeek-V3-0324 (671B)",
+    hidden=7168,
+    moe_intermediate=2048,
+    n_layers=61,
+    n_moe_layers=58,
+    n_experts=256,
+    top_k=8,
+    n_shared_experts=1,
+    shared_intermediate=2048,
+    n_heads=128,
+    kv_rank=512,
+    vocab_size=129_280,
+    gpu_params=17e9,
+    quant_dtype=INT4,
+    deferred_experts_bf16=3,
+    deferred_experts_quant=6,
+)
+
+DS2 = ModelPreset(
+    name="ds2",
+    display_name="DeepSeek-V2.5-1210 (236B)",
+    hidden=5120,
+    moe_intermediate=1536,
+    n_layers=60,
+    n_moe_layers=59,
+    n_experts=160,
+    top_k=6,
+    n_shared_experts=2,
+    shared_intermediate=1536,
+    n_heads=128,
+    kv_rank=512,
+    vocab_size=102_400,
+    gpu_params=13e9,
+    quant_dtype=INT8,
+    deferred_experts_bf16=4,
+    deferred_experts_quant=4,
+)
+
+QW2 = ModelPreset(
+    name="qw2",
+    display_name="Qwen2-57B-A14B",
+    hidden=3584,
+    moe_intermediate=2560,
+    n_layers=28,
+    n_moe_layers=28,
+    n_experts=64,
+    top_k=8,
+    n_shared_experts=1,
+    shared_intermediate=20_480,
+    n_heads=28,
+    kv_rank=0,
+    vocab_size=151_936,
+    gpu_params=8e9,
+    quant_dtype=INT8,
+    deferred_experts_bf16=2,
+    deferred_experts_quant=4,
+)
+
+PAPER_MODELS = {p.name: p for p in (DS3, DS2, QW2)}
+
+
+def preset(name: str) -> ModelPreset:
+    """Fetch a paper model preset by short name (``ds3``, ``ds2``, ``qw2``)."""
+    try:
+        return PAPER_MODELS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model preset {name!r}; expected one of {sorted(PAPER_MODELS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Tiny functional configurations (runnable + trainable).
+# ---------------------------------------------------------------------------
+
+_TINY_CONFIGS = {
+    # Structurally DS-3-like: MLA attention, grouped top-k, 1 shared expert,
+    # one leading dense layer.
+    "tiny-ds": dict(
+        vocab_size=64, hidden=32, n_layers=3, n_heads=4,
+        moe_intermediate=48, n_experts=8, top_k=4, n_shared_experts=1,
+        n_groups=4, top_k_groups=2, first_dense_layers=1,
+        dense_intermediate=64, attention="mla", kv_rank=16,
+    ),
+    # Qwen-like: plain top-k MHA, big shared expert.
+    "tiny-qw": dict(
+        vocab_size=64, hidden=32, n_layers=2, n_heads=4,
+        moe_intermediate=48, n_experts=8, top_k=4, n_shared_experts=1,
+        attention="mha",
+    ),
+    # Minimal smoke-test model.
+    "tiny": dict(
+        vocab_size=32, hidden=16, n_layers=2, n_heads=2,
+        moe_intermediate=24, n_experts=4, top_k=2, n_shared_experts=1,
+        attention="mha",
+    ),
+}
+
+
+def tiny_config(name: str = "tiny", **overrides) -> ModelConfig:
+    """A runnable scaled-down config; ``overrides`` patch any field."""
+    if name not in _TINY_CONFIGS:
+        raise ConfigError(
+            f"unknown tiny config {name!r}; expected one of {sorted(_TINY_CONFIGS)}"
+        )
+    params = dict(_TINY_CONFIGS[name])
+    params.update(overrides)
+    return ModelConfig(**params)

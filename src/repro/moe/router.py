@@ -1,0 +1,155 @@
+"""MoE gating: top-k and grouped top-k routing (Section 2.1).
+
+DeepSeek-V3/R1 use *grouped* top-k: experts are partitioned into groups,
+the best groups are selected by their top expert scores, and the final
+top-k experts are chosen within the surviving groups.  Qwen2-style models
+use plain top-k.  Both are implemented here over raw router logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Routing hyper-parameters for one MoE layer."""
+
+    n_experts: int
+    top_k: int
+    n_groups: int = 1
+    top_k_groups: int = 1
+    routed_scaling: float = 1.0
+    normalize_weights: bool = True
+
+    def __post_init__(self) -> None:
+        if self.top_k <= 0 or self.top_k > self.n_experts:
+            raise ConfigError(
+                f"top_k={self.top_k} invalid for {self.n_experts} experts"
+            )
+        if self.n_experts % self.n_groups != 0:
+            raise ConfigError(
+                f"{self.n_experts} experts not divisible into {self.n_groups} groups"
+            )
+        if self.top_k_groups > self.n_groups:
+            raise ConfigError("top_k_groups exceeds n_groups")
+        experts_in_selected = (self.n_experts // self.n_groups) * self.top_k_groups
+        if self.top_k > experts_in_selected:
+            raise ConfigError(
+                f"top_k={self.top_k} cannot be satisfied by {self.top_k_groups} "
+                f"groups of {self.n_experts // self.n_groups} experts"
+            )
+
+
+@dataclass
+class RoutingResult:
+    """Selected experts and their gate weights for a batch of tokens.
+
+    ``indices``/``weights`` are ``(tokens, top_k)``; ``scores`` is the full
+    ``(tokens, n_experts)`` softmax used for deferral decisions.
+    """
+
+    indices: np.ndarray
+    weights: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def n_tokens(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def top_k(self) -> int:
+        return self.indices.shape[1]
+
+    def expert_token_counts(self, n_experts: int) -> np.ndarray:
+        """Number of tokens routed to each expert (the layer's ARI profile)."""
+        return np.bincount(self.indices.ravel(), minlength=n_experts)
+
+    def active_experts(self) -> np.ndarray:
+        """Sorted unique expert ids with at least one routed token."""
+        return np.unique(self.indices)
+
+
+def route(logits: np.ndarray, config: RouterConfig) -> RoutingResult:
+    """Select experts for each token from router ``logits`` (tokens, experts)."""
+    logits = np.asarray(logits, dtype=np.float32)
+    if logits.ndim != 2 or logits.shape[1] != config.n_experts:
+        raise ConfigError(
+            f"logits shape {logits.shape} incompatible with "
+            f"{config.n_experts} experts"
+        )
+    scores = _softmax(logits)
+
+    if config.n_groups > 1:
+        masked = _apply_group_mask(scores, config)
+    else:
+        masked = scores
+
+    # Top-k selection per token (argpartition then sort for determinism).
+    k = config.top_k
+    part = np.argpartition(-masked, k - 1, axis=1)[:, :k]
+    part_scores = np.take_along_axis(masked, part, axis=1)
+    order = np.argsort(-part_scores, axis=1, kind="stable")
+    indices = np.take_along_axis(part, order, axis=1)
+    top_scores = np.take_along_axis(part_scores, order, axis=1)
+
+    if config.normalize_weights:
+        denom = top_scores.sum(axis=1, keepdims=True)
+        denom = np.where(denom == 0.0, 1.0, denom)
+        weights = top_scores / denom
+    else:
+        weights = top_scores
+    weights = weights * config.routed_scaling
+
+    return RoutingResult(indices=indices, weights=weights, scores=scores)
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _apply_group_mask(scores: np.ndarray, config: RouterConfig) -> np.ndarray:
+    """Zero out experts in non-selected groups (DeepSeek grouped top-k)."""
+    tokens = scores.shape[0]
+    group_size = config.n_experts // config.n_groups
+    grouped = scores.reshape(tokens, config.n_groups, group_size)
+    group_scores = grouped.max(axis=2)
+    keep = np.argpartition(-group_scores, config.top_k_groups - 1, axis=1)
+    keep = keep[:, :config.top_k_groups]
+    mask = np.zeros((tokens, config.n_groups), dtype=bool)
+    np.put_along_axis(mask, keep, True, axis=1)
+    masked = np.where(mask[:, :, None], grouped, 0.0)
+    return masked.reshape(tokens, config.n_experts)
+
+
+def balanced_synthetic_logits(
+    tokens: int, config: RouterConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Router logits whose expert loads are statistically balanced.
+
+    MoE training uses load-balancing losses, so routed experts see roughly
+    uniform traffic (the paper relies on this for its offloading split);
+    i.i.d. Gaussian logits reproduce that regime.
+    """
+    return rng.standard_normal((tokens, config.n_experts)).astype(np.float32)
+
+
+def skewed_synthetic_logits(
+    tokens: int,
+    config: RouterConfig,
+    rng: np.random.Generator,
+    hot_fraction: float = 0.1,
+    hot_bonus: float = 2.0,
+) -> np.ndarray:
+    """Logits with a popular-expert skew (prefill imbalance experiments)."""
+    logits = rng.standard_normal((tokens, config.n_experts)).astype(np.float32)
+    n_hot = max(1, int(config.n_experts * hot_fraction))
+    hot = rng.choice(config.n_experts, size=n_hot, replace=False)
+    logits[:, hot] += hot_bonus
+    return logits

@@ -1,0 +1,114 @@
+"""Static vs dynamic task scheduling across CPU threads (Section 3.2).
+
+Prefill routes uneven token counts to experts, so statically partitioning
+expert GEMMs across threads leaves some threads with much heavier work.
+KTransformers instead splits large tasks into small sequential subtasks in
+a lightweight work queue that threads drain dynamically; the paper reports
+up to a 1.83x prefill improvement from this alone.
+
+Both policies are simulated exactly (list scheduling over task durations)
+rather than approximated with closed forms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: a (partial) expert GEMM."""
+
+    duration_us: float
+    expert_id: int
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise SchedulingError("work item duration must be non-negative")
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of simulating one scheduling policy."""
+
+    makespan_us: float
+    per_thread_busy_us: list[float]
+    n_subtasks: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean thread load; 1.0 is perfectly balanced."""
+        busy = self.per_thread_busy_us
+        mean = sum(busy) / len(busy)
+        if mean == 0:
+            return 1.0
+        return max(busy) / mean
+
+
+def static_schedule(items: Sequence[WorkItem], n_threads: int,
+                    barrier_us: float = 2.0) -> ScheduleOutcome:
+    """Contiguous static partitioning: thread i gets every i-th task.
+
+    This mirrors the per-expert static assignment of the baseline systems:
+    whole expert tasks are bound to threads up front, so one hot expert
+    serializes its thread.
+    """
+    _validate(n_threads)
+    loads = [0.0] * n_threads
+    for i, item in enumerate(items):
+        loads[i % n_threads] += item.duration_us
+    makespan = max(loads) + barrier_us if items else barrier_us
+    return ScheduleOutcome(makespan, loads, len(items))
+
+
+def dynamic_schedule(
+    items: Sequence[WorkItem],
+    n_threads: int,
+    chunk_us: float = 50.0,
+    barrier_us: float = 2.0,
+    per_chunk_overhead_us: float = 0.2,
+) -> ScheduleOutcome:
+    """Work-queue scheduling with task chunking.
+
+    Each item is split into subtasks of at most ``chunk_us`` simulated
+    duration (modelling the vertical sub-partitioning of expert weight
+    matrices); idle threads pull the next chunk from a shared queue.  The
+    greedy earliest-available-thread simulation is exact for this policy.
+    """
+    _validate(n_threads)
+    if chunk_us <= 0:
+        raise SchedulingError("chunk_us must be positive")
+    chunks: list[float] = []
+    for item in items:
+        remaining = item.duration_us
+        while remaining > chunk_us:
+            chunks.append(chunk_us + per_chunk_overhead_us)
+            remaining -= chunk_us
+        if remaining > 0:
+            chunks.append(remaining + per_chunk_overhead_us)
+
+    avail = [0.0] * n_threads
+    heap = [(0.0, i) for i in range(n_threads)]
+    heapq.heapify(heap)
+    for dur in chunks:
+        t, idx = heapq.heappop(heap)
+        avail[idx] = t + dur
+        heapq.heappush(heap, (avail[idx], idx))
+    makespan = (max(avail) if chunks else 0.0) + barrier_us
+    return ScheduleOutcome(makespan, avail, len(chunks))
+
+
+def speedup(static: ScheduleOutcome, dynamic: ScheduleOutcome) -> float:
+    """Throughput gain of dynamic over static scheduling."""
+    if dynamic.makespan_us <= 0:
+        raise SchedulingError("dynamic makespan must be positive")
+    return static.makespan_us / dynamic.makespan_us
+
+
+def _validate(n_threads: int) -> None:
+    if n_threads <= 0:
+        raise SchedulingError(f"n_threads must be positive, got {n_threads}")

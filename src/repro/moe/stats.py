@@ -1,0 +1,80 @@
+"""Routing statistics: the quantities hybrid placement decisions read.
+
+Used by the placement planner, the scheduling experiments, and the analysis
+examples: load-balance factors (how even is expert traffic), routing
+entropy (how concentrated are per-token gate weights), and expert
+co-activation (which experts fire together -- relevant to cache-friendly
+expert grouping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .router import RoutingResult
+
+
+def load_balance_factor(counts: np.ndarray) -> float:
+    """max / mean activation count over experts; 1.0 is perfectly balanced.
+
+    The quantity the paper's dynamic scheduler fights at prefill: a factor
+    of f means the hottest expert has f times the average load.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0:
+        raise ConfigError("empty counts")
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)
+
+
+def gate_weight_entropy(routing: RoutingResult) -> float:
+    """Mean entropy (nats) of the normalized per-token top-k weights.
+
+    0 = all mass on one expert (deferral/skipping of the tail is free);
+    log(k) = uniform (every selected expert is equally load-bearing).
+    """
+    w = np.asarray(routing.weights, dtype=np.float64)
+    totals = w.sum(axis=1, keepdims=True)
+    if np.any(totals <= 0):
+        raise ConfigError("routing weights must have positive mass")
+    p = w / totals
+    ent = -(p * np.log(np.maximum(p, 1e-12))).sum(axis=1)
+    return float(ent.mean())
+
+
+def coactivation_matrix(routing: RoutingResult, n_experts: int) -> np.ndarray:
+    """Symmetric (experts x experts) count of joint per-token activations."""
+    if n_experts <= 0:
+        raise ConfigError("n_experts must be positive")
+    mat = np.zeros((n_experts, n_experts), dtype=np.int64)
+    for row in routing.indices:
+        ids = np.unique(row)
+        for i in ids:
+            for j in ids:
+                if i != j:
+                    mat[i, j] += 1
+    return mat
+
+
+def effective_experts(routing: RoutingResult) -> float:
+    """Mean perplexity of the gate distribution: exp(entropy).
+
+    Roughly "how many experts does a token *really* use" -- between 1 and
+    top_k.  Drives how many experts adaptive deferral can safely defer.
+    """
+    return float(np.exp(gate_weight_entropy(routing)))
+
+
+def routing_summary(routing: RoutingResult, n_experts: int) -> dict[str, float]:
+    """One-call bundle of the statistics above."""
+    counts = routing.expert_token_counts(n_experts)
+    return {
+        "tokens": float(routing.n_tokens),
+        "active_experts": float(len(routing.active_experts())),
+        "load_balance_factor": load_balance_factor(counts),
+        "gate_weight_entropy": gate_weight_entropy(routing),
+        "effective_experts": effective_experts(routing),
+    }

@@ -1,0 +1,130 @@
+"""GPU kernel-launch model: per-kernel launches vs a single CUDA graph.
+
+Section 2.3 measures the launch path of each system: Fiddler's Python host
+pays ~16 us per launch (73% of GPU time), llama.cpp's C++ host ~5 us (21%),
+and KTransformers captures the whole decode step in **one** CUDA graph whose
+replay costs ~0.5 us per kernel with a single host launch.  The
+``cudaLaunchHostFunc`` trick (Section 3.3) keeps CPU submit/sync callbacks
+*inside* the graph, so CPU work points no longer fragment it.
+
+``GpuExecutor`` turns these modes into simulator tasks: launches occupy the
+``host`` resource, kernels the ``gpu`` resource, and in per-kernel mode the
+GPU provably idles while the host is still launching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..errors import GraphCaptureError
+from ..hw.event_sim import Resource, Simulator, Task
+from ..hw.spec import MachineSpec
+
+GRAPH_LAUNCH_US = 10.0   # single host-side launch of a captured graph
+
+
+class LaunchMode(Enum):
+    """How GPU kernels reach the device."""
+
+    PER_KERNEL_PYTHON = "per_kernel_python"   # Fiddler: ~16 us/launch
+    PER_KERNEL_CPP = "per_kernel_cpp"         # llama.cpp: ~5 us/launch
+    CUDA_GRAPH = "cuda_graph"                 # KT: one launch, ~0.5 us replay
+
+    def launch_latency_us(self, machine: MachineSpec) -> float:
+        if self is LaunchMode.PER_KERNEL_PYTHON:
+            return 16.0
+        if self is LaunchMode.PER_KERNEL_CPP:
+            return machine.gpu.kernel_launch_latency_us
+        return machine.gpu.graph_replay_latency_us
+
+    @property
+    def uses_graph(self) -> bool:
+        return self is LaunchMode.CUDA_GRAPH
+
+    def sync_latency_us(self) -> float:
+        """Cost of one CPU<->GPU synchronization barrier.
+
+        Non-graph modes block the host on stream syncs; with
+        ``cudaLaunchHostFunc`` nodes inside a graph the barrier is free.
+        """
+        if self is LaunchMode.PER_KERNEL_PYTHON:
+            return 12.0
+        if self is LaunchMode.PER_KERNEL_CPP:
+            return 6.0
+        return 0.0
+
+
+@dataclass
+class GpuExecutor:
+    """Emits launch+kernel task pairs under a given launch mode."""
+
+    sim: Simulator
+    machine: MachineSpec
+    mode: LaunchMode
+
+    def __post_init__(self) -> None:
+        self.gpu: Resource = self.sim.resource("gpu")
+        self.host: Resource = self.sim.resource("host")
+        self._graph_launched_for_step: Optional[Task] = None
+
+    def begin_step(self, deps: Iterable[Task] = ()) -> Optional[Task]:
+        """Start one decode/prefill step.
+
+        In graph mode this is the single host launch that replays the whole
+        captured step; per-kernel modes have no step-level work.
+        """
+        if self.mode.uses_graph:
+            self._graph_launched_for_step = self.sim.submit(
+                "launch:graph", self.host, GRAPH_LAUNCH_US, deps=deps
+            )
+            return self._graph_launched_for_step
+        self._graph_launched_for_step = None
+        return None
+
+    def kernel(
+        self,
+        name: str,
+        duration_us: float,
+        n_kernels: int,
+        deps: Iterable[Task] = (),
+    ) -> Task:
+        """Submit a group of ``n_kernels`` GPU kernels totalling ``duration_us``.
+
+        Per-kernel mode: a host launch task (``n_kernels * latency``) must
+        finish before the kernels execute, and launches serialize on the
+        host thread -- this is what starves the GPU in Figure 4.  Graph
+        mode: kernels run back-to-back with only the replay overhead added,
+        gated by the step's single graph launch.
+        """
+        deps = list(deps)
+        if duration_us < 0:
+            raise GraphCaptureError(f"negative kernel duration for {name!r}")
+        lat = self.mode.launch_latency_us(self.machine)
+        if self.mode.uses_graph:
+            if self._graph_launched_for_step is None:
+                raise GraphCaptureError(
+                    "graph mode requires begin_step() before kernels"
+                )
+            total = duration_us + n_kernels * lat
+            return self.sim.submit(
+                f"kernel:{name}", self.gpu, total,
+                deps=deps + [self._graph_launched_for_step],
+            )
+        launch = self.sim.submit(
+            f"launch:{name}", self.host, n_kernels * lat, deps=deps
+        )
+        return self.sim.submit(
+            f"kernel:{name}", self.gpu, duration_us, deps=[launch]
+        )
+
+    def sync_point(self, name: str, deps: Iterable[Task] = ()) -> Task:
+        """A CPU<->GPU barrier (submit or sync in the paper's terminology).
+
+        Inside a CUDA graph these become ``cudaLaunchHostFunc`` callbacks
+        with no host blocking; otherwise they cost host time.
+        """
+        return self.sim.submit(
+            f"sync:{name}", self.host, self.mode.sync_latency_us(), deps=deps
+        )

@@ -1,0 +1,178 @@
+"""Decode-phase task-graph builders: synchronous, asynchronous, deferral.
+
+One decode step (one token) is lowered into simulator tasks:
+
+- **synchronous** (baseline): GPU attention -> submit -> CPU routed experts
+  -> sync -> GPU shared experts -> merge; the devices never overlap.
+- **asynchronous** (Section 3.3): after gating, the CPU control thread
+  feeds routed experts to worker threads while the GPU runs the shared
+  experts; submit/sync become ``cudaLaunchHostFunc`` callbacks inside one
+  CUDA graph.
+- **Expert Deferral** (Section 4): only the ``n_immediate`` highest-score
+  experts gate the next layer; the remaining ``n_deferred`` run on the CPU
+  concurrently with the *next* layer's attention, and their output joins at
+  layer k+1's merge.  The final layer never defers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from ..hw.event_sim import Simulator, Task
+from ..hw.roofline import pcie_transfer_time_us
+from ..hw.spec import MachineSpec
+from .cuda_graph import GpuExecutor, LaunchMode
+from .workload import DecodeLayerWork
+
+MERGE_KERNEL_US = 2.0  # elementwise merge of CPU and GPU activations
+
+
+@dataclass(frozen=True)
+class DecodeScheduleConfig:
+    """Scheduler policy for the decode phase."""
+
+    launch_mode: LaunchMode
+    overlap_cpu_gpu: bool
+    top_k: int
+    n_deferred: int = 0
+    attn_kernel_fraction: float = 0.8   # share of a layer's kernels in attention
+
+    def __post_init__(self) -> None:
+        if self.n_deferred < 0:
+            raise SchedulingError("n_deferred must be >= 0")
+        if self.n_deferred > 0 and self.top_k - self.n_deferred < 2:
+            raise SchedulingError(
+                "Expert Deferral requires at least 2 immediate experts "
+                "(Section 4.2 stability heuristic)"
+            )
+
+    @property
+    def n_immediate(self) -> int:
+        return self.top_k - self.n_deferred
+
+
+def build_decode_step(
+    sim: Simulator,
+    ex: GpuExecutor,
+    works: list[DecodeLayerWork],
+    config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    step_deps: list[Task],
+    step_idx: int = 0,
+    carried_deferred: Task | None = None,
+) -> tuple[Task, Task | None]:
+    """Emit the task graph of one decode step.
+
+    Returns ``(step_end, trailing_deferred)``: the final merge/LM-head task
+    and, if deferral is on, the last layer-(L-1) deferred transfer that the
+    *next* step's first merge must also respect (it never crosses steps in
+    the paper -- deferral stops at the last layer -- so this is None there;
+    it exists for mid-step chaining).
+    """
+    if not works:
+        raise SchedulingError("decode step needs at least one layer")
+    cpu = sim.resource("cpu")
+    pcie = sim.resource("pcie")
+
+    ex.begin_step(deps=step_deps)
+    prev_out: list[Task] = list(step_deps)
+    prev_deferred_xfer: Task | None = carried_deferred
+    n_layers = len(works)
+
+    for k, w in enumerate(works):
+        tag = f"{step_idx}.{k}"
+        n_attn_kernels = max(1, int(w.n_gpu_kernels * config.attn_kernel_fraction))
+        n_misc_kernels = max(1, w.n_gpu_kernels - n_attn_kernels)
+
+        attn = ex.kernel(f"attn:{tag}", w.gpu_attn_us, n_attn_kernels,
+                         deps=prev_out)
+
+        if w.cpu_routed_us <= 0.0:
+            # Dense layer: no CPU work, no transfers.
+            prev_out = [attn]
+            continue
+
+        submit = ex.sync_point(f"submit:{tag}", deps=[attn])
+        to_cpu = sim.submit(
+            f"xfer:to_cpu:{tag}", pcie,
+            pcie_transfer_time_us(w.transfer_bytes, machine.interconnect),
+            deps=[submit],
+        )
+
+        last_layer = k == n_layers - 1
+        deferring = config.n_deferred > 0 and not last_layer
+        if deferring:
+            imm_us, def_us = w.cpu_split(
+                config.n_immediate, config.n_deferred, config.top_k
+            )
+        else:
+            imm_us, def_us = w.cpu_routed_us, 0.0
+
+        imm = sim.submit(f"cpu:imm:{tag}", cpu, imm_us, deps=[to_cpu])
+        deferred = (
+            sim.submit(f"cpu:def:{tag}", cpu, def_us, deps=[to_cpu])
+            if deferring else None
+        )
+
+        from_cpu = sim.submit(
+            f"xfer:to_gpu:{tag}", pcie,
+            pcie_transfer_time_us(w.transfer_bytes, machine.interconnect),
+            deps=[imm],
+        )
+        sync = ex.sync_point(f"sync:{tag}", deps=[from_cpu])
+
+        if config.overlap_cpu_gpu:
+            shared_deps = [attn]            # shared experts run during CPU work
+        else:
+            shared_deps = [sync]            # baseline: GPU waits for the CPU
+        shared = ex.kernel(f"shared:{tag}", w.gpu_shared_us, n_misc_kernels,
+                           deps=shared_deps)
+
+        merge_deps = [shared, sync]
+        if prev_deferred_xfer is not None:
+            merge_deps.append(prev_deferred_xfer)  # R_{k-1}^def joins O_k
+        merge = ex.kernel(f"merge:{tag}", MERGE_KERNEL_US, 1, deps=merge_deps)
+
+        if deferred is not None:
+            prev_deferred_xfer = sim.submit(
+                f"xfer:def:{tag}", pcie,
+                pcie_transfer_time_us(w.transfer_bytes, machine.interconnect),
+                deps=[deferred],
+            )
+        else:
+            prev_deferred_xfer = None
+
+        prev_out = [merge]
+
+    head = ex.kernel(f"lm_head:{step_idx}", works[-1].gpu_attn_us * 0.2, 1,
+                     deps=prev_out)
+    return head, prev_deferred_xfer
+
+
+def simulate_decode(
+    works: list[DecodeLayerWork],
+    config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    n_tokens: int,
+) -> Simulator:
+    """Chain ``n_tokens`` decode steps and run the simulation to completion.
+
+    The same per-layer work is reused for every step (context growth over a
+    few hundred tokens changes attention time negligibly at these scales),
+    so throughput is tokens / final simulated time.
+    """
+    if n_tokens <= 0:
+        raise SchedulingError("n_tokens must be positive")
+    sim = Simulator()
+    ex = GpuExecutor(sim, machine, config.launch_mode)
+    deps: list[Task] = []
+    carried: Task | None = None
+    for t in range(n_tokens):
+        end, carried = build_decode_step(
+            sim, ex, works, config, machine, step_deps=deps,
+            step_idx=t, carried_deferred=carried,
+        )
+        deps = [end]
+    sim.drain()
+    return sim

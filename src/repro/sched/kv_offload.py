@@ -1,0 +1,99 @@
+"""KV-cache offloading cost model (Section 5 injection capability).
+
+Long contexts can outgrow VRAM -- especially for standard MHA caches
+(2 x hidden x 2 bytes per token per layer).  With offloading, the coldest
+pages live in host DRAM and must cross PCIe each step (or be attended on
+the CPU).  MLA's latent cache is ~28x smaller per token, which is exactly
+why DeepSeek-scale models stay serveable on one GPU; this model quantifies
+both regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..hw.roofline import gpu_kernel_time_us, pcie_transfer_time_us
+from ..hw.spec import MachineSpec
+from ..model.presets import ModelPreset
+from ..sched.workload import ACTIVATION_BYTES
+
+
+def kv_bytes_per_token_layer(preset: ModelPreset) -> float:
+    """KV-cache bytes one token adds to one layer's cache."""
+    if preset.kv_rank > 0:
+        return preset.kv_rank * ACTIVATION_BYTES            # MLA latent
+    return 2.0 * preset.hidden * ACTIVATION_BYTES           # full K + V
+
+
+def kv_cache_total_bytes(preset: ModelPreset, context_len: int) -> float:
+    """Whole-model KV-cache footprint at the given context length."""
+    return kv_bytes_per_token_layer(preset) * context_len * preset.n_layers
+
+
+def gpu_kv_budget_tokens(preset: ModelPreset, machine: MachineSpec,
+                         weight_bytes: float) -> int:
+    """Tokens of context whose cache fits VRAM next to the weights."""
+    spare = machine.gpu.vram_capacity * 0.9 - weight_bytes
+    per_token = kv_bytes_per_token_layer(preset) * preset.n_layers
+    if per_token <= 0:
+        raise ConfigError("invalid KV layout")
+    return max(0, int(spare // per_token))
+
+
+@dataclass(frozen=True)
+class KVOffloadCost:
+    """Per-step attention cost split by cache placement."""
+
+    context_len: int
+    gpu_tokens: int
+    offloaded_tokens: int
+    attn_us_per_layer: float
+    fetch_us_per_layer: float
+
+    @property
+    def total_us_per_layer(self) -> float:
+        return self.attn_us_per_layer + self.fetch_us_per_layer
+
+    @property
+    def offload_fraction(self) -> float:
+        if self.context_len == 0:
+            return 0.0
+        return self.offloaded_tokens / self.context_len
+
+
+def kv_offload_step_cost(
+    preset: ModelPreset,
+    machine: MachineSpec,
+    context_len: int,
+    weight_bytes: float,
+) -> KVOffloadCost:
+    """Cost of one decode step's per-layer attention with offloaded KV.
+
+    GPU-resident tokens are read from HBM; offloaded tokens stream over
+    PCIe (fetch overlaps poorly with the short decode kernels, so it is
+    additive here -- the pessimistic end of the paper's design space).
+    """
+    if context_len < 0:
+        raise ConfigError("context_len must be >= 0")
+    budget = gpu_kv_budget_tokens(preset, machine, weight_bytes)
+    gpu_tokens = min(context_len, budget)
+    offloaded = context_len - gpu_tokens
+    per_token = kv_bytes_per_token_layer(preset)
+
+    attn_us = gpu_kernel_time_us(
+        flops=2.0 * per_token * context_len / ACTIVATION_BYTES,
+        bytes_moved=per_token * gpu_tokens,
+        gpu=machine.gpu,
+    )
+    fetch_us = (
+        pcie_transfer_time_us(per_token * offloaded, machine.interconnect)
+        if offloaded > 0 else 0.0
+    )
+    return KVOffloadCost(
+        context_len=context_len,
+        gpu_tokens=gpu_tokens,
+        offloaded_tokens=offloaded,
+        attn_us_per_layer=attn_us,
+        fetch_us_per_layer=fetch_us,
+    )

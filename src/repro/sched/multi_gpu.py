@@ -1,0 +1,184 @@
+"""Multi-GPU pipeline parallelism (a Section 5 injection capability).
+
+The injection framework "includes support for multi-GPU pipelining": the
+layer stack is partitioned into contiguous stages, one GPU per stage, with
+activations crossing PCIe between stages.  Routed experts still execute on
+the shared CPU pool.
+
+Pipeline behavior this module reproduces:
+
+- **prefill** processes multiple chunks, so stage s can work on chunk c
+  while stage s+1 works on chunk c-1 -- GPU-bound prefill scales with the
+  stage count, but the *shared* CPU expert pool serializes across stages
+  and caps the gain once prefill is CPU-bound (which it is for the big
+  MoE models: pipelining mainly buys VRAM headroom, not speed);
+- **decode** of a single token traverses stages serially, so pipelining
+  does not reduce batch-1 latency at all; its value is fitting higher
+  precisions into aggregate VRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from ..hw.event_sim import Simulator, Task
+from ..hw.roofline import pcie_transfer_time_us
+from ..hw.spec import MachineSpec
+from .cuda_graph import GRAPH_LAUNCH_US
+from .workload import DecodeLayerWork, PrefillLayerWork
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """How layers map onto GPUs."""
+
+    n_stages: int
+
+    def __post_init__(self) -> None:
+        if self.n_stages <= 0:
+            raise SchedulingError("n_stages must be positive")
+
+    def stage_of(self, layer_idx: int, n_layers: int) -> int:
+        """Contiguous, balanced layer-to-stage assignment."""
+        per_stage = -(-n_layers // self.n_stages)  # ceil
+        return min(layer_idx // per_stage, self.n_stages - 1)
+
+
+def simulate_pipelined_prefill(
+    works_per_chunk: list[list[PrefillLayerWork]],
+    machine: MachineSpec,
+    config: PipelineConfig,
+) -> Simulator:
+    """Chunked prefill through a GPU pipeline with a shared CPU pool."""
+    if not works_per_chunk:
+        raise SchedulingError("prefill needs at least one chunk")
+    sim = Simulator()
+    gpus = [sim.resource(f"gpu{s}") for s in range(config.n_stages)]
+    cpu = sim.resource("cpu")
+    pcie = sim.resource("pcie")
+    host = sim.resource("host")
+
+    n_layers = len(works_per_chunk[0])
+    # last_on_stage[s]: the previous chunk's final task on stage s --
+    # a stage processes chunks in order.
+    last_on_stage: dict[int, Task] = {}
+    prev_chunk_layer: list[Task | None] = [None] * n_layers
+
+    for c, works in enumerate(works_per_chunk):
+        launch = sim.submit(f"launch:{c}", host, GRAPH_LAUNCH_US)
+        prev: list[Task] = [launch]
+        prev_stage = 0
+        for k, w in enumerate(works):
+            stage = config.stage_of(k, n_layers)
+            deps = list(prev)
+            if stage != prev_stage:
+                # Activation handoff between GPUs over PCIe.
+                deps = [sim.submit(
+                    f"xfer:stage:{c}.{k}", pcie,
+                    pcie_transfer_time_us(w.transfer_bytes,
+                                          machine.interconnect),
+                    deps=deps,
+                )]
+            if stage in last_on_stage:
+                deps.append(last_on_stage[stage])
+
+            attn = sim.submit(f"attn:{c}.{k}", gpus[stage], w.gpu_attn_us,
+                              deps=deps)
+            if w.cpu_routed_us > 0:
+                to_cpu = sim.submit(
+                    f"xfer:to_cpu:{c}.{k}", pcie,
+                    pcie_transfer_time_us(w.transfer_bytes,
+                                          machine.interconnect),
+                    deps=[attn],
+                )
+                routed = sim.submit(f"cpu:{c}.{k}", cpu, w.cpu_routed_us,
+                                    deps=[to_cpu])
+                back = sim.submit(
+                    f"xfer:to_gpu:{c}.{k}", pcie,
+                    pcie_transfer_time_us(w.transfer_bytes,
+                                          machine.interconnect),
+                    deps=[routed],
+                )
+                shared = sim.submit(f"shared:{c}.{k}", gpus[stage],
+                                    w.gpu_shared_us, deps=[attn])
+                out = sim.submit(f"merge:{c}.{k}", gpus[stage], 2.0,
+                                 deps=[shared, back])
+            else:
+                out = attn
+            last_on_stage[stage] = out
+            prev = [out]
+            prev_stage = stage
+            prev_chunk_layer[k] = out
+    sim.drain()
+    return sim
+
+
+def simulate_pipelined_decode(
+    works: list[DecodeLayerWork],
+    machine: MachineSpec,
+    config: PipelineConfig,
+    n_tokens: int,
+) -> Simulator:
+    """Batch-1 decode through the pipeline: strictly serial per token."""
+    if not works:
+        raise SchedulingError("decode needs at least one layer")
+    if n_tokens <= 0:
+        raise SchedulingError("n_tokens must be positive")
+    sim = Simulator()
+    gpus = [sim.resource(f"gpu{s}") for s in range(config.n_stages)]
+    cpu = sim.resource("cpu")
+    pcie = sim.resource("pcie")
+    host = sim.resource("host")
+
+    n_layers = len(works)
+    prev: list[Task] = []
+    for t in range(n_tokens):
+        launch = sim.submit(f"launch:{t}", host, GRAPH_LAUNCH_US, deps=prev)
+        prev = [launch]
+        prev_stage = 0
+        for k, w in enumerate(works):
+            stage = config.stage_of(k, n_layers)
+            deps = list(prev)
+            if stage != prev_stage:
+                deps = [sim.submit(
+                    f"xfer:stage:{t}.{k}", pcie,
+                    pcie_transfer_time_us(w.transfer_bytes,
+                                          machine.interconnect),
+                    deps=deps,
+                )]
+            attn = sim.submit(f"attn:{t}.{k}", gpus[stage], w.gpu_attn_us,
+                              deps=deps)
+            if w.cpu_routed_us > 0:
+                to_cpu = sim.submit(
+                    f"xfer:to_cpu:{t}.{k}", pcie,
+                    pcie_transfer_time_us(w.transfer_bytes,
+                                          machine.interconnect),
+                    deps=[attn],
+                )
+                routed = sim.submit(f"cpu:{t}.{k}", cpu, w.cpu_routed_us,
+                                    deps=[to_cpu])
+                back = sim.submit(
+                    f"xfer:to_gpu:{t}.{k}", pcie,
+                    pcie_transfer_time_us(w.transfer_bytes,
+                                          machine.interconnect),
+                    deps=[routed],
+                )
+                shared = sim.submit(f"shared:{t}.{k}", gpus[stage],
+                                    w.gpu_shared_us, deps=[attn])
+                out = sim.submit(f"merge:{t}.{k}", gpus[stage], 2.0,
+                                 deps=[shared, back])
+            else:
+                out = attn
+            prev = [out]
+            prev_stage = stage
+    sim.drain()
+    return sim
+
+
+def vram_per_stage_bytes(total_gpu_bytes: float, config: PipelineConfig
+                         ) -> float:
+    """Per-GPU weight footprint under balanced layer partitioning."""
+    if total_gpu_bytes < 0:
+        raise SchedulingError("bytes must be non-negative")
+    return total_gpu_bytes / config.n_stages

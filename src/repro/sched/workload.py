@@ -1,0 +1,196 @@
+"""Lowering model presets into per-layer simulated work descriptions.
+
+The performance simulator never allocates 671B parameters: a
+:class:`~repro.model.presets.ModelPreset` plus a machine spec is lowered
+into per-layer GPU/CPU durations and transfer sizes, which the schedulers
+then arrange into task graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.roofline import CPUKernelProfile, gpu_kernel_time_us
+from ..hw.spec import MachineSpec
+from ..model.presets import ModelPreset
+from ..moe.numa import MoELayerDims, NumaStrategy, moe_layer_time_us
+from ..moe.router import RouterConfig, balanced_synthetic_logits, route
+from ..moe.scheduling import WorkItem, dynamic_schedule, static_schedule
+from ..tensor.dtypes import DType
+
+ACTIVATION_BYTES = 2  # BF16 activations cross PCIe
+
+
+@dataclass(frozen=True)
+class DecodeLayerWork:
+    """Simulated durations for one layer's single-token decode step."""
+
+    gpu_attn_us: float          # attention + dense projections on GPU
+    gpu_shared_us: float        # shared experts on GPU
+    cpu_routed_us: float        # all routed experts on CPU
+    transfer_bytes: float       # activations each way over PCIe
+    n_gpu_kernels: int          # kernel launches this layer issues
+
+    def cpu_split(self, immediate: int, deferred: int, top_k: int
+                  ) -> tuple[float, float]:
+        """Split routed-expert time between immediate and deferred sets."""
+        total = immediate + deferred
+        if total != top_k:
+            raise ValueError(f"immediate+deferred={total} != top_k={top_k}")
+        frac = immediate / top_k
+        return self.cpu_routed_us * frac, self.cpu_routed_us * (1.0 - frac)
+
+
+@dataclass(frozen=True)
+class PrefillLayerWork:
+    """Simulated durations for one layer over a prefill chunk."""
+
+    gpu_attn_us: float
+    gpu_shared_us: float
+    cpu_routed_us: float
+    transfer_bytes: float
+    n_gpu_kernels: int
+
+
+def decode_layer_work(
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    context_len: int,
+    cpu_profile: CPUKernelProfile,
+    numa_strategy: NumaStrategy,
+    kernels_per_layer: int,
+    batch_size: int = 1,
+    seed: int = 0,
+) -> DecodeLayerWork:
+    """Per-layer work of one decode step at the given context length.
+
+    ``batch_size > 1`` models the paper's "few requests per batch" local
+    scenario: weights stream once per step while serving every sequence,
+    so per-token cost drops and per-expert token counts rise (which is what
+    eventually flips the hybrid kernel back to AMX).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    gpu = machine.gpu
+    layer_bytes = preset.gpu_layer_bytes(dtype)
+    shared_bytes = preset.shared_expert_bytes(dtype)
+    attn_bytes = max(layer_bytes - shared_bytes, layer_bytes * 0.3)
+    # KV cache traffic: MLA reads the latent, MHA full K/V (per sequence).
+    if preset.kv_rank > 0:
+        kv_bytes = context_len * preset.kv_rank * ACTIVATION_BYTES
+    else:
+        kv_bytes = 2.0 * context_len * preset.hidden * ACTIVATION_BYTES
+    # Decode is memory-bound on GPU: flops ~ 2 * bytes/elem per sequence.
+    gpu_attn_us = gpu_kernel_time_us(
+        flops=2.0 * batch_size * (attn_bytes / dtype.bytes_per_element),
+        bytes_moved=attn_bytes + batch_size * kv_bytes,
+        gpu=gpu,
+    )
+    gpu_shared_us = gpu_kernel_time_us(
+        flops=2.0 * batch_size * (shared_bytes / dtype.bytes_per_element),
+        bytes_moved=shared_bytes,
+        gpu=gpu,
+    ) if shared_bytes > 0 else 0.0
+
+    if batch_size == 1:
+        # One token activates exactly top_k routed experts, one token each.
+        counts = np.zeros(preset.n_experts, dtype=int)
+        counts[np.linspace(0, preset.n_experts - 1, preset.top_k,
+                           dtype=int)] = 1
+    else:
+        rng = np.random.default_rng(seed)
+        cfg = RouterConfig(n_experts=preset.n_experts, top_k=preset.top_k)
+        routing = route(balanced_synthetic_logits(batch_size, cfg, rng), cfg)
+        counts = routing.expert_token_counts(preset.n_experts)
+    dims = MoELayerDims(preset.hidden, preset.moe_intermediate, dtype)
+    cpu_routed_us = moe_layer_time_us(counts, dims, cpu_profile, machine,
+                                      numa_strategy)
+
+    return DecodeLayerWork(
+        gpu_attn_us=gpu_attn_us,
+        gpu_shared_us=gpu_shared_us,
+        cpu_routed_us=cpu_routed_us,
+        transfer_bytes=float(batch_size * preset.hidden * ACTIVATION_BYTES),
+        n_gpu_kernels=kernels_per_layer,
+    )
+
+
+def prefill_layer_work(
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    chunk_tokens: int,
+    cpu_profile: CPUKernelProfile,
+    numa_strategy: NumaStrategy,
+    kernels_per_layer: int,
+    dynamic_scheduling: bool = True,
+    seed: int = 0,
+) -> PrefillLayerWork:
+    """Per-layer work of prefilling a chunk of ``chunk_tokens`` tokens.
+
+    Expert token counts are drawn from an actual routing pass over balanced
+    synthetic logits, so prefill imbalance (and the benefit of dynamic work
+    scheduling) is realistic rather than assumed.
+    """
+    gpu = machine.gpu
+    layer_bytes = preset.gpu_layer_bytes(dtype)
+    shared_bytes = preset.shared_expert_bytes(dtype)
+    attn_bytes = max(layer_bytes - shared_bytes, layer_bytes * 0.3)
+    weights_per_elem = dtype.bytes_per_element
+    # Prefill attention is compute-bound: O(chunk) GEMMs + O(chunk^2) scores.
+    attn_flops = (
+        2.0 * chunk_tokens * (attn_bytes / weights_per_elem)
+        + 2.0 * chunk_tokens * chunk_tokens * preset.hidden
+    )
+    gpu_attn_us = gpu_kernel_time_us(attn_flops, attn_bytes, gpu)
+    gpu_shared_us = gpu_kernel_time_us(
+        2.0 * chunk_tokens * (shared_bytes / weights_per_elem),
+        shared_bytes, gpu,
+    ) if shared_bytes > 0 else 0.0
+
+    rng = np.random.default_rng(seed)
+    cfg = RouterConfig(n_experts=preset.n_experts, top_k=preset.top_k)
+    routing = route(balanced_synthetic_logits(chunk_tokens, cfg, rng), cfg)
+    counts = routing.expert_token_counts(preset.n_experts)
+    dims = MoELayerDims(preset.hidden, preset.moe_intermediate, dtype)
+    ideal_us = moe_layer_time_us(counts, dims, cpu_profile, machine,
+                                 numa_strategy, streaming_access=True)
+    penalty = scheduling_penalty(counts, machine.cpu.cores,
+                                 dynamic=dynamic_scheduling)
+    return PrefillLayerWork(
+        gpu_attn_us=gpu_attn_us,
+        gpu_shared_us=gpu_shared_us,
+        cpu_routed_us=ideal_us * penalty,
+        transfer_bytes=float(chunk_tokens * preset.hidden * ACTIVATION_BYTES),
+        n_gpu_kernels=kernels_per_layer,
+    )
+
+
+def scheduling_penalty(expert_token_counts: np.ndarray, n_threads: int,
+                       dynamic: bool) -> float:
+    """Makespan inflation of a thread-scheduling policy over perfect balance.
+
+    Work items are proportional to each active expert's token load; the
+    penalty is the policy's simulated makespan over the dynamic-chunked
+    optimum, applied multiplicatively to the ideal (fully-parallel) layer
+    time.
+    """
+    items = [
+        WorkItem(float(t), e)
+        for e, t in enumerate(expert_token_counts) if t > 0
+    ]
+    if not items:
+        return 1.0
+    baseline = dynamic_schedule(items, n_threads, chunk_us=1.0,
+                                barrier_us=0.0, per_chunk_overhead_us=0.0)
+    if dynamic:
+        policy = dynamic_schedule(items, n_threads, chunk_us=4.0,
+                                  barrier_us=0.0, per_chunk_overhead_us=0.05)
+    else:
+        policy = static_schedule(items, n_threads, barrier_us=0.0)
+    if baseline.makespan_us <= 0:
+        return 1.0
+    return max(1.0, policy.makespan_us / baseline.makespan_us)

@@ -1,0 +1,17 @@
+"""Serving layer: sessions (real tokens, simulated clocks) and a local server."""
+
+from .metrics import RequestTiming, ServingStats, percentile
+from .server import LocalServer, TimedRequest, poisson_workload
+from .session import (
+    GenerationRequest,
+    GenerationResult,
+    InferenceSession,
+    PhaseCostModel,
+)
+
+__all__ = [
+    "RequestTiming", "ServingStats", "percentile",
+    "LocalServer", "TimedRequest", "poisson_workload",
+    "GenerationRequest", "GenerationResult", "InferenceSession",
+    "PhaseCostModel",
+]

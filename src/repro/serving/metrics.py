@@ -1,0 +1,89 @@
+"""Serving metrics: TTFT/TPOT accounting and percentile summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """Simulated timing of one served request (microseconds)."""
+
+    arrival_us: float
+    start_us: float
+    first_token_us: float      # absolute time the first new token is ready
+    finish_us: float
+    prompt_tokens: int
+    generated_tokens: int
+
+    def __post_init__(self) -> None:
+        if not (self.arrival_us <= self.start_us <= self.first_token_us
+                <= self.finish_us):
+            raise ConfigError("request timing must be monotone")
+
+    @property
+    def queue_delay_us(self) -> float:
+        return self.start_us - self.arrival_us
+
+    @property
+    def ttft_us(self) -> float:
+        """Time to first token, measured from arrival."""
+        return self.first_token_us - self.arrival_us
+
+    @property
+    def tpot_us(self) -> float:
+        """Time per output token after the first."""
+        if self.generated_tokens <= 1:
+            return 0.0
+        return (self.finish_us - self.first_token_us) / (self.generated_tokens - 1)
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """The ``pct``-th percentile of ``values`` (errors on empty input)."""
+    if not values:
+        raise ConfigError("no values to summarize")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), pct))
+
+
+@dataclass
+class ServingStats:
+    """Aggregate statistics over a batch of served requests."""
+
+    timings: list[RequestTiming] = field(default_factory=list)
+
+    def add(self, timing: RequestTiming) -> None:
+        self.timings.append(timing)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.timings)
+
+    def _values(self, attr: str) -> list[float]:
+        return [getattr(t, attr) for t in self.timings]
+
+    def summary(self) -> dict[str, float]:
+        """p50/p95 TTFT and per-token latency plus aggregate throughput."""
+        if not self.timings:
+            raise ConfigError("no requests recorded")
+        ttft = self._values("ttft_us")
+        tpot = [t for t in self._values("tpot_us") if t > 0]
+        total_tokens = sum(t.generated_tokens for t in self.timings)
+        span = (max(t.finish_us for t in self.timings)
+                - min(t.arrival_us for t in self.timings))
+        return {
+            "requests": float(self.n_requests),
+            "ttft_p50_ms": percentile(ttft, 50) / 1e3,
+            "ttft_p95_ms": percentile(ttft, 95) / 1e3,
+            "tpot_p50_ms": percentile(tpot, 50) / 1e3 if tpot else 0.0,
+            "tpot_p95_ms": percentile(tpot, 95) / 1e3 if tpot else 0.0,
+            "queue_p95_ms": percentile(self._values("queue_delay_us"), 95) / 1e3,
+            "tokens_per_s": total_tokens / (span / 1e6) if span > 0 else 0.0,
+        }

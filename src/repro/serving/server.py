@@ -1,0 +1,80 @@
+"""A batch-size-1 local serving loop over an inference session.
+
+Local deployments (the paper's target) serve one request at a time; what
+matters is queueing delay, time-to-first-token, and time-per-output-token.
+``LocalServer`` replays a workload of timed requests through an
+:class:`~repro.serving.session.InferenceSession`, producing a
+:class:`~repro.serving.metrics.ServingStats` summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .metrics import RequestTiming, ServingStats
+from .session import GenerationRequest, InferenceSession
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """A request plus its (simulated) arrival time."""
+
+    arrival_us: float
+    request: GenerationRequest
+
+
+class LocalServer:
+    """FIFO, batch-1 serving: requests queue while one generation runs."""
+
+    def __init__(self, session: InferenceSession) -> None:
+        self.session = session
+        self.stats = ServingStats()
+
+    def replay(self, workload: list[TimedRequest]) -> ServingStats:
+        """Serve a workload in arrival order; returns aggregate stats."""
+        if not workload:
+            raise ConfigError("empty workload")
+        ordered = sorted(workload, key=lambda t: t.arrival_us)
+        clock = 0.0
+        for timed in ordered:
+            start = max(clock, timed.arrival_us)
+            result = self.session.generate(timed.request)
+            first_token = start + result.prefill_us + result.per_token_us
+            finish = start + result.total_us
+            self.stats.add(RequestTiming(
+                arrival_us=timed.arrival_us,
+                start_us=start,
+                first_token_us=first_token,
+                finish_us=finish,
+                prompt_tokens=len(np.atleast_1d(timed.request.prompt)),
+                generated_tokens=result.n_tokens,
+            ))
+            clock = finish
+        return self.stats
+
+
+def poisson_workload(
+    n_requests: int,
+    mean_interarrival_us: float,
+    prompt_len: int,
+    max_new_tokens: int,
+    vocab_size: int,
+    seed: int = 0,
+) -> list[TimedRequest]:
+    """Synthetic open-loop workload with Poisson arrivals."""
+    if n_requests <= 0:
+        raise ConfigError("n_requests must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(mean_interarrival_us, size=n_requests))
+    out = []
+    for a in arrivals:
+        prompt = rng.integers(1, vocab_size, size=prompt_len)
+        out.append(TimedRequest(
+            arrival_us=float(a),
+            request=GenerationRequest(prompt=prompt,
+                                      max_new_tokens=max_new_tokens),
+        ))
+    return out

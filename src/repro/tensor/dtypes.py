@@ -1,0 +1,54 @@
+"""Data-type descriptions shared by quantization, layouts, and cost models.
+
+KTransformers stores expert weights either in BF16 or in symmetric
+group-wise Int8/Int4 with one FP16 scale per group of 32 elements
+(Section 3.2).  The effective bytes-per-element therefore includes the
+amortized scale storage, which matters for bandwidth-bound cost estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+QUANT_GROUP_SIZE = 32  # elements sharing one scale factor
+SCALE_BYTES = 2        # FP16 scale per group
+
+
+@dataclass(frozen=True)
+class DType:
+    """A storage format for model weights."""
+
+    name: str
+    bits: int
+    quantized: bool
+
+    @property
+    def payload_bytes_per_element(self) -> float:
+        return self.bits / 8
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Payload plus amortized per-group scale storage (if quantized)."""
+        extra = SCALE_BYTES / QUANT_GROUP_SIZE if self.quantized else 0.0
+        return self.payload_bytes_per_element + extra
+
+
+BF16 = DType("bf16", 16, quantized=False)
+FP16 = DType("fp16", 16, quantized=False)
+FP32 = DType("fp32", 32, quantized=False)
+INT8 = DType("int8", 8, quantized=True)
+INT4 = DType("int4", 4, quantized=True)
+
+_DTYPES = {d.name: d for d in (BF16, FP16, FP32, INT8, INT4)}
+
+
+def dtype(name: str) -> DType:
+    """Look up a dtype by name (``"bf16"``, ``"int8"``, ``"int4"``...)."""
+    try:
+        return _DTYPES[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dtype {name!r}; expected one of {sorted(_DTYPES)}"
+        ) from None

@@ -1,0 +1,123 @@
+"""AMX tiling-aware weight layout (Section 3.2).
+
+Expert weight matrices are preprocessed **once at model load** into
+AMX-compatible submatrices so that inference needs no transposition or
+reshaping: the matrix is padded to whole 16-row x 64-byte tiles and stored
+tile-by-tile in the exact order the kernel consumes them.  Quantized formats
+(Int8/Int4) quantize the padded tiles group-wise so scale boundaries never
+straddle a tile row and the payload stays 64-byte aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import LayoutError
+from .dtypes import BF16, INT4, INT8, QUANT_GROUP_SIZE, DType
+from .quant import QuantizedTensor, dequantize, quantize
+from .tiles import TILE_ROWS, padded_cols, padded_rows, tile_cols
+
+
+@dataclass
+class PackedWeights:
+    """A weight matrix in tile order, optionally quantized.
+
+    ``tiles`` has logical shape ``(row_tiles, col_tiles, TILE_ROWS, tile_cols)``
+    -- either a float32 ndarray (for bf16/fp16/fp32 storage) or a
+    :class:`QuantizedTensor` over that same shape.
+    """
+
+    original_shape: tuple[int, int]
+    dtype: DType
+    tiles: Union[np.ndarray, QuantizedTensor]
+
+    @property
+    def rows(self) -> int:
+        return self.original_shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.original_shape[1]
+
+    @property
+    def padded_shape(self) -> tuple[int, int]:
+        return padded_rows(self.rows), padded_cols(self.cols, self.dtype)
+
+    @property
+    def tile_grid(self) -> tuple[int, int]:
+        pr, pc = self.padded_shape
+        return pr // TILE_ROWS, pc // tile_cols(self.dtype)
+
+    def nbytes(self) -> int:
+        """Storage footprint of the packed representation."""
+        if isinstance(self.tiles, QuantizedTensor):
+            return self.tiles.nbytes()
+        pr, pc = self.padded_shape
+        return int(pr * pc * self.dtype.bytes_per_element)
+
+    def dense_tiles(self) -> np.ndarray:
+        """The tile array as float32 (dequantizing if needed)."""
+        if isinstance(self.tiles, QuantizedTensor):
+            return dequantize(self.tiles)
+        return self.tiles
+
+
+def pack_matrix(weights: np.ndarray, dtype: DType = BF16) -> PackedWeights:
+    """Pack a (k, n) weight matrix into AMX tile order.
+
+    Padding cells are zero, so GEMM over the padded matrix equals GEMM over
+    the original followed by trimming -- the kernels rely on this.
+    """
+    w = np.asarray(weights, dtype=np.float32)
+    if w.ndim != 2:
+        raise LayoutError(f"expected a 2-D matrix, got shape {w.shape}")
+    rows, cols = w.shape
+    pr, pc = padded_rows(rows), padded_cols(cols, dtype)
+    tc = tile_cols(dtype)
+
+    padded = np.zeros((pr, pc), dtype=np.float32)
+    padded[:rows, :cols] = w
+    # (pr, pc) -> (row_tiles, TILE_ROWS, col_tiles, tc) -> tile-major order.
+    tiles = (
+        padded.reshape(pr // TILE_ROWS, TILE_ROWS, pc // tc, tc)
+        .transpose(0, 2, 1, 3)
+        .copy()
+    )
+
+    if dtype in (INT8, INT4):
+        # Group scales run along tile columns; tile_cols is always a
+        # multiple of the group size for both Int8 (64) and Int4 (128).
+        if tc % QUANT_GROUP_SIZE != 0:
+            raise LayoutError(
+                f"tile width {tc} incompatible with group size {QUANT_GROUP_SIZE}"
+            )
+        payload = quantize(tiles, dtype)
+        return PackedWeights((rows, cols), dtype, payload)
+    return PackedWeights((rows, cols), dtype, tiles)
+
+
+def unpack_matrix(packed: PackedWeights) -> np.ndarray:
+    """Recover the (k, n) matrix (padding trimmed; quantization lossy)."""
+    tiles = packed.dense_tiles()
+    rt, ct, tr, tc = tiles.shape
+    padded = tiles.transpose(0, 2, 1, 3).reshape(rt * tr, ct * tc)
+    rows, cols = packed.original_shape
+    return padded[:rows, :cols].copy()
+
+
+def pad_activations(x: np.ndarray, k_padded: int) -> np.ndarray:
+    """Zero-pad activation columns to the padded weight row count."""
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise LayoutError(f"expected (m, k) activations, got shape {x.shape}")
+    m, k = x.shape
+    if k > k_padded:
+        raise LayoutError(f"activations wider ({k}) than padded weights ({k_padded})")
+    if k == k_padded:
+        return x
+    out = np.zeros((m, k_padded), dtype=np.float32)
+    out[:, :k] = x
+    return out

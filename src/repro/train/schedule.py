@@ -1,0 +1,50 @@
+"""Learning-rate schedules for the training substrate."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ConstantLR:
+    """No schedule: the optimizer's base rate throughout."""
+
+    base_lr: float
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0:
+            raise ConfigError("base_lr must be positive")
+
+    def lr_at(self, step: int, total_steps: int) -> float:
+        return self.base_lr
+
+
+@dataclass(frozen=True)
+class WarmupCosineLR:
+    """Linear warmup then cosine decay to ``min_lr`` -- the standard LLM
+    pretraining shape, scaled down."""
+
+    base_lr: float
+    warmup_steps: int
+    min_lr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0:
+            raise ConfigError("base_lr must be positive")
+        if self.warmup_steps < 0:
+            raise ConfigError("warmup_steps must be >= 0")
+        if not 0 <= self.min_lr <= self.base_lr:
+            raise ConfigError("min_lr must be in [0, base_lr]")
+
+    def lr_at(self, step: int, total_steps: int) -> float:
+        if total_steps <= 0:
+            raise ConfigError("total_steps must be positive")
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        span = max(total_steps - self.warmup_steps, 1)
+        progress = min((step - self.warmup_steps) / span, 1.0)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos

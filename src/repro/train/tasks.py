@@ -1,0 +1,173 @@
+"""Synthetic benchmark tasks (the accuracy-suite substitute).
+
+The paper evaluates deferral on HumanEval/MBPP/GSM8K/StrategyQA/LiveBench.
+Those need frontier-scale models; what the experiment actually measures is
+*how much a trained MoE transformer's task performance degrades* under
+Expert Deferral vs Expert Skipping.  That question reproduces on any task a
+tiny trained MoE can master, so this module provides a suite of symbolic
+tasks spanning the same capability categories:
+
+- ``modsum``     -- modular arithmetic (math reasoning stand-in)
+- ``copy``       -- echo a sequence (instruction following)
+- ``reverse``    -- reverse a sequence (symbol manipulation / "coding")
+- ``majority``   -- most frequent symbol (classification / commonsense)
+- ``recall``     -- key-value lookup (long-range retrieval)
+
+Every task is generated deterministically from a seed with disjoint
+train/test splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+
+BOS = 0
+SEP = 1
+N_SPECIAL = 2  # symbol tokens start here
+
+
+@dataclass(frozen=True)
+class Example:
+    """One prompt/answer pair (token ids)."""
+
+    prompt: np.ndarray
+    target: np.ndarray
+
+
+@dataclass(frozen=True)
+class Task:
+    """A synthetic benchmark: generator plus metadata."""
+
+    name: str
+    n_symbols: int
+    answer_len: int
+    generate_fn: Callable[[int, np.random.Generator], list[Example]] = field(
+        repr=False
+    )
+
+    @property
+    def min_vocab(self) -> int:
+        return N_SPECIAL + self.n_symbols
+
+    def generate(self, n: int, seed: int) -> list[Example]:
+        if n <= 0:
+            raise ConfigError("need a positive number of examples")
+        return self.generate_fn(n, np.random.default_rng(seed))
+
+    def splits(self, n_train: int, n_test: int, seed: int = 0
+               ) -> tuple[list[Example], list[Example]]:
+        """Disjoint train/test splits (drawn from one stream, then cut)."""
+        allx = self.generate_fn(n_train + n_test,
+                                np.random.default_rng(seed))
+        return allx[:n_train], allx[n_train:]
+
+
+def _sym(values: np.ndarray) -> np.ndarray:
+    return (np.asarray(values) + N_SPECIAL).astype(np.int64)
+
+
+def _make_modsum(n_symbols: int) -> Task:
+    def gen(n: int, rng: np.random.Generator) -> list[Example]:
+        out = []
+        for __ in range(n):
+            a, b = rng.integers(0, n_symbols, size=2)
+            prompt = np.concatenate([[BOS], _sym([a, b]), [SEP]])
+            out.append(Example(prompt, _sym([(a + b) % n_symbols])))
+        return out
+
+    return Task("modsum", n_symbols, answer_len=1, generate_fn=gen)
+
+
+def _make_copy(n_symbols: int, length: int) -> Task:
+    def gen(n: int, rng: np.random.Generator) -> list[Example]:
+        out = []
+        for __ in range(n):
+            seqv = rng.integers(0, n_symbols, size=length)
+            prompt = np.concatenate([[BOS], _sym(seqv), [SEP]])
+            out.append(Example(prompt, _sym(seqv)))
+        return out
+
+    return Task("copy", n_symbols, answer_len=length, generate_fn=gen)
+
+
+def _make_reverse(n_symbols: int, length: int) -> Task:
+    def gen(n: int, rng: np.random.Generator) -> list[Example]:
+        out = []
+        for __ in range(n):
+            seqv = rng.integers(0, n_symbols, size=length)
+            prompt = np.concatenate([[BOS], _sym(seqv), [SEP]])
+            out.append(Example(prompt, _sym(seqv[::-1])))
+        return out
+
+    return Task("reverse", n_symbols, answer_len=length, generate_fn=gen)
+
+
+def _make_majority(n_symbols: int, length: int) -> Task:
+    if length % 2 == 0:
+        raise ConfigError("majority needs an odd sequence length")
+
+    def gen(n: int, rng: np.random.Generator) -> list[Example]:
+        out = []
+        for __ in range(n):
+            seqv = rng.integers(0, n_symbols, size=length)
+            counts = np.bincount(seqv, minlength=n_symbols)
+            prompt = np.concatenate([[BOS], _sym(seqv), [SEP]])
+            out.append(Example(prompt, _sym([int(np.argmax(counts))])))
+        return out
+
+    return Task("majority", n_symbols, answer_len=1, generate_fn=gen)
+
+
+def _make_recall(n_keys: int, n_values: int, n_pairs: int) -> Task:
+    """Associative recall: ``k1 v1 k2 v2 ... SEP kq`` -> ``vq``.
+
+    Keys use symbols [0, n_keys), values [n_keys, n_keys + n_values).
+    """
+
+    def gen(n: int, rng: np.random.Generator) -> list[Example]:
+        out = []
+        for __ in range(n):
+            keys = rng.choice(n_keys, size=n_pairs, replace=False)
+            values = rng.integers(n_keys, n_keys + n_values, size=n_pairs)
+            qi = rng.integers(0, n_pairs)
+            body = np.empty(2 * n_pairs, dtype=np.int64)
+            body[0::2] = keys
+            body[1::2] = values
+            prompt = np.concatenate(
+                [[BOS], _sym(body), [SEP], _sym([keys[qi]])]
+            )
+            out.append(Example(prompt, _sym([values[qi]])))
+        return out
+
+    return Task("recall", n_keys + n_values, answer_len=1, generate_fn=gen)
+
+
+def default_suite(n_symbols: int = 8) -> dict[str, Task]:
+    """The five-task suite used by the Table 2 / Figure 13 reproduction.
+
+    Copy and reverse carry multi-token answers so that most answer tokens
+    are produced in the *decode* phase -- the only phase deferral and
+    skipping modify (a 1-token answer is emitted straight from prefill).
+    """
+    return {
+        "modsum": _make_modsum(n_symbols),
+        "copy": _make_copy(n_symbols, length=6),
+        "reverse": _make_reverse(n_symbols, length=5),
+        "majority": _make_majority(3, length=5),
+        "recall": _make_recall(n_keys=4, n_values=4, n_pairs=3),
+    }
+
+
+def task(name: str, **kwargs) -> Task:
+    """Fetch one task from the default suite by name."""
+    suite = default_suite(**kwargs)
+    if name not in suite:
+        raise ConfigError(
+            f"unknown task {name!r}; expected one of {sorted(suite)}"
+        )
+    return suite[name]

@@ -1,0 +1,143 @@
+"""Tests for adaptive deferral and the calibration self-check."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveDeferralConfig,
+    AdaptiveDeferralEngine,
+    DeferralConfig,
+    DeferralEngine,
+    adaptive_split,
+)
+from repro.errors import ConfigError
+from repro.hw import format_calibration_report, paper_anchors, run_calibration_check
+from repro.model import MoETransformer, tiny_config
+from repro.moe import RouterConfig, route
+
+PROMPT = np.array([1, 2, 3, 4])
+
+
+def _routing(weights_rows):
+    """RoutingResult with explicit (descending) weight rows."""
+    w = np.asarray(weights_rows, dtype=np.float32)
+    tokens, k = w.shape
+    from repro.moe.router import RoutingResult
+    idx = np.tile(np.arange(k), (tokens, 1))
+    return RoutingResult(idx, w, np.zeros((tokens, 8), dtype=np.float32))
+
+
+class TestAdaptiveSplit:
+    def test_threshold_defers_tail(self):
+        r = _routing([[0.5, 0.3, 0.15, 0.05]])
+        cfg = AdaptiveDeferralConfig(weight_threshold=0.2, max_deferred=4)
+        imm, deferred, n = adaptive_split(r, cfg)
+        assert n == 2
+        assert np.allclose(imm.weights, [[0.5, 0.3, 0.0, 0.0]])
+        assert np.allclose(deferred.weights, [[0.0, 0.0, 0.15, 0.05]])
+
+    def test_partition_exact(self):
+        rng = np.random.default_rng(0)
+        cfg_r = RouterConfig(n_experts=8, top_k=4)
+        r = route(rng.standard_normal((6, 8)).astype(np.float32), cfg_r)
+        cfg = AdaptiveDeferralConfig(weight_threshold=0.2, max_deferred=2)
+        imm, deferred, __ = adaptive_split(r, cfg)
+        assert np.allclose(imm.weights + deferred.weights, r.weights)
+
+    def test_min_immediate_floor(self):
+        r = _routing([[0.3, 0.25, 0.25, 0.2]])
+        cfg = AdaptiveDeferralConfig(weight_threshold=0.9, max_deferred=4)
+        __, __, n = adaptive_split(r, cfg)
+        assert n == 2  # 4 - MIN_IMMEDIATE (2)
+
+    def test_max_deferred_cap(self):
+        r = _routing([[0.9, 0.05, 0.03, 0.02]])
+        cfg = AdaptiveDeferralConfig(weight_threshold=0.1, max_deferred=1)
+        __, __, n = adaptive_split(r, cfg)
+        assert n == 1
+
+    def test_confident_vs_uncertain_tokens(self):
+        """A confident row defers more than an uncertain one; the batch
+        takes the conservative count."""
+        confident = _routing([[0.85, 0.09, 0.04, 0.02]])
+        uncertain = _routing([[0.3, 0.27, 0.23, 0.2]])
+        cfg = AdaptiveDeferralConfig(weight_threshold=0.15, max_deferred=2)
+        assert adaptive_split(confident, cfg)[2] == 2
+        assert adaptive_split(uncertain, cfg)[2] == 0
+
+    def test_zero_threshold_defers_nothing(self):
+        r = _routing([[0.5, 0.3, 0.15, 0.05]])
+        cfg = AdaptiveDeferralConfig(weight_threshold=0.0, max_deferred=4)
+        assert adaptive_split(r, cfg)[2] == 0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            AdaptiveDeferralConfig(weight_threshold=1.0, max_deferred=1)
+        with pytest.raises(ConfigError):
+            AdaptiveDeferralConfig(weight_threshold=0.1, max_deferred=-1)
+
+
+class TestAdaptiveEngine:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return MoETransformer(tiny_config("tiny-qw", top_k=6))
+
+    def test_generates(self, model):
+        engine = AdaptiveDeferralEngine(
+            model, AdaptiveDeferralConfig(0.12, max_deferred=4))
+        out = engine.generate(PROMPT, max_new_tokens=6)
+        assert len(out) == 6
+        assert engine.deferred_histogram  # something was recorded
+
+    def test_zero_threshold_matches_standard(self, model):
+        engine = AdaptiveDeferralEngine(
+            model, AdaptiveDeferralConfig(0.0, max_deferred=4))
+        a = engine.generate(PROMPT, max_new_tokens=5)
+        b = model.generate(PROMPT, max_new_tokens=5)
+        assert np.array_equal(a, b)
+        assert engine.mean_deferred() == 0.0
+
+    def test_higher_threshold_defers_more(self, model):
+        lo = AdaptiveDeferralEngine(
+            model, AdaptiveDeferralConfig(0.05, max_deferred=4))
+        hi = AdaptiveDeferralEngine(
+            model, AdaptiveDeferralConfig(0.3, max_deferred=4))
+        lo.generate(PROMPT, max_new_tokens=6)
+        hi.generate(PROMPT, max_new_tokens=6)
+        assert hi.mean_deferred() >= lo.mean_deferred()
+
+    def test_outputs_stay_close_to_fixed_deferral(self, model):
+        """Adaptive deferral is a refinement of fixed deferral: both stay
+        near the unmodified model."""
+        base = model.generate(PROMPT, max_new_tokens=8)
+        adaptive = AdaptiveDeferralEngine(
+            model, AdaptiveDeferralConfig(0.12, max_deferred=4)
+        ).generate(PROMPT, max_new_tokens=8)
+        fixed = DeferralEngine(model, DeferralConfig(2)).generate(
+            PROMPT, max_new_tokens=8)
+        assert (adaptive == base).mean() >= 0.5
+        assert (fixed == base).mean() >= 0.5
+
+
+class TestCalibrationCheck:
+    def test_all_anchors_within_tolerance(self):
+        results = run_calibration_check()
+        assert len(results) >= 7
+        for r in results:
+            assert r.ok, f"{r.anchor.name} drifted {r.drift:.1%}"
+
+    def test_report_format(self):
+        report = format_calibration_report(run_calibration_check())
+        assert "anchors within tolerance" in report
+        assert "Fig. 3" in report
+
+    def test_anchor_detects_drift(self):
+        from repro.hw.calibration import Anchor
+        bad = Anchor("fake", 10.0, 0.05, lambda: 20.0)
+        result = bad.check()
+        assert not result.ok
+        assert result.drift == pytest.approx(1.0)
+
+    def test_anchor_names_unique(self):
+        names = [a.name for a in paper_anchors()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,120 @@
+"""Tests for expert-affinity scheduling + engine fuzzing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FIDDLER, LLAMACPP
+from repro.core import KTRANSFORMERS, run_decode, run_prefill
+from repro.errors import SchedulingError
+from repro.hw import paper_testbed
+from repro.model import DS2, DS3, QW2
+from repro.moe import WorkItem, affinity_schedule, dynamic_schedule
+from repro.tensor import BF16, INT4, INT8
+
+
+class TestAffinityScheduling:
+    def _items(self, n_experts=8, dur=500.0):
+        return [WorkItem(dur, e) for e in range(n_experts)]
+
+    def test_expert_aware_beats_interleaved(self):
+        """Co-scheduling same-expert chunks collects the L2 discount."""
+        aware = affinity_schedule(self._items(), 4, expert_aware=True)
+        naive = affinity_schedule(self._items(), 4, expert_aware=False)
+        assert aware.makespan_us < naive.makespan_us * 0.85
+        assert aware.hit_rate > 0.5
+        assert naive.hit_rate == 0.0
+
+    def test_affinity_beats_plain_dynamic(self):
+        """The cache model makes affinity strictly better than the plain
+        queue, which prices every chunk at full DRAM cost."""
+        items = self._items()
+        aware = affinity_schedule(items, 4)
+        plain = dynamic_schedule(items, 4, chunk_us=50.0)
+        assert aware.makespan_us < plain.makespan_us
+
+    def test_single_chunk_items_no_hits(self):
+        items = [WorkItem(30.0, e) for e in range(6)]
+        out = affinity_schedule(items, 2, chunk_us=50.0)
+        assert out.cache_hits == 0
+
+    def test_one_thread_serializes_with_hits(self):
+        items = [WorkItem(200.0, 0)]
+        out = affinity_schedule(items, 1, chunk_us=50.0,
+                                cache_hit_discount=0.5)
+        # 4 chunks; chunks 2..4 are hits at half cost.
+        assert out.n_subtasks == 4
+        assert out.cache_hits == 3
+
+    def test_discount_bounds_validated(self):
+        with pytest.raises(SchedulingError):
+            affinity_schedule([], 2, cache_hit_discount=0.0)
+        with pytest.raises(SchedulingError):
+            affinity_schedule([], 0)
+
+    def test_empty_items(self):
+        out = affinity_schedule([], 4)
+        assert out.makespan_us == pytest.approx(2.0)
+        assert out.hit_rate == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(10.0, 800.0), st.integers(0, 5)),
+             min_size=1, max_size=15),
+    st.integers(1, 8),
+)
+def test_property_affinity_never_slower_than_no_discount(raw, n_threads):
+    items = [WorkItem(d, e) for d, e in raw]
+    with_discount = affinity_schedule(items, n_threads,
+                                      cache_hit_discount=0.5)
+    no_discount = affinity_schedule(items, n_threads,
+                                    cache_hit_discount=1.0)
+    assert with_discount.makespan_us <= no_discount.makespan_us + 1e-6
+
+
+class TestEngineFuzz:
+    """Randomized end-to-end configurations must stay sane."""
+
+    SYSTEMS = (FIDDLER, LLAMACPP, KTRANSFORMERS)
+    PRESETS = (DS3, DS2, QW2)
+    DTYPES = (BF16, INT8, INT4)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(0, 2), st.integers(0, 2), st.integers(0, 2),
+        st.sampled_from(["a100", "4080"]),
+        st.integers(1, 3), st.integers(16, 512),
+    )
+    def test_property_decode_sane(self, si, pi, di, gpu, n_tokens, ctx):
+        machine = paper_testbed(gpu)
+        r = run_decode(self.SYSTEMS[si], self.PRESETS[pi], machine,
+                       self.DTYPES[di], n_tokens=n_tokens, context_len=ctx)
+        assert r.tokens_per_s > 0
+        assert 0.0 <= r.utilization("cpu") <= 1.0
+        assert 0.0 <= r.utilization("gpu") <= 1.0
+        lo, hi = r.trace.span()
+        assert hi <= r.elapsed_us + 1e-6
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2), st.integers(1, 4000))
+    def test_property_prefill_sane(self, pi, prompt_len):
+        machine = paper_testbed("a100")
+        r = run_prefill(KTRANSFORMERS, self.PRESETS[pi], machine, BF16,
+                        prompt_len=prompt_len)
+        assert r.tokens == prompt_len
+        assert r.tokens_per_s > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2), st.integers(1, 6))
+    def test_property_deferral_never_hurts_much(self, pi, n_deferred):
+        preset = self.PRESETS[pi]
+        n_deferred = min(n_deferred, preset.top_k - 2)
+        machine = paper_testbed("a100")
+        base = run_decode(KTRANSFORMERS, preset, machine, BF16, n_tokens=2)
+        deferred = run_decode(KTRANSFORMERS, preset, machine, BF16,
+                              n_tokens=2, n_deferred=n_deferred)
+        # Deferral reorders work; it must never cost more than a few
+        # percent even at suboptimal counts.
+        assert deferred.elapsed_us <= base.elapsed_us * 1.05

@@ -1,0 +1,127 @@
+"""Tests for attention modules and KV caches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import KVCache, LatentKVCache, MLAAttention, MultiHeadAttention
+from repro.model.attention import rope
+
+
+class TestRope:
+    def test_position_zero_is_identity(self):
+        x = np.random.default_rng(0).standard_normal((1, 2, 8)).astype(np.float32)
+        out = rope(x, np.array([0]))
+        assert np.allclose(out, x, atol=1e-6)
+
+    def test_norm_preserved(self):
+        x = np.random.default_rng(1).standard_normal((5, 2, 8)).astype(np.float32)
+        out = rope(x, np.arange(5))
+        assert np.allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-4
+        )
+
+    def test_relative_property(self):
+        """Dot products depend only on relative offsets."""
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((1, 1, 8)).astype(np.float32)
+        k = rng.standard_normal((1, 1, 8)).astype(np.float32)
+        d1 = (rope(q, np.array([3])) * rope(k, np.array([1]))).sum()
+        d2 = (rope(q, np.array([10])) * rope(k, np.array([8]))).sum()
+        assert d1 == pytest.approx(d2, abs=1e-4)
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ConfigError):
+            rope(np.zeros((1, 1, 7)), np.array([0]))
+
+
+class TestKVCache:
+    def test_append_and_len(self):
+        c = KVCache(2, 4)
+        c.append(np.ones((3, 2, 4)), np.ones((3, 2, 4)))
+        assert len(c) == 3
+        assert c.keys().shape == (3, 2, 4)
+
+    def test_growth_preserves_contents(self):
+        c = KVCache(1, 2, initial_capacity=2)
+        for i in range(10):
+            c.append(np.full((1, 1, 2), i, dtype=np.float32),
+                     np.full((1, 1, 2), -i, dtype=np.float32))
+        assert len(c) == 10
+        assert c.keys()[5, 0, 0] == 5.0
+        assert c.values()[7, 0, 0] == -7.0
+
+    def test_shape_mismatch_rejected(self):
+        c = KVCache(2, 4)
+        with pytest.raises(ConfigError):
+            c.append(np.ones((1, 2, 3)), np.ones((1, 2, 3)))
+
+    def test_reset(self):
+        c = KVCache(1, 2)
+        c.append(np.ones((2, 1, 2)), np.ones((2, 1, 2)))
+        c.reset()
+        assert len(c) == 0
+
+    def test_latent_cache(self):
+        c = LatentKVCache(8)
+        c.append(np.ones((4, 8)))
+        assert len(c) == 4
+        assert c.latents().shape == (4, 8)
+        with pytest.raises(ConfigError):
+            c.append(np.ones((1, 7)))
+
+
+@pytest.mark.parametrize("attn_cls,kwargs", [
+    (MultiHeadAttention, {}),
+    (MLAAttention, {"kv_rank": 8}),
+])
+class TestAttention:
+    def test_output_shape(self, attn_cls, kwargs):
+        attn = attn_cls(16, 4, **kwargs)
+        cache = attn.make_cache()
+        x = np.random.default_rng(0).standard_normal((5, 16)).astype(np.float32)
+        assert attn(x, cache).shape == (5, 16)
+        assert len(cache) == 5
+
+    def test_incremental_matches_full(self, attn_cls, kwargs):
+        """Token-by-token decode must equal one prefill pass."""
+        rng = np.random.default_rng(1)
+        attn = attn_cls(16, 4, rng=rng, **kwargs)
+        x = rng.standard_normal((6, 16)).astype(np.float32)
+
+        full_cache = attn.make_cache()
+        full = attn(x, full_cache)
+
+        inc_cache = attn.make_cache()
+        outs = [attn(x[i:i + 1], inc_cache) for i in range(6)]
+        assert np.allclose(np.concatenate(outs), full, atol=1e-4)
+
+    def test_causality(self, attn_cls, kwargs):
+        """Changing a later token never affects earlier outputs."""
+        rng = np.random.default_rng(2)
+        attn = attn_cls(16, 4, rng=rng, **kwargs)
+        x = rng.standard_normal((5, 16)).astype(np.float32)
+        y1 = attn(x, attn.make_cache())
+        x2 = x.copy()
+        x2[4] += 10.0
+        y2 = attn(x2, attn.make_cache())
+        assert np.allclose(y1[:4], y2[:4], atol=1e-5)
+        assert not np.allclose(y1[4], y2[4], atol=1e-3)
+
+    def test_bad_hidden_heads(self, attn_cls, kwargs):
+        with pytest.raises(ConfigError):
+            attn_cls(15, 4, **kwargs)
+
+
+def test_mla_cache_smaller_than_mha():
+    """The latent cache stores kv_rank floats vs 2*hidden for MHA."""
+    hidden, heads, kv_rank = 32, 4, 8
+    mha = MultiHeadAttention(hidden, heads)
+    mla = MLAAttention(hidden, heads, kv_rank)
+    x = np.random.default_rng(3).standard_normal((10, hidden)).astype(np.float32)
+    c1, c2 = mha.make_cache(), mla.make_cache()
+    mha(x, c1)
+    mla(x, c2)
+    mha_bytes = c1.keys().nbytes + c1.values().nbytes
+    mla_bytes = c2.latents().nbytes
+    assert mla_bytes * 4 < mha_bytes

@@ -1,0 +1,240 @@
+"""Tests for the autograd engine: gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import (
+    Adam,
+    Tensor,
+    causal_attend,
+    clip_grad_norm,
+    cross_entropy,
+    embedding,
+    rmsnorm,
+    rope_apply,
+    softmax,
+)
+from repro.errors import AutogradError
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central finite differences of a scalar function of x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    for __ in it:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        g[idx] = (hi - lo) / (2 * eps)
+    return g.astype(np.float32)
+
+
+def check_grad(build, x_data, atol=2e-2):
+    """``build(t)`` returns a scalar Tensor from parameter ``t``."""
+    t = Tensor.param(x_data.copy())
+    out = build(t)
+    out.backward()
+    num = numeric_grad(lambda: float(build(Tensor.param(t.data)).data), t.data)
+    assert np.allclose(t.grad, num, atol=atol), (t.grad, num)
+
+
+class TestBasicOps:
+    def test_add_mul_grad(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        check_grad(lambda t: ((t * 3.0 + 1.0) * t).sum(), x)
+
+    def test_broadcast_add_grad(self):
+        a = Tensor.param(np.ones((3, 4), dtype=np.float32))
+        b = Tensor.param(np.ones((1, 4), dtype=np.float32))
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (1, 4)
+        assert np.all(b.grad == 3.0)
+
+    def test_matmul_grad(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        w = rng.standard_normal((5, 2)).astype(np.float32)
+        check_grad(lambda t: (t @ Tensor(w)).sum(), x)
+        check_grad(lambda t: (Tensor(x) @ t).sum(), w)
+
+    def test_batched_matmul_grad(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        y = rng.standard_normal((2, 4, 3)).astype(np.float32)
+        check_grad(lambda t: (t @ Tensor(y)).sum(), x)
+
+    def test_div_pow_grad(self):
+        rng = np.random.default_rng(3)
+        x = (rng.standard_normal((4,)) + 3.0).astype(np.float32)
+        check_grad(lambda t: (t ** 2 / (t + 1.0)).sum(), x)
+
+    def test_silu_sigmoid_exp_log(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((6,)).astype(np.float32)
+        check_grad(lambda t: t.silu().sum(), x)
+        check_grad(lambda t: t.sigmoid().sum(), x)
+        check_grad(lambda t: t.exp().sum(), x)
+        check_grad(lambda t: (t * t + 1.0).log().sum(), x)
+
+    def test_mean_and_axes(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        check_grad(lambda t: (t.mean(axis=-1, keepdims=True) * t).sum(), x)
+
+    def test_reshape_swapaxes(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        check_grad(lambda t: (t.reshape(2, 3, 2).swapaxes(0, 1) ** 2).sum(), x)
+
+    def test_take_scatter_rows(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        idx = np.array([0, 2, 2])
+        check_grad(lambda t: (t.take_rows(idx) ** 2).sum(), x)
+        check_grad(lambda t: (t.take_rows(idx).scatter_rows(idx, 5) ** 2).sum(), x)
+
+    def test_gather_grad(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        idx = np.array([[0, 1], [4, 4], [2, 0]])
+        check_grad(lambda t: (t.gather(idx, axis=-1) ** 2).sum(), x)
+
+    def test_second_use_accumulates(self):
+        x = Tensor.param(np.array([2.0], dtype=np.float32))
+        y = x * x + x * 3.0
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_backward_requires_scalar(self):
+        x = Tensor.param(np.ones((2, 2), dtype=np.float32))
+        with pytest.raises(AutogradError):
+            (x * 2).backward()
+
+    def test_backward_on_constant_rejected(self):
+        with pytest.raises(AutogradError):
+            Tensor(np.float32(1.0)).backward()
+
+
+class TestCompositeOps:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(9).standard_normal((4, 6)))
+        s = softmax(x)
+        assert np.allclose(s.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_softmax_grad(self):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        w = rng.standard_normal((2, 4)).astype(np.float32)
+        check_grad(lambda t: (softmax(t) * Tensor(w)).sum(), x)
+
+    def test_cross_entropy_matches_manual(self):
+        rng = np.random.default_rng(11)
+        z = rng.standard_normal((5, 7)).astype(np.float32)
+        targets = rng.integers(0, 7, size=5)
+        ce = cross_entropy(Tensor(z, requires_grad=True), targets)
+        probs = np.exp(z - z.max(1, keepdims=True))
+        probs /= probs.sum(1, keepdims=True)
+        manual = -np.log(probs[np.arange(5), targets]).mean()
+        assert float(ce.data) == pytest.approx(manual, abs=1e-5)
+
+    def test_cross_entropy_grad(self):
+        rng = np.random.default_rng(12)
+        z = rng.standard_normal((4, 5)).astype(np.float32)
+        targets = rng.integers(0, 5, size=4)
+        check_grad(lambda t: cross_entropy(t, targets), z)
+
+    def test_rmsnorm_matches_inference_module(self):
+        from repro.model import RMSNorm
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        gain = rng.standard_normal(8).astype(np.float32)
+        mod = RMSNorm(8)
+        mod.gain[:] = gain
+        got = rmsnorm(Tensor(x), Tensor(gain))
+        assert np.allclose(got.data, mod(x), atol=1e-5)
+
+    def test_rmsnorm_grad(self):
+        rng = np.random.default_rng(14)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        g = np.ones(6, dtype=np.float32)
+        check_grad(lambda t: rmsnorm(t, Tensor(g)).sum(), x)
+
+    def test_rope_matches_inference(self):
+        from repro.model.attention import rope
+        rng = np.random.default_rng(15)
+        x = rng.standard_normal((4, 2, 8)).astype(np.float32)
+        pos = np.arange(4)
+        got = rope_apply(Tensor(x), pos)
+        assert np.allclose(got.data, rope(x, pos), atol=1e-5)
+
+    def test_rope_grad_is_inverse_rotation(self):
+        rng = np.random.default_rng(16)
+        x = rng.standard_normal((3, 1, 4)).astype(np.float32)
+        check_grad(lambda t: (rope_apply(t, np.arange(3)) ** 2).sum(), x)
+
+    def test_embedding_grad_scatter(self):
+        w = Tensor.param(np.ones((6, 3), dtype=np.float32))
+        out = embedding(w, np.array([1, 1, 4]))
+        out.sum().backward()
+        assert np.all(w.grad[1] == 2.0)
+        assert np.all(w.grad[4] == 1.0)
+        assert np.all(w.grad[0] == 0.0)
+
+    def test_causal_attend_matches_inference(self):
+        from repro.model.attention import _attend
+        rng = np.random.default_rng(17)
+        q = rng.standard_normal((5, 2, 4)).astype(np.float32)
+        k = rng.standard_normal((5, 2, 4)).astype(np.float32)
+        v = rng.standard_normal((5, 2, 4)).astype(np.float32)
+        pos = np.arange(5)
+        got = causal_attend(Tensor(q), Tensor(k), Tensor(v), pos)
+        assert np.allclose(got.data, _attend(q, k, v, pos), atol=1e-4)
+
+    def test_causal_attend_grad(self):
+        rng = np.random.default_rng(18)
+        q = rng.standard_normal((3, 1, 4)).astype(np.float32)
+        k = rng.standard_normal((3, 1, 4)).astype(np.float32)
+        v = rng.standard_normal((3, 1, 4)).astype(np.float32)
+        check_grad(
+            lambda t: (causal_attend(t, Tensor(k), Tensor(v),
+                                     np.arange(3)) ** 2).sum(), q)
+
+
+class TestOptim:
+    def test_adam_reduces_quadratic(self):
+        x = Tensor.param(np.array([5.0, -3.0], dtype=np.float32))
+        opt = Adam([x], lr=0.1)
+        for __ in range(200):
+            opt.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            opt.step()
+        assert np.abs(x.data).max() < 0.05
+
+    def test_clip_grad_norm(self):
+        x = Tensor.param(np.zeros(4, dtype=np.float32))
+        x.grad = np.full(4, 10.0, dtype=np.float32)
+        pre = clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0, abs=1e-5)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(AutogradError):
+            Adam([])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 5), st.integers(0, 2**31 - 1))
+def test_property_linear_grad_matches_fd(m, k, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, k)).astype(np.float32)
+    check_grad(lambda t: (t @ Tensor(np.ones((k, 1), dtype=np.float32))
+                          ).silu().sum(), x)

@@ -1,0 +1,99 @@
+"""Tests for custom machine specs loaded from YAML."""
+
+import pytest
+
+from repro.core import KTRANSFORMERS, run_decode
+from repro.errors import ConfigError
+from repro.hw import machine_from_dict, load_machine, paper_testbed
+from repro.model import QW2
+from repro.tensor import INT8
+
+EPYC_DOC = {
+    "name": "epyc box",
+    "cpu": {"name": "EPYC 9654", "cores": 96, "amx_tflops": 0,
+            "avx512_tflops": 12.0, "dram_gbps": 460, "dram_gb": 768},
+    "sockets": 2,
+    "gpu": {"name": "RTX 4090", "tflops": 165, "hbm_gbps": 1008,
+            "vram_gb": 24},
+}
+
+
+class TestMachineFromDict:
+    def test_full_spec(self):
+        m = machine_from_dict(EPYC_DOC)
+        assert m.name == "epyc box"
+        assert m.cpu.cores == 96
+        assert not m.cpu.has_amx
+        assert m.gpu.vram_capacity == 24 * 1024**3
+        assert m.total_dram_bandwidth == pytest.approx(920e9)
+
+    def test_defaults_fill_missing_fields(self):
+        m = machine_from_dict({})
+        ref = paper_testbed("a100")
+        assert m.cpu.cores == ref.cpu.cores
+        assert m.gpu.peak_flops == ref.gpu.peak_flops
+        assert m.sockets == 2
+
+    def test_partial_gpu_override(self):
+        m = machine_from_dict({"gpu": {"vram_gb": 80}})
+        assert m.gpu.vram_capacity == 80 * 1024**3
+        assert m.gpu.hbm_bandwidth == paper_testbed().gpu.hbm_bandwidth
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            machine_from_dict({"cpus": {}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            machine_from_dict([1, 2])
+
+    def test_engine_runs_on_custom_machine(self):
+        m = machine_from_dict(EPYC_DOC)
+        r = run_decode(KTRANSFORMERS, QW2, m, INT8, n_tokens=2)
+        assert r.tokens_per_s > 0
+
+
+class TestLoadMachine:
+    def test_roundtrip_through_file(self, tmp_path):
+        import yaml
+        path = tmp_path / "machine.yaml"
+        path.write_text(yaml.safe_dump(EPYC_DOC))
+        m = load_machine(str(path))
+        assert m.cpu.name == "EPYC 9654"
+
+    def test_invalid_yaml(self, tmp_path):
+        path = tmp_path / "bad.yaml"
+        path.write_text("cpu: [unclosed")
+        with pytest.raises(ConfigError):
+            load_machine(str(path))
+
+    def test_empty_file_gives_defaults(self, tmp_path):
+        path = tmp_path / "empty.yaml"
+        path.write_text("")
+        m = load_machine(str(path))
+        assert m.sockets == 2
+
+
+class TestNoAmxMachines:
+    def test_amx_kernel_raises_loudly_on_non_amx_cpu(self):
+        from repro.hw import KT_AMX, cpu_gemm_time_us
+        m = machine_from_dict(EPYC_DOC)
+        with pytest.raises(ValueError, match="without AMX"):
+            cpu_gemm_time_us(KT_AMX, 64, 1024, 1024,
+                             __import__("repro.tensor",
+                                        fromlist=["BF16"]).BF16, m.cpu)
+
+    def test_engine_falls_back_to_avx_prefill(self):
+        from repro.core import run_prefill
+        m = machine_from_dict(EPYC_DOC)
+        r = run_prefill(KTRANSFORMERS, QW2, m, INT8, prompt_len=512)
+        assert r.tokens_per_s > 0
+
+    def test_deferral_neutral_when_gpu_bound(self):
+        """A 4090 with a fast-DRAM CPU is GPU-bound; deferral cannot help
+        (and must not hurt)."""
+        m = machine_from_dict(EPYC_DOC)
+        base = run_decode(KTRANSFORMERS, QW2, m, INT8, n_tokens=3)
+        deferred = run_decode(KTRANSFORMERS, QW2, m, INT8, n_tokens=3,
+                              n_deferred=2)
+        assert deferred.elapsed_us <= base.elapsed_us * 1.02

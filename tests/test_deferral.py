@@ -1,0 +1,154 @@
+"""Tests for Expert Deferral and Expert Skipping (functional semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.core import (
+    DeferralConfig,
+    DeferralEngine,
+    SkippingConfig,
+    SkippingEngine,
+    split_routing,
+)
+from repro.model import MoETransformer, tiny_config
+from repro.moe import RouterConfig, route
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MoETransformer(tiny_config("tiny-qw"))
+
+
+@pytest.fixture(scope="module")
+def ds_model():
+    return MoETransformer(tiny_config("tiny-ds"))
+
+
+PROMPT = np.array([1, 2, 3, 4])
+
+
+class TestSplitRouting:
+    def _routing(self):
+        rng = np.random.default_rng(0)
+        cfg = RouterConfig(n_experts=8, top_k=4)
+        return route(rng.standard_normal((5, 8)).astype(np.float32), cfg)
+
+    def test_partition_is_exact(self):
+        r = self._routing()
+        imm, deferred = split_routing(r, 2)
+        assert np.allclose(imm.weights + deferred.weights, r.weights)
+
+    def test_immediate_takes_highest_scores(self):
+        r = self._routing()
+        imm, deferred = split_routing(r, 2)
+        assert np.all(imm.weights[:, :2] == r.weights[:, :2])
+        assert np.all(imm.weights[:, 2:] == 0)
+        assert np.all(deferred.weights[:, :2] == 0)
+
+    def test_boundary_splits(self):
+        r = self._routing()
+        imm, deferred = split_routing(r, 4)
+        assert np.allclose(imm.weights, r.weights)
+        assert np.allclose(deferred.weights, 0)
+        imm0, def0 = split_routing(r, 0)
+        assert np.allclose(imm0.weights, 0)
+        assert np.allclose(def0.weights, r.weights)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            split_routing(self._routing(), 5)
+
+
+class TestDeferralConfig:
+    def test_zero_deferred_allowed(self):
+        assert DeferralConfig(0).n_immediate(8) == 8
+
+    def test_min_immediate_enforced(self):
+        with pytest.raises(ConfigError):
+            DeferralConfig(7).n_immediate(8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            DeferralConfig(-1)
+
+
+class TestDeferralEngine:
+    def test_zero_deferral_matches_standard_generation(self, model):
+        engine = DeferralEngine(model, DeferralConfig(0))
+        a = engine.generate(PROMPT, max_new_tokens=6)
+        b = model.generate(PROMPT, max_new_tokens=6)
+        assert np.array_equal(a, b)
+
+    def test_zero_deferral_logits_exact(self, model):
+        engine = DeferralEngine(model, DeferralConfig(0))
+        got = engine.decode_logits(PROMPT, n_steps=4)
+        caches = model.new_caches()
+        logits = model.step(PROMPT, caches)
+        rows = []
+        last = logits[-1]
+        for __ in range(4):
+            rows.append(last)
+            tok = int(np.argmax(last))
+            last = model.step(np.array([tok]), caches)[-1]
+        assert np.allclose(got, np.stack(rows), atol=1e-4)
+
+    def test_deferral_changes_outputs_moderately(self, model):
+        base = DeferralEngine(model, DeferralConfig(0)).decode_logits(PROMPT, 6)
+        deferred = DeferralEngine(model, DeferralConfig(2)).decode_logits(PROMPT, 6)
+        assert not np.allclose(base, deferred, atol=1e-5)
+        # Residual stream absorbs the delayed contribution: logits stay close.
+        denom = np.abs(base).mean()
+        assert np.abs(base - deferred).mean() / denom < 0.5
+
+    def test_prefill_unaffected_by_deferral(self, model):
+        """Deferral is decode-only: the first decoded token's distribution
+        comes from a standard prefill in both engines."""
+        e0 = DeferralEngine(model, DeferralConfig(0))
+        e2 = DeferralEngine(model, DeferralConfig(2))
+        assert np.array_equal(
+            e0.generate(PROMPT, 1), e2.generate(PROMPT, 1)
+        )
+
+    def test_deferral_with_dense_layers(self, ds_model):
+        engine = DeferralEngine(ds_model, DeferralConfig(2))
+        out = engine.generate(PROMPT, max_new_tokens=5)
+        assert len(out) == 5
+        assert out.max() < ds_model.config.vocab_size
+
+    def test_too_many_deferred_rejected_at_construction(self, model):
+        with pytest.raises(ConfigError):
+            DeferralEngine(model, DeferralConfig(3))  # top_k=4 -> max 2
+
+    def test_generate_interface_parity(self, model):
+        engine = DeferralEngine(model, DeferralConfig(1))
+        out = engine.generate(PROMPT, 4, greedy=False, temperature=0.8,
+                              rng=np.random.default_rng(1))
+        assert len(out) == 4
+
+
+class TestSkippingEngine:
+    def test_zero_skipped_matches_standard(self, model):
+        engine = SkippingEngine(model, SkippingConfig(0))
+        a = engine.generate(PROMPT, max_new_tokens=6)
+        b = model.generate(PROMPT, max_new_tokens=6)
+        assert np.array_equal(a, b)
+
+    def test_skipping_perturbs_more_than_deferral(self, model):
+        """The core claim of Figure 13: at the same number of affected
+        experts, deferral stays much closer to the unmodified model."""
+        base = DeferralEngine(model, DeferralConfig(0)).decode_logits(PROMPT, 8)
+        deferred = DeferralEngine(model, DeferralConfig(2)).decode_logits(PROMPT, 8)
+        skipped = SkippingEngine(model, SkippingConfig(2)).decode_logits(PROMPT, 8)
+        err_def = np.abs(base - deferred).mean()
+        err_skip = np.abs(base - skipped).mean()
+        assert err_def < err_skip
+
+    def test_min_kept_enforced(self, model):
+        with pytest.raises(ConfigError):
+            SkippingEngine(model, SkippingConfig(3))
+
+    def test_skipping_with_dense_layers(self, ds_model):
+        engine = SkippingEngine(ds_model, SkippingConfig(2))
+        out = engine.generate(PROMPT, max_new_tokens=4)
+        assert len(out) == 4

@@ -1,0 +1,186 @@
+"""End-to-end engine tests + the Section 4.2 deferral autotuner.
+
+The calibration classes here pin the reproduction to the paper's headline
+evaluation bands (Sections 6.2-6.4).
+"""
+
+import pytest
+
+from repro.baselines import FIDDLER, LLAMACPP
+from repro.core import (
+    KTRANSFORMERS,
+    autotune_deferral,
+    decode_works,
+    heuristic_deferred_count,
+    run_decode,
+    run_prefill,
+)
+from repro.errors import ConfigError
+from repro.hw import paper_testbed
+from repro.model import DS2, DS3, QW2
+from repro.sched.workload import decode_layer_work
+from repro.tensor import BF16, INT4, INT8
+
+MACHINE = paper_testbed("a100")
+MACHINE_4080 = paper_testbed("4080")
+
+
+@pytest.fixture(scope="module")
+def ds3_decode():
+    out = {}
+    for sys_ in (FIDDLER, LLAMACPP, KTRANSFORMERS):
+        out[sys_.name] = run_decode(sys_, DS3, MACHINE, BF16, n_tokens=6)
+    out["kt_defer"] = run_decode(KTRANSFORMERS, DS3, MACHINE, BF16,
+                                 n_tokens=6, n_deferred=3)
+    return out
+
+
+class TestDecodeCalibration:
+    """Decode-phase speedups, Section 6.2 / Figure 12 (BF16, A100)."""
+
+    def test_kt_beats_fiddler_within_band(self, ds3_decode):
+        ratio = (ds3_decode["ktransformers"].tokens_per_s
+                 / ds3_decode["fiddler"].tokens_per_s)
+        assert 2.4 <= ratio <= 4.3
+
+    def test_kt_beats_llamacpp_within_band(self, ds3_decode):
+        ratio = (ds3_decode["ktransformers"].tokens_per_s
+                 / ds3_decode["llamacpp"].tokens_per_s)
+        assert 1.25 <= ratio <= 1.8
+
+    def test_deferral_gain_near_paper_33pct(self, ds3_decode):
+        gain = (ds3_decode["kt_defer"].tokens_per_s
+                / ds3_decode["ktransformers"].tokens_per_s)
+        assert 1.2 <= gain <= 1.45
+
+    def test_overall_speedup_vs_llamacpp(self, ds3_decode):
+        """Paper: 1.66x-2.56x overall including deferral."""
+        ratio = (ds3_decode["kt_defer"].tokens_per_s
+                 / ds3_decode["llamacpp"].tokens_per_s)
+        assert 1.66 <= ratio <= 2.6
+
+    def test_llamacpp_beats_fiddler_at_decode(self, ds3_decode):
+        assert (ds3_decode["llamacpp"].tokens_per_s
+                > ds3_decode["fiddler"].tokens_per_s)
+
+    @pytest.mark.parametrize("preset,dtype", [(DS3, INT4), (DS2, INT8)])
+    def test_quantized_decode_band_vs_llamacpp(self, preset, dtype):
+        """Paper: 1.77x-1.93x over llama.cpp for quantized models."""
+        kt = run_decode(KTRANSFORMERS, preset, MACHINE_4080, dtype, n_tokens=4)
+        ll = run_decode(LLAMACPP, preset, MACHINE_4080, dtype, n_tokens=4)
+        assert 1.4 <= kt.tokens_per_s / ll.tokens_per_s <= 2.2
+
+
+class TestUtilizationFigure10:
+    """CPU/GPU utilization before/after deferral (Figure 10)."""
+
+    def test_baseline_utilization_shape(self, ds3_decode):
+        r = ds3_decode["ktransformers"]
+        cpu = r.utilization("cpu")
+        gpu = r.utilization("gpu")
+        assert 0.55 <= cpu <= 0.9     # paper: 74%
+        assert 0.1 <= gpu <= 0.5      # paper: 28%
+        assert cpu > gpu
+
+    def test_deferral_saturates_cpu(self, ds3_decode):
+        before = ds3_decode["ktransformers"].utilization("cpu")
+        after = ds3_decode["kt_defer"].utilization("cpu")
+        assert after > before
+        assert after > 0.9            # paper: ~100%
+
+    def test_deferral_raises_gpu_utilization(self, ds3_decode):
+        before = ds3_decode["ktransformers"].utilization("gpu")
+        after = ds3_decode["kt_defer"].utilization("gpu")
+        assert after > before
+
+
+class TestPrefillCalibration:
+    """Prefill-phase comparisons, Section 6.2 / Figure 11."""
+
+    def test_kt_wins_all_prompt_lengths(self):
+        for plen in (32, 512, 4096):
+            kt = run_prefill(KTRANSFORMERS, DS3, MACHINE, BF16, plen)
+            fi = run_prefill(FIDDLER, DS3, MACHINE, BF16, plen)
+            ll = run_prefill(LLAMACPP, DS3, MACHINE, BF16, plen)
+            assert kt.tokens_per_s > fi.tokens_per_s
+            assert kt.tokens_per_s > ll.tokens_per_s
+
+    def test_crossover_fiddler_llamacpp(self):
+        """llama.cpp wins short prompts (fusion), Fiddler long (AMX)."""
+        short_f = run_prefill(FIDDLER, DS3, MACHINE, BF16, 64)
+        short_l = run_prefill(LLAMACPP, DS3, MACHINE, BF16, 64)
+        long_f = run_prefill(FIDDLER, DS3, MACHINE, BF16, 8192)
+        long_l = run_prefill(LLAMACPP, DS3, MACHINE, BF16, 8192)
+        assert short_l.tokens_per_s > short_f.tokens_per_s
+        assert long_f.tokens_per_s > long_l.tokens_per_s
+
+    def test_prefill_speedup_band(self):
+        """Paper: 4.62x-19.74x prefill speedups vs existing systems."""
+        kt = run_prefill(KTRANSFORMERS, DS3, MACHINE, BF16, 8192)
+        fi = run_prefill(FIDDLER, DS3, MACHINE, BF16, 8192)
+        ll = run_prefill(LLAMACPP, DS3, MACHINE, BF16, 8192)
+        assert 3.0 <= kt.tokens_per_s / fi.tokens_per_s <= 20.0
+        assert 4.0 <= kt.tokens_per_s / ll.tokens_per_s <= 20.0
+
+    def test_throughput_grows_with_prompt_length(self):
+        slow = run_prefill(KTRANSFORMERS, DS3, MACHINE, BF16, 32)
+        fast = run_prefill(KTRANSFORMERS, DS3, MACHINE, BF16, 2048)
+        assert fast.tokens_per_s > slow.tokens_per_s
+
+    def test_invalid_prompt_rejected(self):
+        with pytest.raises(ConfigError):
+            run_prefill(KTRANSFORMERS, DS3, MACHINE, BF16, 0)
+
+
+class TestAutotune:
+    """Section 4.2: deferral-count selection."""
+
+    def _work(self, preset, dtype=BF16):
+        return decode_layer_work(
+            preset, MACHINE, dtype, 128, KTRANSFORMERS.decode_kernel,
+            KTRANSFORMERS.numa_strategy, KTRANSFORMERS.decode_kernels_per_layer,
+        )
+
+    def test_heuristic_ds3_bf16_defers_3(self):
+        """Paper's chosen configuration: 5 immediate + 3 deferred."""
+        d = heuristic_deferred_count(self._work(DS3), DS3.top_k)
+        assert d == 3
+
+    def test_heuristic_qw2_bf16_defers_2(self):
+        d = heuristic_deferred_count(self._work(QW2), QW2.top_k)
+        assert d == 2
+
+    def test_heuristic_ds2_bf16_near_paper(self):
+        d = heuristic_deferred_count(self._work(DS2), DS2.top_k)
+        assert d in (3, 4)  # paper: 4
+
+    def test_heuristic_quantized_on_4080_matches_paper(self):
+        """Quantized runs use the RTX 4080, whose slower HBM widens the GPU
+        window relative to the (4x smaller) Int4 CPU expert time; the paper
+        defers 6 for DS-3/Int4 and 4 for DS-2/Int8."""
+        def work_4080(preset, dtype):
+            return decode_layer_work(
+                preset, MACHINE_4080, dtype, 128, KTRANSFORMERS.decode_kernel,
+                KTRANSFORMERS.numa_strategy,
+                KTRANSFORMERS.decode_kernels_per_layer,
+            )
+        assert heuristic_deferred_count(work_4080(DS3, INT4), DS3.top_k) == 6
+        assert heuristic_deferred_count(work_4080(DS2, INT8), DS2.top_k) == 4
+
+    def test_heuristic_zero_when_no_gpu_window(self):
+        from repro.sched.workload import DecodeLayerWork
+        w = DecodeLayerWork(gpu_attn_us=0.0, gpu_shared_us=0.0,
+                            cpu_routed_us=800.0, transfer_bytes=1.0,
+                            n_gpu_kernels=1)
+        assert heuristic_deferred_count(w, 8) == 0
+
+    def test_autotune_agrees_with_heuristic_roughly(self):
+        works = decode_works(KTRANSFORMERS, DS3, MACHINE, BF16, 128)
+        result = autotune_deferral(works, MACHINE, DS3.top_k, n_tokens=4)
+        assert abs(result.n_deferred - 3) <= 1
+        assert result.tokens_per_s > 0
+        assert set(result.all_throughputs) == set(range(0, 7))
+
+    def test_autotune_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            autotune_deferral([], MACHINE, 8)

@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.event_sim import Simulator, TaskState
+
+
+def test_single_task_runs_for_duration():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    t = sim.submit("work", res, 10.0)
+    end = sim.drain()
+    assert t.state is TaskState.DONE
+    assert t.start_time == 0.0
+    assert t.end_time == 10.0
+    assert end == 10.0
+
+
+def test_serial_dependency_chain():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    a = sim.submit("a", res, 5.0)
+    b = sim.submit("b", res, 7.0, deps=[a])
+    c = sim.submit("c", res, 3.0, deps=[b])
+    sim.drain()
+    assert b.start_time == 5.0
+    assert c.start_time == 12.0
+    assert c.end_time == 15.0
+
+
+def test_capacity_one_serializes_independent_tasks():
+    sim = Simulator()
+    res = sim.resource("link")
+    t1 = sim.submit("x", res, 4.0)
+    t2 = sim.submit("y", res, 4.0)
+    sim.drain()
+    assert {t1.start_time, t2.start_time} == {0.0, 4.0}
+
+
+def test_capacity_two_runs_in_parallel():
+    sim = Simulator()
+    res = sim.resource("pool", capacity=2)
+    t1 = sim.submit("x", res, 4.0)
+    t2 = sim.submit("y", res, 4.0)
+    end = sim.drain()
+    assert t1.start_time == 0.0 and t2.start_time == 0.0
+    assert end == 4.0
+
+
+def test_diamond_dependency_joins():
+    sim = Simulator()
+    cpu = sim.resource("cpu", capacity=2)
+    gpu = sim.resource("gpu")
+    root = sim.submit("root", gpu, 1.0)
+    left = sim.submit("left", cpu, 5.0, deps=[root])
+    right = sim.submit("right", cpu, 3.0, deps=[root])
+    join = sim.submit("join", gpu, 2.0, deps=[left, right])
+    sim.drain()
+    assert join.start_time == 6.0  # max(1+5, 1+3)
+    assert join.end_time == 8.0
+
+
+def test_cross_resource_overlap():
+    sim = Simulator()
+    cpu = sim.resource("cpu")
+    gpu = sim.resource("gpu")
+    a = sim.submit("cpu-work", cpu, 10.0)
+    b = sim.submit("gpu-work", gpu, 10.0)
+    end = sim.drain()
+    assert end == 10.0
+    assert a.start_time == b.start_time == 0.0
+
+
+def test_priority_orders_queued_tasks():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    blocker = sim.submit("blocker", res, 5.0)
+    low = sim.submit("low", res, 1.0, deps=[blocker], priority=10)
+    high = sim.submit("high", res, 1.0, deps=[blocker], priority=0)
+    sim.drain()
+    assert high.start_time < low.start_time
+
+
+def test_completion_callback_spawns_new_task():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    spawned = []
+
+    def follow_up(task):
+        spawned.append(sim.submit("child", res, 2.0))
+
+    sim.submit("parent", res, 3.0).on_complete(follow_up)
+    end = sim.drain()
+    assert end == 5.0
+    assert spawned[0].start_time == 3.0
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    with pytest.raises(SimulationError):
+        sim.submit("bad", res, -1.0)
+
+
+def test_duplicate_resource_same_capacity_is_shared():
+    sim = Simulator()
+    a = sim.resource("cpu", capacity=2)
+    b = sim.resource("cpu", capacity=2)
+    assert a is b
+
+
+def test_duplicate_resource_capacity_mismatch_raises():
+    sim = Simulator()
+    sim.resource("cpu", capacity=2)
+    with pytest.raises(SimulationError):
+        sim.resource("cpu", capacity=3)
+
+
+def test_scheduling_event_in_past_raises():
+    sim = Simulator()
+    sim.after(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    t = sim.submit("long", res, 100.0)
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+    assert t.state is TaskState.RUNNING
+    sim.run()
+    assert t.state is TaskState.DONE
+    assert sim.now == 100.0
+
+
+def test_zero_duration_tasks_complete():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    a = sim.submit("zero", res, 0.0)
+    b = sim.submit("next", res, 1.0, deps=[a])
+    end = sim.drain()
+    assert a.state is TaskState.DONE
+    assert b.start_time == 0.0
+    assert end == 1.0
+
+
+def test_dependency_on_completed_task():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    a = sim.submit("a", res, 1.0)
+    sim.drain()
+    b = sim.submit("b", res, 1.0, deps=[a])
+    sim.drain()
+    assert b.state is TaskState.DONE
+    assert b.start_time == 1.0
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    res = sim.resource("cpu", capacity=2)
+    sim.submit("a", res, 4.0)
+    sim.submit("b", res, 6.0)
+    sim.drain()
+    assert res.busy_time == pytest.approx(10.0)
+
+
+def test_many_tasks_fifo_fairness():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    tasks = [sim.submit(f"t{i}", res, 1.0) for i in range(20)]
+    sim.drain()
+    starts = [t.start_time for t in tasks]
+    assert starts == sorted(starts)
+    assert starts == [float(i) for i in range(20)]

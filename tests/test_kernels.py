@@ -1,0 +1,173 @@
+"""Unit + property tests for the CPU kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.hw import XEON_8452Y
+from repro.kernels import (
+    AMXKernel,
+    AVX512Kernel,
+    HybridKernel,
+    LlamaCppKernel,
+    TorchAMXKernel,
+    TorchAVX512Kernel,
+    plan_blocks,
+    reference_gemm,
+)
+from repro.tensor import BF16, INT4, INT8, pack_matrix
+
+ALL_KERNELS = [
+    AMXKernel, AVX512Kernel, TorchAMXKernel, TorchAVX512Kernel, LlamaCppKernel,
+]
+
+
+def _case(m, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, k)).astype(np.float32)
+    w = rng.standard_normal((k, n)).astype(np.float32)
+    return x, w
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("kernel_cls", ALL_KERNELS)
+    def test_matches_reference_bf16(self, kernel_cls):
+        x, w = _case(7, 48, 40)
+        pw = pack_matrix(w, BF16)
+        out = kernel_cls().run(x, pw)
+        assert out.shape == (7, 40)
+        assert np.allclose(out, x @ w, atol=1e-3)
+
+    @pytest.mark.parametrize("kernel_cls", [AMXKernel, AVX512Kernel])
+    def test_matches_reference_quantized(self, kernel_cls):
+        x, w = _case(3, 64, 64, seed=1)
+        for dt in (INT8, INT4):
+            pw = pack_matrix(w, dt)
+            out = kernel_cls().run(x, pw)
+            ref = reference_gemm(x, pw)
+            assert np.allclose(out, ref, atol=1e-3)
+
+    def test_single_token_gemv(self):
+        x, w = _case(1, 32, 32, seed=2)
+        pw = pack_matrix(w, BF16)
+        assert np.allclose(AVX512Kernel().run(x, pw), x @ w, atol=1e-3)
+
+    def test_unaligned_shapes(self):
+        x, w = _case(5, 33, 17, seed=3)
+        pw = pack_matrix(w, BF16)
+        assert np.allclose(AMXKernel().run(x, pw), x @ w, atol=1e-3)
+
+    def test_shape_mismatch_rejected(self):
+        x, w = _case(2, 32, 32)
+        pw = pack_matrix(w, BF16)
+        with pytest.raises(KernelError):
+            AMXKernel().run(np.ones((2, 31), dtype=np.float32), pw)
+
+    def test_1d_input_rejected(self):
+        __, w = _case(1, 32, 32)
+        pw = pack_matrix(w, BF16)
+        with pytest.raises(KernelError):
+            AMXKernel().run(np.ones(32, dtype=np.float32), pw)
+
+
+class TestHybridDispatch:
+    def test_selects_avx_at_or_below_threshold(self):
+        hk = HybridKernel()
+        assert isinstance(hk.select(1), AVX512Kernel)
+        assert isinstance(hk.select(4), AVX512Kernel)
+
+    def test_selects_amx_above_threshold(self):
+        hk = HybridKernel()
+        assert isinstance(hk.select(5), AMXKernel)
+        assert isinstance(hk.select(1024), AMXKernel)
+
+    def test_custom_threshold(self):
+        hk = HybridKernel(ari_threshold=8)
+        assert isinstance(hk.select(8), AVX512Kernel)
+        assert isinstance(hk.select(9), AMXKernel)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HybridKernel(ari_threshold=-1)
+
+    def test_run_dispatches_functionally(self):
+        x, w = _case(2, 32, 32, seed=4)
+        pw = pack_matrix(w, BF16)
+        assert np.allclose(HybridKernel().run(x, pw), x @ w, atol=1e-3)
+
+    def test_cost_uses_selected_kernel(self):
+        __, w = _case(1, 7168, 2048, seed=5)
+        pw = pack_matrix(w, BF16)
+        hk = HybridKernel()
+        c_low = hk.cost_us(1, pw, XEON_8452Y)
+        assert c_low == AVX512Kernel().cost_us(1, pw, XEON_8452Y)
+        c_high = hk.cost_us(256, pw, XEON_8452Y)
+        assert c_high == AMXKernel().cost_us(256, pw, XEON_8452Y)
+
+
+class TestBlockPlanning:
+    def test_blocks_fit_l2_budget(self):
+        pw = pack_matrix(np.zeros((7168, 2048), dtype=np.float32), BF16)
+        plan = plan_blocks(pw, XEON_8452Y)
+        from repro.tensor import tile_bytes
+        block_bytes = plan.row_tiles_per_block * tile_bytes()
+        assert block_bytes <= XEON_8452Y.l2_cache_bytes * 0.5
+
+    def test_all_tiles_covered(self):
+        pw = pack_matrix(np.zeros((100, 64), dtype=np.float32), BF16)
+        plan = plan_blocks(pw, XEON_8452Y)
+        row_tiles, col_tiles = pw.tile_grid
+        assert plan.n_row_blocks * plan.row_tiles_per_block >= row_tiles
+        assert plan.n_col_tasks == col_tiles
+
+    def test_small_matrix_single_block(self):
+        pw = pack_matrix(np.zeros((16, 32), dtype=np.float32), BF16)
+        plan = plan_blocks(pw, XEON_8452Y)
+        assert plan.n_blocks == 1
+
+
+class TestCostProperties:
+    def test_kernel_cost_positive(self):
+        pw = pack_matrix(np.zeros((64, 64), dtype=np.float32), BF16)
+        for cls in ALL_KERNELS:
+            assert cls().cost_us(4, pw, XEON_8452Y) > 0
+
+    def test_kt_kernels_cheaper_than_torch(self):
+        pw = pack_matrix(np.zeros((7168, 2048), dtype=np.float32), BF16)
+        assert (
+            AMXKernel().cost_us(512, pw, XEON_8452Y)
+            < TorchAMXKernel().cost_us(512, pw, XEON_8452Y)
+        )
+        assert (
+            AVX512Kernel().cost_us(1, pw, XEON_8452Y)
+            < TorchAVX512Kernel().cost_us(1, pw, XEON_8452Y)
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 9),
+    st.integers(1, 50),
+    st.integers(1, 50),
+    st.integers(0, 2**31 - 1),
+)
+def test_property_amx_equals_reference(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, k)).astype(np.float32)
+    w = rng.standard_normal((k, n)).astype(np.float32)
+    pw = pack_matrix(w, BF16)
+    assert np.allclose(AMXKernel().run(x, pw), x @ w, atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 40), st.integers(1, 40))
+def test_property_avx_equals_amx(m, k, n):
+    rng = np.random.default_rng(m * 10000 + k * 100 + n)
+    x = rng.standard_normal((m, k)).astype(np.float32)
+    w = rng.standard_normal((k, n)).astype(np.float32)
+    pw = pack_matrix(w, BF16)
+    a = AMXKernel().run(x, pw)
+    b = AVX512Kernel().run(x, pw)
+    assert np.allclose(a, b, atol=1e-3)

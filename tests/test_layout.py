@@ -1,0 +1,132 @@
+"""Unit + property tests for the AMX tile layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.tensor import (
+    BF16,
+    INT4,
+    INT8,
+    TILE_ROWS,
+    pack_matrix,
+    pad_activations,
+    padded_cols,
+    padded_rows,
+    tile_cols,
+    tile_grid,
+    tiles_in_matrix,
+    unpack_matrix,
+)
+
+
+class TestTileGeometry:
+    def test_bf16_tile_is_16x32(self):
+        assert tile_cols(BF16) == 32
+
+    def test_int8_tile_is_16x64(self):
+        assert tile_cols(INT8) == 64
+
+    def test_int4_tile_is_16x128(self):
+        assert tile_cols(INT4) == 128
+
+    def test_padded_rows(self):
+        assert padded_rows(1) == 16
+        assert padded_rows(16) == 16
+        assert padded_rows(17) == 32
+
+    def test_padded_cols_bf16(self):
+        assert padded_cols(33, BF16) == 64
+
+    def test_tile_grid(self):
+        assert tile_grid(17, 33, BF16) == (2, 2)
+        assert tiles_in_matrix(17, 33, BF16) == 4
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(LayoutError):
+            padded_rows(0)
+        with pytest.raises(LayoutError):
+            padded_cols(0, BF16)
+
+
+class TestPackUnpack:
+    def test_roundtrip_exact_for_bf16_layout(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((100, 70)).astype(np.float32)
+        pw = pack_matrix(w, BF16)
+        assert np.array_equal(unpack_matrix(pw), w)
+
+    def test_tile_shape(self):
+        w = np.ones((17, 33), dtype=np.float32)
+        pw = pack_matrix(w, BF16)
+        assert pw.tiles.shape == (2, 2, TILE_ROWS, 32)
+        assert pw.padded_shape == (32, 64)
+
+    def test_padding_cells_are_zero(self):
+        w = np.ones((17, 33), dtype=np.float32)
+        pw = pack_matrix(w, BF16)
+        dense = pw.dense_tiles().transpose(0, 2, 1, 3).reshape(32, 64)
+        assert np.all(dense[17:, :] == 0)
+        assert np.all(dense[:, 33:] == 0)
+
+    def test_quantized_roundtrip_close(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((64, 128)).astype(np.float32)
+        for dt in (INT8, INT4):
+            pw = pack_matrix(w, dt)
+            back = unpack_matrix(pw)
+            # Group-wise symmetric quantization: relative error small.
+            assert np.abs(back - w).max() < (0.05 if dt is INT8 else 0.5)
+
+    def test_quantized_packed_is_smaller(self):
+        w = np.random.default_rng(2).standard_normal((256, 256)).astype(np.float32)
+        b_bf16 = pack_matrix(w, BF16).nbytes()
+        b_int8 = pack_matrix(w, INT8).nbytes()
+        b_int4 = pack_matrix(w, INT4).nbytes()
+        assert b_int4 < b_int8 < b_bf16
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(LayoutError):
+            pack_matrix(np.ones((2, 3, 4)))
+
+    def test_pad_activations(self):
+        x = np.ones((3, 30), dtype=np.float32)
+        out = pad_activations(x, 32)
+        assert out.shape == (3, 32)
+        assert np.all(out[:, 30:] == 0)
+
+    def test_pad_activations_too_wide_rejected(self):
+        with pytest.raises(LayoutError):
+            pad_activations(np.ones((2, 40)), 32)
+
+    def test_gemm_equivalence_through_padding(self):
+        """x @ W == padded-x @ padded-W trimmed: kernels depend on this."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((5, 70)).astype(np.float32)
+        w = rng.standard_normal((70, 50)).astype(np.float32)
+        pw = pack_matrix(w, BF16)
+        pr, pc = pw.padded_shape
+        dense = pw.dense_tiles().transpose(0, 2, 1, 3).reshape(pr, pc)
+        xp = pad_activations(x, pr)
+        out = xp @ dense
+        assert np.allclose(out[:, :50], x @ w, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 70), st.integers(1, 70))
+def test_property_pack_roundtrip_any_shape(rows, cols):
+    rng = np.random.default_rng(rows * 100 + cols)
+    w = rng.standard_normal((rows, cols)).astype(np.float32)
+    assert np.array_equal(unpack_matrix(pack_matrix(w, BF16)), w)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 40))
+def test_property_padded_dims_are_tile_multiples(rows, cols):
+    pw = pack_matrix(np.zeros((rows, cols), dtype=np.float32), BF16)
+    pr, pc = pw.padded_shape
+    assert pr % TILE_ROWS == 0
+    assert pc % tile_cols(BF16) == 0
+    assert pr >= rows and pc >= cols

@@ -1,0 +1,118 @@
+"""Tests for the module tree, linear/norm/embedding primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import Embedding, Linear, Module, RMSNorm
+from repro.model.moe_layer import ModuleList
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = np.ones(3, dtype=np.float32)
+
+    def forward(self, x):
+        return x + self.w
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf()
+        self.b = Leaf()
+        self.inner = ModuleList([Leaf(), Leaf()])
+
+
+class TestModuleTree:
+    def test_named_modules_walks_everything(self):
+        names = [n for n, __ in Tree().named_modules()]
+        assert "" in names
+        assert "a" in names and "b" in names
+        assert "inner.0" in names and "inner.1" in names
+
+    def test_named_parameters(self):
+        params = dict(Tree().named_parameters())
+        assert set(params) == {"a.w", "b.w", "inner.0.w", "inner.1.w"}
+
+    def test_get_submodule(self):
+        t = Tree()
+        assert t.get_submodule("inner.1") is t.inner[1]
+        assert t.get_submodule("") is t
+
+    def test_get_submodule_missing(self):
+        with pytest.raises(ConfigError):
+            Tree().get_submodule("a.missing")
+
+    def test_set_submodule_replaces(self):
+        t = Tree()
+        new = Leaf()
+        t.set_submodule("inner.0", new)
+        assert t.get_submodule("inner.0") is new
+
+    def test_set_submodule_root_rejected(self):
+        with pytest.raises(ConfigError):
+            Tree().set_submodule("", Leaf())
+
+    def test_state_dict_roundtrip(self):
+        t1, t2 = Tree(), Tree()
+        t1.a.w[:] = 7.0
+        t2.load_state_dict(t1.state_dict())
+        assert np.all(t2.a.w == 7.0)
+
+    def test_state_dict_mismatch_rejected(self):
+        t = Tree()
+        state = t.state_dict()
+        state.pop("a.w")
+        with pytest.raises(ConfigError):
+            t.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        t = Tree()
+        state = t.state_dict()
+        state["a.w"] = np.ones(5, dtype=np.float32)
+        with pytest.raises(ConfigError):
+            t.load_state_dict(state)
+
+    def test_n_parameters(self):
+        assert Tree().n_parameters() == 12
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestPrimitives:
+    def test_linear_matmul(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        assert np.allclose(lin(x), x @ lin.weight, atol=1e-6)
+
+    def test_linear_bias(self):
+        lin = Linear(4, 3, bias=True)
+        lin.bias[:] = 1.0
+        out = lin(np.zeros((1, 4), dtype=np.float32))
+        assert np.allclose(out, 1.0)
+
+    def test_rmsnorm_unit_scale(self):
+        norm = RMSNorm(8)
+        x = np.random.default_rng(1).standard_normal((3, 8)).astype(np.float32)
+        y = norm(x)
+        rms = np.sqrt((y * y).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_rmsnorm_gain_is_parameter(self):
+        norm = RMSNorm(8)
+        assert "gain" in dict(norm.named_parameters())
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([0, 3, 3]))
+        assert out.shape == (3, 4)
+        assert np.array_equal(out[1], out[2])
+
+    def test_embedding_out_of_range(self):
+        with pytest.raises(ConfigError):
+            Embedding(10, 4)(np.array([10]))

@@ -1,0 +1,66 @@
+"""Tests for teacher-forced NLL / perplexity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeferralConfig, DeferralEngine, SkippingConfig, SkippingEngine
+from repro.errors import ConfigError
+from repro.eval import answer_nll, corpus_nll, perplexity
+from repro.model import MoETransformer, tiny_config
+from repro.train import Example, TrainConfig, task, train_for_task
+
+
+@pytest.fixture(scope="module")
+def trained():
+    model, __, test = train_for_task(
+        tiny_config("tiny-qw", top_k=6), task("copy"), n_train=128,
+        train_config=TrainConfig(steps=150),
+    )
+    return model, test[:16]
+
+
+def test_forced_decode_logits_shapes(trained):
+    model, test = trained
+    engine = DeferralEngine(model, DeferralConfig(0))
+    ex = test[0]
+    logits = engine.decode_logits(ex.prompt, 0, forced_tokens=ex.target)
+    assert logits.shape == (len(ex.target), model.config.vocab_size)
+
+
+def test_trained_model_has_low_answer_nll(trained):
+    model, test = trained
+    engine = DeferralEngine(model, DeferralConfig(0))
+    nll = corpus_nll(engine, test)
+    # A trained copy model is confident; random guessing would be ln(64)=4.16.
+    assert nll < 1.0
+
+
+def test_deferral_nll_close_to_standard(trained):
+    model, test = trained
+    base = corpus_nll(DeferralEngine(model, DeferralConfig(0)), test)
+    deferred = corpus_nll(DeferralEngine(model, DeferralConfig(4)), test)
+    assert abs(deferred - base) < 0.5
+
+
+def test_skipping_nll_worse_than_deferral(trained):
+    """The Figure 13 asymmetry in NLL space."""
+    model, test = trained
+    deferred = corpus_nll(DeferralEngine(model, DeferralConfig(4)), test)
+    skipped = corpus_nll(SkippingEngine(model, SkippingConfig(4)), test)
+    assert skipped > deferred
+
+
+def test_perplexity_conversion():
+    assert perplexity(0.0) == pytest.approx(1.0)
+    assert perplexity(np.log(64.0)) == pytest.approx(64.0)
+    with pytest.raises(ConfigError):
+        perplexity(-0.1)
+
+
+def test_empty_inputs_rejected(trained):
+    model, __ = trained
+    engine = DeferralEngine(model, DeferralConfig(0))
+    with pytest.raises(ConfigError):
+        corpus_nll(engine, [])
+    with pytest.raises(ConfigError):
+        answer_nll(engine, Example(np.array([1]), np.array([], dtype=np.int64)))

@@ -1,0 +1,179 @@
+"""Tests for expert-popularity placement and mixed-precision assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import MoETransformer, tiny_config
+from repro.moe import (
+    PRECISION_LADDER,
+    apply_mixed_precision,
+    assign_expert_precision,
+    bandwidth_savings,
+    expert_sensitivity,
+    placement_speedup_estimate,
+    plan_gpu_residency,
+    profile_expert_popularity,
+    zipf_popularity,
+)
+from repro.tensor import BF16, INT4, INT8
+
+
+class TestProfiling:
+    def test_counts_shape_and_totals(self):
+        model = MoETransformer(tiny_config("tiny-qw"))
+        corpus = [np.array([1, 2, 3]), np.array([4, 5, 6, 7])]
+        counts = profile_expert_popularity(model, corpus)
+        n_moe = sum(1 for l in model.layers if l.is_moe)
+        assert counts.shape == (n_moe, model.config.n_experts)
+        # Every token picks exactly top_k experts in every MoE layer.
+        expected = 7 * model.config.top_k
+        assert np.all(counts.sum(axis=1) == expected)
+
+    def test_dense_layers_excluded(self):
+        model = MoETransformer(tiny_config("tiny-ds"))
+        counts = profile_expert_popularity(model, [np.array([1, 2])])
+        assert counts.shape[0] == model.config.n_layers - 1
+
+    def test_empty_corpus_rejected(self):
+        model = MoETransformer(tiny_config("tiny"))
+        with pytest.raises(ConfigError):
+            profile_expert_popularity(model, [])
+
+    def test_zipf_shapes_and_mass(self):
+        counts = zipf_popularity(4, 16, total_activations=1000, exponent=1.2)
+        assert counts.shape == (4, 16)
+        assert np.all(counts.sum(axis=1) == 1000)
+
+    def test_zipf_exponent_zero_is_balanced(self):
+        flat = zipf_popularity(1, 64, 64000, exponent=0.0)
+        skew = zipf_popularity(1, 64, 64000, exponent=1.5)
+        assert flat.max() < skew.max()
+
+    def test_zipf_invalid(self):
+        with pytest.raises(ConfigError):
+            zipf_popularity(0, 4, 10)
+        with pytest.raises(ConfigError):
+            zipf_popularity(1, 4, 10, exponent=-1)
+
+
+class TestPlacement:
+    def test_budget_respected(self):
+        pop = zipf_popularity(4, 32, 10000, exponent=1.0)
+        plan = plan_gpu_residency(pop, vram_budget_bytes=10 * 100.0,
+                                  expert_bytes=100.0)
+        assert plan.n_resident == 10
+        assert plan.vram_used_bytes == pytest.approx(1000.0)
+
+    def test_most_popular_pinned(self):
+        pop = np.array([[100, 1, 1], [1, 50, 1]])
+        plan = plan_gpu_residency(pop, vram_budget_bytes=2.0, expert_bytes=1.0)
+        assert plan.is_on_gpu(0, 0)
+        assert plan.is_on_gpu(1, 1)
+        assert not plan.is_on_gpu(0, 1)
+
+    def test_hit_rate_computation(self):
+        pop = np.array([[80, 10, 10]])
+        plan = plan_gpu_residency(pop, 1.0, 1.0)
+        assert plan.expected_hit_rate == pytest.approx(0.8)
+
+    def test_skewed_popularity_gives_high_hit_rate_cheaply(self):
+        """The Fiddler observation: a small VRAM slice covers most traffic."""
+        pop = zipf_popularity(8, 64, 100_000, exponent=1.5, seed=1)
+        ten_pct_budget = 0.1 * pop.size
+        plan = plan_gpu_residency(pop, ten_pct_budget, 1.0)
+        assert plan.expected_hit_rate > 0.35
+
+    def test_zero_budget(self):
+        pop = zipf_popularity(2, 8, 100)
+        plan = plan_gpu_residency(pop, 0.0, 1.0)
+        assert plan.n_resident == 0
+        assert plan.expected_hit_rate == 0.0
+
+    def test_speedup_estimate(self):
+        pop = np.array([[50, 50]])
+        plan = plan_gpu_residency(pop, 1.0, 1.0)  # 50% hit rate
+        s = placement_speedup_estimate(plan, cpu_expert_time_us=100.0,
+                                       gpu_expert_time_us=10.0)
+        assert s == pytest.approx(100.0 / 55.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            plan_gpu_residency(np.zeros(4), 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            plan_gpu_residency(np.zeros((2, 2)), 1.0, 0.0)
+
+
+class TestMixedPrecision:
+    @pytest.fixture
+    def block(self):
+        model = MoETransformer(tiny_config("tiny-qw"))
+        return next(l.mlp for l in model.layers if l.is_moe)
+
+    def test_sensitivity_positive(self, block):
+        s = expert_sensitivity(block)
+        assert s.shape == (block.n_experts,)
+        assert np.all(s > 0)
+
+    def test_popularity_weighting(self, block):
+        pop = np.zeros(block.n_experts)
+        pop[3] = 100.0
+        s = expert_sensitivity(block, popularity=pop)
+        assert s[3] > 0
+        assert np.all(np.delete(s, 3) == 0)
+
+    def test_assignment_respects_budget(self):
+        sens = np.array([5.0, 1.0, 3.0, 2.0])
+        # Budget: all int4 plus one upgrade-to-int8 worth of bytes.
+        elems = 1024.0
+        budget = elems * (INT4.bytes_per_element * 4
+                          + (INT8.bytes_per_element - INT4.bytes_per_element))
+        a = assign_expert_precision(sens, elems, budget)
+        assert a.total_bytes <= budget
+        assert a.dtypes[0] is INT8       # most sensitive upgraded first
+        assert a.dtypes[1] is INT4
+
+    def test_huge_budget_all_bf16(self):
+        a = assign_expert_precision(np.ones(4), 100.0, budget_bytes=1e9)
+        assert all(dt is BF16 for dt in a.dtypes)
+        assert bandwidth_savings(a) == pytest.approx(0.0)
+
+    def test_minimal_budget_all_int4(self):
+        elems = 64.0
+        a = assign_expert_precision(np.ones(3), elems,
+                                    budget_bytes=elems * INT4.bytes_per_element * 3)
+        assert all(dt is INT4 for dt in a.dtypes)
+        assert bandwidth_savings(a) > 0.6
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            assign_expert_precision(np.ones(4), 100.0, budget_bytes=10.0)
+
+    def test_apply_preserves_function_approximately(self, block):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, block.hidden)).astype(np.float32)
+        routing = block.route(x)
+        before = block.routed_forward(x, routing)
+
+        sens = expert_sensitivity(block)
+        elems = 3.0 * block.hidden * block.intermediate
+        a = assign_expert_precision(sens, elems, budget_bytes=elems * 2.2
+                                    * block.n_experts)
+        mixed = apply_mixed_precision(block, a)
+        after = mixed.routed_forward(x, routing)
+        rel = np.abs(after - before).mean() / (np.abs(before).mean() + 1e-9)
+        assert rel < 0.2
+
+    def test_apply_shares_raw_weights(self, block):
+        a = assign_expert_precision(np.ones(block.n_experts), 100.0, 1e9)
+        mixed = apply_mixed_precision(block, a)
+        assert mixed.experts[0].w_gate is block.experts[0].w_gate
+
+    def test_apply_wrong_count_rejected(self, block):
+        a = assign_expert_precision(np.ones(2), 100.0, 1e9)
+        with pytest.raises(ConfigError):
+            apply_mixed_precision(block, a)
+
+    def test_ladder_ordering(self):
+        bpes = [dt.bytes_per_element for dt in PRECISION_LADDER]
+        assert bpes == sorted(bpes)

@@ -1,0 +1,141 @@
+"""Unit + property tests for group-wise quantization and Int4 packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QuantizationError
+from repro.tensor import (
+    INT4,
+    INT8,
+    dequantize,
+    pack_int4,
+    quantization_error_bound,
+    quantize,
+    unpack_int4,
+)
+
+
+class TestInt8:
+    def test_roundtrip_error_within_half_scale(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((8, 64)).astype(np.float32)
+        qt = quantize(w, INT8, group_size=32)
+        err = np.abs(dequantize(qt) - w).max()
+        assert err <= quantization_error_bound(qt) + 1e-6
+
+    def test_zero_matrix_roundtrips_exactly(self):
+        w = np.zeros((4, 32), dtype=np.float32)
+        qt = quantize(w, INT8)
+        assert np.array_equal(dequantize(qt), w)
+
+    def test_scales_shape(self):
+        w = np.ones((3, 96), dtype=np.float32)
+        qt = quantize(w, INT8, group_size=32)
+        assert qt.scales.shape == (3, 3)
+
+    def test_payload_is_int8(self):
+        w = np.ones((2, 32), dtype=np.float32)
+        qt = quantize(w, INT8)
+        assert qt.payload.dtype == np.int8
+
+    def test_storage_smaller_than_fp32(self):
+        w = np.random.default_rng(1).standard_normal((64, 256)).astype(np.float32)
+        qt = quantize(w, INT8)
+        assert qt.nbytes() < w.nbytes / 3
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize(np.ones((2, 33)), INT8, group_size=32)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize(np.float32(1.0), INT8)
+
+
+class TestInt4:
+    def test_roundtrip_error_within_half_scale(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((8, 64)).astype(np.float32)
+        qt = quantize(w, INT4, group_size=32)
+        err = np.abs(dequantize(qt) - w).max()
+        assert err <= quantization_error_bound(qt) + 1e-6
+
+    def test_int4_payload_half_the_bytes_of_int8(self):
+        w = np.random.default_rng(3).standard_normal((16, 128)).astype(np.float32)
+        q8 = quantize(w, INT8)
+        q4 = quantize(w, INT4)
+        assert q4.payload.nbytes * 2 == q8.payload.nbytes
+
+    def test_pack_unpack_exact(self):
+        rng = np.random.default_rng(4)
+        v = rng.integers(-8, 8, size=(5, 64), dtype=np.int8)
+        assert np.array_equal(unpack_int4(pack_int4(v), v.shape), v)
+
+    def test_pack_odd_axis_rejected(self):
+        with pytest.raises(QuantizationError):
+            pack_int4(np.zeros((2, 3), dtype=np.int8))
+
+    def test_pack_out_of_range_rejected(self):
+        with pytest.raises(QuantizationError):
+            pack_int4(np.full((2, 2), 9, dtype=np.int8))
+
+    def test_int4_coarser_than_int8(self):
+        rng = np.random.default_rng(5)
+        w = rng.standard_normal((8, 64)).astype(np.float32)
+        e8 = np.abs(dequantize(quantize(w, INT8)) - w).max()
+        e4 = np.abs(dequantize(quantize(w, INT4)) - w).max()
+        assert e4 >= e8
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float32,
+        st.tuples(st.integers(1, 6), st.sampled_from([32, 64, 96])),
+        elements=st.floats(-1e3, 1e3, width=32),
+    )
+)
+def test_property_int8_error_bound(w):
+    qt = quantize(w, INT8, group_size=32)
+    err = np.abs(dequantize(qt) - w).max()
+    assert err <= quantization_error_bound(qt) + 1e-3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float32,
+        st.tuples(st.integers(1, 6), st.sampled_from([32, 64])),
+        elements=st.floats(-100, 100, width=32),
+    )
+)
+def test_property_int4_error_bound(w):
+    qt = quantize(w, INT4, group_size=32)
+    err = np.abs(dequantize(qt) - w).max()
+    assert err <= quantization_error_bound(qt) + 1e-3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.int8,
+        st.tuples(st.integers(1, 4), st.sampled_from([2, 8, 32])),
+        elements=st.integers(-8, 7),
+    )
+)
+def test_property_int4_pack_roundtrip(v):
+    assert np.array_equal(unpack_int4(pack_int4(v), v.shape), v)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 8), st.sampled_from([32, 64, 128]))
+def test_property_quantization_idempotent(rows, cols):
+    """Quantizing an already-quantized tensor is lossless."""
+    rng = np.random.default_rng(rows * 1000 + cols)
+    w = rng.standard_normal((rows, cols)).astype(np.float32)
+    once = dequantize(quantize(w, INT8))
+    twice = dequantize(quantize(once, INT8))
+    assert np.allclose(once, twice, atol=1e-5)

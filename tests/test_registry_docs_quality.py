@@ -1,0 +1,82 @@
+"""Repository quality gates: registry/docs consistency, docstring coverage."""
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.bench.registry import EXPERIMENTS, bench_files, experiment
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+class TestExperimentRegistry:
+    def test_every_registered_bench_exists(self):
+        for e in EXPERIMENTS:
+            assert (BENCH_DIR / e.bench_file).is_file(), e.exp_id
+
+    def test_every_bench_file_registered(self):
+        on_disk = {p.name for p in BENCH_DIR.glob("test_*.py")}
+        assert on_disk == bench_files()
+
+    def test_ids_unique(self):
+        ids = [e.exp_id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_lookup(self):
+        assert experiment("fig11").paper_ref == "Figure 11"
+        with pytest.raises(KeyError):
+            experiment("fig99")
+
+    def test_core_figures_covered(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        for required in ("fig3", "fig4", "fig7", "fig10", "fig11", "fig12",
+                        "fig13", "fig14", "table1", "table2"):
+            assert required in ids
+
+    def test_experiments_md_mentions_every_bench(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        missing = [e.bench_file for e in EXPERIMENTS
+                   if e.bench_file not in text]
+        assert not missing, f"EXPERIMENTS.md does not mention: {missing}"
+
+
+def _public_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+class TestDocstringCoverage:
+    def test_every_module_has_docstring(self):
+        bare = [m.__name__ for m in _public_modules() if not m.__doc__]
+        assert not bare, f"modules without docstrings: {bare}"
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in _public_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_docs_folder_complete(self):
+        for doc in ("architecture.md", "calibration.md", "api.md"):
+            assert (REPO_ROOT / "docs" / doc).is_file()
+
+    def test_top_level_docs_exist(self):
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            path = REPO_ROOT / doc
+            assert path.is_file()
+            assert len(path.read_text()) > 1000

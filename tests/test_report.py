@@ -1,0 +1,36 @@
+"""Tests for the one-shot evaluation report generator."""
+
+import pytest
+
+from repro.bench import EvaluationReport, ReportSection, generate_report
+from repro.bench.report import _fig4, _table1
+
+
+class TestReportPieces:
+    def test_table1_section(self):
+        body = _table1()
+        assert "DS3" in body and "DS2" in body and "QW2" in body
+
+    def test_fig4_section(self):
+        body = _fig4()
+        assert "fiddler" in body and "ktransformers" in body
+
+    def test_report_container(self):
+        r = EvaluationReport()
+        r.add("A", "body-a")
+        r.add("B", "body-b")
+        text = r.render()
+        assert text.index("A") < text.index("body-a") < text.index("B")
+        assert isinstance(r.sections[0], ReportSection)
+
+
+@pytest.mark.slow
+def test_full_report_generates_every_section():
+    seen = []
+    report = generate_report(progress=seen.append)
+    text = report.render()
+    for token in ("Table 1", "Figure 3", "Figure 4", "Figure 7",
+                  "Figure 10", "Figure 11", "Figure 12", "Figure 14",
+                  "Accuracy experiments"):
+        assert token in text
+    assert len(seen) == 8

@@ -1,0 +1,154 @@
+"""Unit + property tests for MoE routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.moe import (
+    RouterConfig,
+    balanced_synthetic_logits,
+    route,
+    skewed_synthetic_logits,
+)
+
+
+def _cfg(**kw):
+    defaults = dict(n_experts=16, top_k=4)
+    defaults.update(kw)
+    return RouterConfig(**defaults)
+
+
+class TestTopK:
+    def test_selects_highest_logits(self):
+        logits = np.zeros((1, 8), dtype=np.float32)
+        logits[0, [2, 5, 7]] = [3.0, 2.0, 1.0]
+        r = route(logits, RouterConfig(n_experts=8, top_k=3))
+        assert list(r.indices[0]) == [2, 5, 7]
+
+    def test_weights_sorted_descending(self):
+        rng = np.random.default_rng(0)
+        r = route(rng.standard_normal((10, 16)), _cfg())
+        assert np.all(np.diff(r.weights, axis=1) <= 1e-7)
+
+    def test_weights_normalized(self):
+        rng = np.random.default_rng(1)
+        r = route(rng.standard_normal((5, 16)), _cfg())
+        assert np.allclose(r.weights.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_unnormalized_weights_are_softmax_scores(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 16)).astype(np.float32)
+        r = route(logits, _cfg(normalize_weights=False))
+        picked = np.take_along_axis(r.scores, r.indices, axis=1)
+        assert np.allclose(r.weights, picked, atol=1e-6)
+
+    def test_routed_scaling(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((4, 16)).astype(np.float32)
+        base = route(logits, _cfg())
+        scaled = route(logits, _cfg(routed_scaling=2.5))
+        assert np.allclose(scaled.weights, base.weights * 2.5, atol=1e-6)
+
+    def test_no_duplicate_experts_per_token(self):
+        rng = np.random.default_rng(4)
+        r = route(rng.standard_normal((50, 16)), _cfg())
+        for row in r.indices:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_expert_token_counts(self):
+        logits = np.zeros((3, 4), dtype=np.float32)
+        logits[:, 0] = 5.0
+        r = route(logits, RouterConfig(n_experts=4, top_k=1))
+        counts = r.expert_token_counts(4)
+        assert counts[0] == 3 and counts.sum() == 3
+
+    def test_active_experts(self):
+        logits = np.zeros((2, 4), dtype=np.float32)
+        logits[0, 1] = 9.0
+        logits[1, 3] = 9.0
+        r = route(logits, RouterConfig(n_experts=4, top_k=1))
+        assert list(r.active_experts()) == [1, 3]
+
+
+class TestGroupedTopK:
+    def test_respects_group_selection(self):
+        # 8 experts in 4 groups of 2; only the best 2 groups may contribute.
+        logits = np.array([[10.0, 9.0, 8.0, 7.0, 0.0, 0.0, 0.0, 0.0]],
+                          dtype=np.float32)
+        cfg = RouterConfig(n_experts=8, top_k=4, n_groups=4, top_k_groups=2)
+        r = route(logits, cfg)
+        assert set(r.indices[0].tolist()) == {0, 1, 2, 3}
+
+    def test_excluded_group_never_selected(self):
+        rng = np.random.default_rng(5)
+        cfg = RouterConfig(n_experts=16, top_k=4, n_groups=4, top_k_groups=2)
+        for _ in range(20):
+            logits = rng.standard_normal((1, 16)).astype(np.float32)
+            r = route(logits, cfg)
+            groups = set(int(e) // 4 for e in r.indices[0])
+            assert len(groups) <= 2
+
+    def test_deepseek_v3_shape(self):
+        """256 experts, top-8, 8 groups with top-4 group selection."""
+        rng = np.random.default_rng(6)
+        cfg = RouterConfig(n_experts=256, top_k=8, n_groups=8, top_k_groups=4)
+        r = route(rng.standard_normal((3, 256)), cfg)
+        assert r.indices.shape == (3, 8)
+
+
+class TestValidation:
+    def test_bad_top_k(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(n_experts=4, top_k=5)
+
+    def test_bad_groups(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(n_experts=10, top_k=2, n_groups=3)
+
+    def test_top_k_unsatisfiable_within_groups(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(n_experts=8, top_k=5, n_groups=4, top_k_groups=2)
+
+    def test_bad_logits_shape(self):
+        with pytest.raises(ConfigError):
+            route(np.zeros((2, 5)), _cfg())
+
+
+class TestSyntheticLogits:
+    def test_balanced_loads_roughly_uniform(self):
+        rng = np.random.default_rng(7)
+        cfg = RouterConfig(n_experts=32, top_k=4)
+        logits = balanced_synthetic_logits(2000, cfg, rng)
+        counts = route(logits, cfg).expert_token_counts(32)
+        expected = 2000 * 4 / 32
+        assert counts.min() > expected * 0.5
+        assert counts.max() < expected * 1.6
+
+    def test_skewed_creates_hot_experts(self):
+        rng = np.random.default_rng(8)
+        cfg = RouterConfig(n_experts=32, top_k=4)
+        logits = skewed_synthetic_logits(2000, cfg, rng, hot_fraction=0.1)
+        counts = route(logits, cfg).expert_token_counts(32)
+        assert counts.max() > 3 * np.median(counts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 20), st.integers(1, 8), st.integers(0, 2**31 - 1))
+def test_property_topk_indices_valid(tokens, k, seed):
+    rng = np.random.default_rng(seed)
+    cfg = RouterConfig(n_experts=8, top_k=min(k, 8))
+    r = route(rng.standard_normal((tokens, 8)), cfg)
+    assert r.indices.min() >= 0 and r.indices.max() < 8
+    assert r.indices.shape == (tokens, cfg.top_k)
+    assert np.all(r.weights >= 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_property_token_counts_sum(tokens, seed):
+    rng = np.random.default_rng(seed)
+    cfg = RouterConfig(n_experts=16, top_k=4)
+    r = route(rng.standard_normal((tokens, 16)), cfg)
+    assert r.expert_token_counts(16).sum() == tokens * 4

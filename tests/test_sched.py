@@ -1,0 +1,202 @@
+"""Tests for launch modes, decode/prefill task graphs, and workload lowering."""
+
+import pytest
+
+from repro.errors import GraphCaptureError, SchedulingError
+from repro.hw import KT_AVX512, Simulator, Trace, paper_testbed
+from repro.model import DS3, QW2
+from repro.moe import NumaStrategy
+from repro.sched import (
+    DecodeScheduleConfig,
+    GpuExecutor,
+    LaunchMode,
+    decode_layer_work,
+    prefill_layer_work,
+    scheduling_penalty,
+    simulate_decode,
+)
+from repro.tensor import BF16, INT4
+
+MACHINE = paper_testbed("a100")
+
+
+def _work(cpu_us=100.0, gpu_us=50.0, shared_us=10.0, kernels=10):
+    from repro.sched.workload import DecodeLayerWork
+    return DecodeLayerWork(
+        gpu_attn_us=gpu_us, gpu_shared_us=shared_us,
+        cpu_routed_us=cpu_us, transfer_bytes=14336.0, n_gpu_kernels=kernels,
+    )
+
+
+class TestLaunchModes:
+    def test_latencies_ordered(self):
+        py = LaunchMode.PER_KERNEL_PYTHON.launch_latency_us(MACHINE)
+        cpp = LaunchMode.PER_KERNEL_CPP.launch_latency_us(MACHINE)
+        graph = LaunchMode.CUDA_GRAPH.launch_latency_us(MACHINE)
+        assert py > cpp > graph
+
+    def test_graph_sync_is_free(self):
+        assert LaunchMode.CUDA_GRAPH.sync_latency_us() == 0.0
+        assert LaunchMode.PER_KERNEL_PYTHON.sync_latency_us() > 0
+
+    def test_graph_requires_begin_step(self):
+        sim = Simulator()
+        ex = GpuExecutor(sim, MACHINE, LaunchMode.CUDA_GRAPH)
+        with pytest.raises(GraphCaptureError):
+            ex.kernel("k", 10.0, 1)
+
+    def test_per_kernel_creates_launch_tasks(self):
+        sim = Simulator()
+        ex = GpuExecutor(sim, MACHINE, LaunchMode.PER_KERNEL_PYTHON)
+        ex.kernel("attn", 10.0, 5)
+        sim.drain()
+        tr = Trace.from_simulator(sim)
+        assert tr.count("host", name_prefix="launch:") == 1
+        assert tr.total_duration("host", name_prefix="launch:") == pytest.approx(80.0)
+
+    def test_graph_mode_single_launch(self):
+        sim = Simulator()
+        ex = GpuExecutor(sim, MACHINE, LaunchMode.CUDA_GRAPH)
+        ex.begin_step()
+        for i in range(8):
+            ex.kernel(f"k{i}", 5.0, 3)
+        sim.drain()
+        tr = Trace.from_simulator(sim)
+        assert tr.count("host", name_prefix="launch:") == 1
+
+
+class TestDecodeSchedule:
+    def test_deferral_needs_two_immediate(self):
+        with pytest.raises(SchedulingError):
+            DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8,
+                                 n_deferred=7)
+
+    def test_n_immediate(self):
+        cfg = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8,
+                                   n_deferred=3)
+        assert cfg.n_immediate == 5
+
+    def test_graph_mode_faster_than_python_launches(self):
+        works = [_work()] * 8
+        t = {}
+        for mode in (LaunchMode.PER_KERNEL_PYTHON, LaunchMode.CUDA_GRAPH):
+            cfg = DecodeScheduleConfig(mode, True, top_k=8)
+            t[mode] = simulate_decode(works, cfg, MACHINE, n_tokens=4).now
+        assert t[LaunchMode.CUDA_GRAPH] < t[LaunchMode.PER_KERNEL_PYTHON]
+
+    def test_overlap_faster_than_sequential(self):
+        works = [_work(cpu_us=200.0, shared_us=150.0)] * 6
+        cfg_seq = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, False, top_k=8)
+        cfg_ovl = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        t_seq = simulate_decode(works, cfg_seq, MACHINE, 2).now
+        t_ovl = simulate_decode(works, cfg_ovl, MACHINE, 2).now
+        assert t_ovl < t_seq
+
+    def test_deferral_improves_throughput_when_gpu_heavy(self):
+        works = [_work(cpu_us=400.0, gpu_us=250.0)] * 8
+        base = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        defer = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8,
+                                     n_deferred=3)
+        t0 = simulate_decode(works, base, MACHINE, 4).now
+        t1 = simulate_decode(works, defer, MACHINE, 4).now
+        assert t1 < t0
+
+    def test_deferral_raises_cpu_utilization(self):
+        works = [_work(cpu_us=400.0, gpu_us=250.0)] * 8
+        base = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        defer = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8,
+                                     n_deferred=3)
+        u0 = Trace.from_simulator(
+            simulate_decode(works, base, MACHINE, 4)).utilization("cpu")
+        u1 = Trace.from_simulator(
+            simulate_decode(works, defer, MACHINE, 4)).utilization("cpu")
+        assert u1 > u0
+
+    def test_cpu_work_conserved_under_deferral(self):
+        """Deferral reorders CPU work; it must not change its total amount."""
+        works = [_work(cpu_us=400.0)] * 6
+        base = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        defer = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8,
+                                     n_deferred=4)
+        b0 = Trace.from_simulator(
+            simulate_decode(works, base, MACHINE, 2)).total_duration("cpu")
+        b1 = Trace.from_simulator(
+            simulate_decode(works, defer, MACHINE, 2)).total_duration("cpu")
+        assert b0 == pytest.approx(b1, rel=1e-6)
+
+    def test_dense_layers_skip_cpu(self):
+        works = [_work(cpu_us=0.0, kernels=5), _work()]
+        cfg = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        sim = simulate_decode(works, cfg, MACHINE, 1)
+        tr = Trace.from_simulator(sim)
+        assert tr.count("cpu") == 1
+
+    def test_empty_layers_rejected(self):
+        cfg = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        with pytest.raises(SchedulingError):
+            simulate_decode([], cfg, MACHINE, 1)
+
+    def test_zero_tokens_rejected(self):
+        cfg = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        with pytest.raises(SchedulingError):
+            simulate_decode([_work()], cfg, MACHINE, 0)
+
+    def test_steps_serialize(self):
+        works = [_work()] * 4
+        cfg = DecodeScheduleConfig(LaunchMode.CUDA_GRAPH, True, top_k=8)
+        t1 = simulate_decode(works, cfg, MACHINE, 1).now
+        t4 = simulate_decode(works, cfg, MACHINE, 4).now
+        assert t4 > 3 * t1
+
+
+class TestWorkloadLowering:
+    def test_decode_work_positive(self):
+        w = decode_layer_work(DS3, MACHINE, BF16, 128, KT_AVX512,
+                              NumaStrategy.TENSOR_PARALLEL, 28)
+        assert w.gpu_attn_us > 0 and w.cpu_routed_us > 0
+        assert w.transfer_bytes == DS3.hidden * 2
+
+    def test_quantized_decode_cheaper(self):
+        bf16 = decode_layer_work(DS3, MACHINE, BF16, 128, KT_AVX512,
+                                 NumaStrategy.TENSOR_PARALLEL, 28)
+        int4 = decode_layer_work(DS3, MACHINE, INT4, 128, KT_AVX512,
+                                 NumaStrategy.TENSOR_PARALLEL, 28)
+        assert int4.cpu_routed_us < bf16.cpu_routed_us / 2
+
+    def test_cpu_split(self):
+        w = _work(cpu_us=800.0)
+        imm, deferred = w.cpu_split(5, 3, 8)
+        assert imm == pytest.approx(500.0)
+        assert deferred == pytest.approx(300.0)
+        with pytest.raises(ValueError):
+            w.cpu_split(5, 5, 8)
+
+    def test_longer_context_costs_more_gpu(self):
+        a = decode_layer_work(QW2, MACHINE, BF16, 32, KT_AVX512,
+                              NumaStrategy.TENSOR_PARALLEL, 28)
+        b = decode_layer_work(QW2, MACHINE, BF16, 8192, KT_AVX512,
+                              NumaStrategy.TENSOR_PARALLEL, 28)
+        assert b.gpu_attn_us > a.gpu_attn_us
+
+    def test_prefill_per_token_cost_drops_with_chunk(self):
+        """Expert weights stream once per chunk regardless of chunk size,
+        so larger chunks amortize the traffic over more tokens."""
+        from repro.hw import KT_AMX
+        small = prefill_layer_work(DS3, MACHINE, BF16, 128, KT_AMX,
+                                   NumaStrategy.TENSOR_PARALLEL, 28)
+        big = prefill_layer_work(DS3, MACHINE, BF16, 2048, KT_AMX,
+                                 NumaStrategy.TENSOR_PARALLEL, 28)
+        assert big.cpu_routed_us / 2048 < small.cpu_routed_us / 128
+        assert big.gpu_attn_us > small.gpu_attn_us
+
+    def test_static_penalty_at_least_dynamic(self):
+        import numpy as np
+        counts = np.array([50, 3, 3, 3, 3, 2, 2, 1])
+        p_static = scheduling_penalty(counts, 36, dynamic=False)
+        p_dyn = scheduling_penalty(counts, 36, dynamic=True)
+        assert p_static >= p_dyn >= 1.0
+
+    def test_balanced_counts_small_penalty(self):
+        import numpy as np
+        counts = np.full(64, 32)
+        assert scheduling_penalty(counts, 36, dynamic=True) < 1.2

@@ -1,0 +1,168 @@
+"""Tests for the serving layer: sessions, metrics, local server."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import DS3, MoETransformer, tiny_config
+from repro.serving import (
+    GenerationRequest,
+    InferenceSession,
+    LocalServer,
+    RequestTiming,
+    ServingStats,
+    TimedRequest,
+    percentile,
+    poisson_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    model = MoETransformer(tiny_config("tiny-qw"))
+    return InferenceSession(model, DS3)
+
+
+class TestRequestTiming:
+    def test_derived_metrics(self):
+        t = RequestTiming(arrival_us=0.0, start_us=10.0, first_token_us=30.0,
+                          finish_us=130.0, prompt_tokens=16,
+                          generated_tokens=11)
+        assert t.queue_delay_us == 10.0
+        assert t.ttft_us == 30.0
+        assert t.tpot_us == pytest.approx(10.0)
+        assert t.latency_us == 130.0
+
+    def test_single_token_tpot_zero(self):
+        t = RequestTiming(0.0, 0.0, 5.0, 5.0, 4, 1)
+        assert t.tpot_us == 0.0
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ConfigError):
+            RequestTiming(10.0, 5.0, 20.0, 30.0, 4, 2)
+
+    def test_percentile(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_stats_summary(self):
+        stats = ServingStats()
+        for i in range(4):
+            stats.add(RequestTiming(i * 100.0, i * 100.0, i * 100.0 + 20.0,
+                                    i * 100.0 + 80.0, 8, 4))
+        s = stats.summary()
+        assert s["requests"] == 4
+        assert s["ttft_p50_ms"] == pytest.approx(0.02)
+        assert s["tokens_per_s"] > 0
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ConfigError):
+            ServingStats().summary()
+
+
+class TestSession:
+    def test_generates_real_tokens(self, session):
+        req = GenerationRequest(prompt=np.array([1, 2, 3]), max_new_tokens=6)
+        result = session.generate(req)
+        assert result.n_tokens == 6
+        assert result.tokens.max() < session.model.config.vocab_size
+
+    def test_tokens_match_model_generate(self, session):
+        req = GenerationRequest(prompt=np.array([4, 5]), max_new_tokens=5)
+        result = session.generate(req)
+        direct = session.model.generate(np.array([4, 5]), max_new_tokens=5)
+        assert np.array_equal(result.tokens, direct)
+
+    def test_simulated_costs_positive(self, session):
+        req = GenerationRequest(prompt=np.array([1] * 64), max_new_tokens=4)
+        result = session.generate(req)
+        assert result.prefill_us > 0
+        assert result.per_token_us > 0
+        assert result.total_us == pytest.approx(
+            result.prefill_us + 4 * result.per_token_us)
+
+    def test_longer_prompts_cost_more_prefill(self, session):
+        short = session.generate(
+            GenerationRequest(np.array([1] * 16), max_new_tokens=1))
+        long = session.generate(
+            GenerationRequest(np.array([1] * 500), max_new_tokens=1))
+        assert long.prefill_us > short.prefill_us
+
+    def test_streaming_callback(self, session):
+        seen = []
+        req = GenerationRequest(prompt=np.array([1, 2]), max_new_tokens=4)
+        session.generate(req, on_token=lambda t, us: seen.append((t, us)))
+        assert len(seen) == 4
+        times = [us for __, us in seen]
+        assert times == sorted(times)
+
+    def test_deferral_session_runs(self):
+        model = MoETransformer(tiny_config("tiny-qw"))
+        s = InferenceSession(model, DS3, n_deferred=2)
+        req = GenerationRequest(prompt=np.array([1, 2, 3]), max_new_tokens=4)
+        assert s.generate(req).n_tokens == 4
+
+    def test_invalid_requests(self):
+        with pytest.raises(ConfigError):
+            GenerationRequest(prompt=np.array([1]), max_new_tokens=0)
+        with pytest.raises(ConfigError):
+            GenerationRequest(prompt=np.array([]), max_new_tokens=3)
+
+    def test_cost_model_caches_buckets(self, session):
+        req = GenerationRequest(prompt=np.array([1] * 16), max_new_tokens=1)
+        session.generate(req)
+        cached = dict(session.costs._prefill_us)
+        session.generate(req)
+        assert session.costs._prefill_us == cached
+
+
+class TestLocalServer:
+    def test_replay_fifo(self, session):
+        server = LocalServer(session)
+        workload = [
+            TimedRequest(0.0, GenerationRequest(np.array([1, 2]),
+                                                max_new_tokens=3)),
+            TimedRequest(1.0, GenerationRequest(np.array([3, 4]),
+                                                max_new_tokens=3)),
+        ]
+        stats = server.replay(workload)
+        assert stats.n_requests == 2
+        t0, t1 = stats.timings
+        assert t1.start_us >= t0.finish_us  # batch-1 FIFO
+
+    def test_queueing_under_load(self, session):
+        """Arrivals faster than service accumulate queue delay."""
+        server = LocalServer(session)
+        reqs = [TimedRequest(float(i), GenerationRequest(np.array([1, 2]),
+                                                         max_new_tokens=4))
+                for i in range(5)]
+        stats = server.replay(reqs)
+        delays = [t.queue_delay_us for t in stats.timings]
+        assert delays[-1] > delays[0]
+
+    def test_empty_workload_rejected(self, session):
+        with pytest.raises(ConfigError):
+            LocalServer(session).replay([])
+
+    def test_poisson_workload_shape(self):
+        wl = poisson_workload(10, 1000.0, prompt_len=8, max_new_tokens=4,
+                              vocab_size=32, seed=1)
+        assert len(wl) == 10
+        arrivals = [t.arrival_us for t in wl]
+        assert arrivals == sorted(arrivals)
+        assert all(len(t.request.prompt) == 8 for t in wl)
+
+    def test_poisson_invalid(self):
+        with pytest.raises(ConfigError):
+            poisson_workload(0, 1.0, 1, 1, 10)
+
+    def test_summary_keys(self, session):
+        server = LocalServer(session)
+        wl = poisson_workload(4, 1e6, prompt_len=4, max_new_tokens=3,
+                              vocab_size=session.model.config.vocab_size)
+        stats = server.replay(wl)
+        summary = stats.summary()
+        for key in ("ttft_p50_ms", "ttft_p95_ms", "tpot_p50_ms",
+                    "queue_p95_ms", "tokens_per_s"):
+            assert key in summary

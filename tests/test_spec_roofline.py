@@ -1,0 +1,169 @@
+"""Tests for hardware specs and the calibrated roofline cost models.
+
+The calibration assertions here pin the model to the paper's published
+microbenchmark numbers (Figures 3 and 7) so that later refactors cannot
+silently drift away from the reproduction targets.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw import (
+    KT_AMX,
+    KT_AVX512,
+    TORCH_AMX,
+    TORCH_AVX512,
+    XEON_8452Y,
+    cpu_gemm_achieved_tflops,
+    cpu_gemm_time_us,
+    cross_socket_transfer_time_us,
+    gpu_kernel_time_us,
+    paper_testbed,
+    pcie_transfer_time_us,
+    single_socket_testbed,
+)
+from repro.tensor import BF16, INT4, INT8
+
+# DeepSeek-V3 expert projection: hidden 7168 -> moe intermediate 2048.
+DS3_K, DS3_N = 7168, 2048
+
+
+class TestSpecs:
+    def test_paper_testbed_configuration(self):
+        m = paper_testbed("a100")
+        assert m.sockets == 2
+        assert m.cpu.cores == 36
+        assert m.total_cores == 72
+        assert m.gpu.vram_capacity == 40 * 1024**3
+
+    def test_4080_testbed(self):
+        m = paper_testbed("4080")
+        assert "4080" in m.gpu.name
+        assert m.gpu.vram_capacity == 16 * 1024**3
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(ConfigError):
+            paper_testbed("h100")
+
+    def test_single_socket_testbed(self):
+        m = single_socket_testbed()
+        assert m.sockets == 1
+        assert m.total_dram_bandwidth == pytest.approx(220e9)
+
+    def test_aggregate_bandwidth(self):
+        m = paper_testbed()
+        assert m.total_dram_bandwidth == pytest.approx(440e9)
+
+
+class TestCalibrationFigure3:
+    """Figure 3: saturated MoE-layer TFLOPS on one 8452Y socket."""
+
+    def test_kt_amx_reaches_21_tflops(self):
+        t = cpu_gemm_achieved_tflops(KT_AMX, 4096, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert 18.0 <= t <= 21.5
+
+    def test_torch_amx_saturates_near_5_4(self):
+        t = cpu_gemm_achieved_tflops(TORCH_AMX, 4096, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert 4.5 <= t <= 5.5
+
+    def test_torch_avx512_saturates_near_1_8(self):
+        t = cpu_gemm_achieved_tflops(
+            TORCH_AVX512, 4096, DS3_K, DS3_N, BF16, XEON_8452Y
+        )
+        assert 1.5 <= t <= 1.9
+
+    def test_kt_amx_beats_torch_amx_by_about_4x(self):
+        kt = cpu_gemm_achieved_tflops(KT_AMX, 2048, DS3_K, DS3_N, BF16, XEON_8452Y)
+        torch = cpu_gemm_achieved_tflops(
+            TORCH_AMX, 2048, DS3_K, DS3_N, BF16, XEON_8452Y
+        )
+        assert 3.0 <= kt / torch <= 5.0  # paper: 3.98x
+
+
+class TestCalibrationFigure7:
+    """Figure 7: AVX-512 wins at <=4 tokens/expert, AMX wins above."""
+
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_avx_faster_at_low_ari(self, m):
+        t_amx = cpu_gemm_time_us(KT_AMX, m, DS3_K, DS3_N, BF16, XEON_8452Y)
+        t_avx = cpu_gemm_time_us(KT_AVX512, m, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert t_avx < t_amx
+
+    @pytest.mark.parametrize("m", [16, 64, 256, 1024])
+    def test_amx_faster_at_high_ari(self, m):
+        t_amx = cpu_gemm_time_us(KT_AMX, m, DS3_K, DS3_N, BF16, XEON_8452Y)
+        t_avx = cpu_gemm_time_us(KT_AVX512, m, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert t_amx < t_avx
+
+    def test_low_ari_advantage_is_modest(self):
+        """Paper: AVX-512 gives up to ~1.20x in decode, not an order of magnitude."""
+        t_amx = cpu_gemm_time_us(KT_AMX, 1, DS3_K, DS3_N, BF16, XEON_8452Y)
+        t_avx = cpu_gemm_time_us(KT_AVX512, 1, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert 1.0 < t_amx / t_avx < 1.5
+
+    def test_high_ari_amx_advantage_near_10x(self):
+        """Paper: AMX up to 10.81x over pure AVX-512 at prefill."""
+        t_amx = cpu_gemm_time_us(KT_AMX, 2048, DS3_K, DS3_N, BF16, XEON_8452Y)
+        t_avx = cpu_gemm_time_us(KT_AVX512, 2048, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert 8.0 <= t_avx / t_amx <= 12.0
+
+
+class TestCostModelProperties:
+    def test_time_monotonic_past_bandwidth_ramp(self):
+        """Above one full tile of tokens, more tokens never run faster."""
+        times = [
+            cpu_gemm_time_us(KT_AMX, m, DS3_K, DS3_N, BF16, XEON_8452Y)
+            for m in (16, 64, 256, 1024, 4096)
+        ]
+        assert times == sorted(times)
+
+    def test_low_ari_latency_nearly_flat(self):
+        """1 vs 8 tokens reuse the same weight stream: latency within ~2x."""
+        t1 = cpu_gemm_time_us(KT_AMX, 1, DS3_K, DS3_N, BF16, XEON_8452Y)
+        t8 = cpu_gemm_time_us(KT_AMX, 8, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert max(t1, t8) / min(t1, t8) < 2.0
+
+    def test_quantized_weights_reduce_memory_time(self):
+        bf16 = cpu_gemm_time_us(KT_AVX512, 1, DS3_K, DS3_N, BF16, XEON_8452Y)
+        int8 = cpu_gemm_time_us(KT_AVX512, 1, DS3_K, DS3_N, INT8, XEON_8452Y)
+        int4 = cpu_gemm_time_us(KT_AVX512, 1, DS3_K, DS3_N, INT4, XEON_8452Y)
+        assert int4 < int8 < bf16
+
+    def test_cached_weights_skip_dram(self):
+        cold = cpu_gemm_time_us(KT_AMX, 16, DS3_K, DS3_N, BF16, XEON_8452Y)
+        warm = cpu_gemm_time_us(
+            KT_AMX, 16, DS3_K, DS3_N, BF16, XEON_8452Y, weights_cached=True
+        )
+        assert warm < cold
+
+    def test_thread_fraction_slows_kernel(self):
+        full = cpu_gemm_time_us(KT_AMX, 256, DS3_K, DS3_N, BF16, XEON_8452Y)
+        half = cpu_gemm_time_us(
+            KT_AMX, 256, DS3_K, DS3_N, BF16, XEON_8452Y, threads_fraction=0.5
+        )
+        assert half > full
+
+    def test_empty_gemm_costs_only_overhead(self):
+        t = cpu_gemm_time_us(KT_AMX, 0, DS3_K, DS3_N, BF16, XEON_8452Y)
+        assert t == pytest.approx(KT_AMX.call_overhead_us)
+
+    def test_gpu_kernel_floor(self):
+        gpu = paper_testbed().gpu
+        assert gpu_kernel_time_us(0, 0, gpu) == gpu.min_kernel_duration_us
+
+    def test_gpu_kernel_memory_bound(self):
+        gpu = paper_testbed().gpu
+        # 1 GB of traffic at ~45% of 1555 GB/s (small-batch GEMV chains).
+        t = gpu_kernel_time_us(0, 1e9, gpu)
+        assert 1200 <= t <= 1700
+
+    def test_pcie_transfer_includes_latency(self):
+        link = paper_testbed().interconnect
+        t = pcie_transfer_time_us(32e9 / 1e6, link)  # 32 KB
+        assert t > link.pcie_latency_us
+
+    def test_cross_socket_slower_than_local_share(self):
+        link = paper_testbed().interconnect
+        one_mb = 1 << 20
+        t = cross_socket_transfer_time_us(one_mb, link)
+        assert t == pytest.approx(one_mb / 125e9 * 1e6 + 1.2, rel=0.01)

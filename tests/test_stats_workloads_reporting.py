@@ -1,0 +1,155 @@
+"""Tests for routing statistics, workload generators, and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import format_table, speedup_string
+from repro.bench.workloads import (
+    ChatRequestSpec,
+    chat_workload_lengths,
+    expected_tokens,
+    zipf_token_stream,
+)
+from repro.errors import ConfigError
+from repro.moe import (
+    RouterConfig,
+    balanced_synthetic_logits,
+    coactivation_matrix,
+    effective_experts,
+    gate_weight_entropy,
+    load_balance_factor,
+    route,
+    routing_summary,
+    skewed_synthetic_logits,
+)
+
+
+def _routing(tokens=50, n_experts=16, top_k=4, seed=0, skew=0.0):
+    rng = np.random.default_rng(seed)
+    cfg = RouterConfig(n_experts=n_experts, top_k=top_k)
+    if skew > 0:
+        logits = skewed_synthetic_logits(tokens, cfg, rng, hot_bonus=skew)
+    else:
+        logits = balanced_synthetic_logits(tokens, cfg, rng)
+    return route(logits, cfg), cfg
+
+
+class TestRoutingStats:
+    def test_load_balance_uniform(self):
+        assert load_balance_factor(np.full(8, 10)) == pytest.approx(1.0)
+
+    def test_load_balance_skewed(self):
+        assert load_balance_factor(np.array([30, 1, 1, 0])) > 3.0
+
+    def test_load_balance_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            load_balance_factor(np.array([]))
+
+    def test_skew_raises_balance_factor(self):
+        r_bal, cfg = _routing(tokens=400, skew=0.0)
+        r_skew, __ = _routing(tokens=400, skew=3.0, seed=1)
+        assert (load_balance_factor(r_skew.expert_token_counts(16))
+                > load_balance_factor(r_bal.expert_token_counts(16)))
+
+    def test_entropy_bounds(self):
+        r, cfg = _routing()
+        ent = gate_weight_entropy(r)
+        assert 0.0 <= ent <= np.log(cfg.top_k) + 1e-9
+
+    def test_effective_experts_bounds(self):
+        r, cfg = _routing()
+        eff = effective_experts(r)
+        assert 1.0 <= eff <= cfg.top_k + 1e-9
+
+    def test_coactivation_symmetric_zero_diagonal(self):
+        r, __ = _routing(tokens=30)
+        mat = coactivation_matrix(r, 16)
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+        # Each token contributes k*(k-1) ordered pairs.
+        assert mat.sum() == 30 * 4 * 3
+
+    def test_summary_keys(self):
+        r, __ = _routing()
+        s = routing_summary(r, 16)
+        assert set(s) == {"tokens", "active_experts", "load_balance_factor",
+                          "gate_weight_entropy", "effective_experts"}
+        assert s["tokens"] == 50
+
+
+class TestWorkloads:
+    def test_zipf_stream_shape_and_range(self):
+        stream = zipf_token_stream(1000, 64, seed=1)
+        assert stream.shape == (1000,)
+        assert stream.min() >= 0 and stream.max() < 64
+
+    def test_zipf_is_heavy_tailed(self):
+        stream = zipf_token_stream(20_000, 256, alpha=1.2, seed=2)
+        counts = np.bincount(stream, minlength=256)
+        top10 = np.sort(counts)[-10:].sum()
+        assert top10 > 0.3 * counts.sum()
+
+    def test_zipf_invalid(self):
+        with pytest.raises(ConfigError):
+            zipf_token_stream(0, 10)
+        with pytest.raises(ConfigError):
+            zipf_token_stream(10, 1)
+        with pytest.raises(ConfigError):
+            zipf_token_stream(10, 10, alpha=0.0)
+
+    def test_chat_workload_bimodal(self):
+        specs = chat_workload_lengths(300, seed=0, short_fraction=0.5)
+        lens = np.array([s.prompt_tokens for s in specs])
+        assert (lens <= 512).sum() > 60
+        assert (lens > 512).sum() > 60
+
+    def test_chat_workload_bounds(self):
+        for s in chat_workload_lengths(100, seed=3):
+            assert 8 <= s.prompt_tokens <= 8192
+            assert 8 <= s.generate_tokens <= 1024
+
+    def test_expected_tokens(self):
+        specs = [ChatRequestSpec(10, 5), ChatRequestSpec(20, 7)]
+        assert expected_tokens(specs) == (30, 12)
+
+    def test_chat_invalid(self):
+        with pytest.raises(ConfigError):
+            chat_workload_lengths(0)
+        with pytest.raises(ConfigError):
+            chat_workload_lengths(5, short_fraction=1.5)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (333, 4.0)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(12345.6,), (12.34,), (1.234,), (0.0,)])
+        assert "12,346" in out
+        assert "12.3" in out
+        assert "1.23" in out
+
+    def test_speedup_string(self):
+        assert speedup_string(2.0, 5.0) == "2.50x"
+        assert speedup_string(0.0, 5.0) == "n/a"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 60), st.integers(0, 2**31 - 1))
+def test_property_summary_consistency(tokens, seed):
+    r, cfg = _routing(tokens=tokens, seed=seed)
+    s = routing_summary(r, 16)
+    assert s["active_experts"] <= min(16, tokens * cfg.top_k)
+    assert s["effective_experts"] == pytest.approx(
+        np.exp(s["gate_weight_entropy"]), rel=1e-6)

@@ -1,0 +1,84 @@
+"""Unit tests for trace/utilization accounting."""
+
+import pytest
+
+from repro.hw.event_sim import Simulator
+from repro.hw.trace import Interval, Trace, _intersection_length, _merge
+
+
+def _trace(*intervals):
+    return Trace([Interval(*iv) for iv in intervals])
+
+
+def test_merge_overlapping_segments():
+    assert _merge([(0, 5), (3, 8), (10, 12)]) == [(0, 8), (10, 12)]
+
+
+def test_merge_adjacent_segments():
+    assert _merge([(0, 5), (5, 8)]) == [(0, 8)]
+
+
+def test_intersection_length():
+    a = [(0.0, 10.0)]
+    b = [(5.0, 15.0)]
+    assert _intersection_length(a, b) == 5.0
+
+
+def test_intersection_disjoint():
+    assert _intersection_length([(0.0, 1.0)], [(2.0, 3.0)]) == 0.0
+
+
+def test_utilization_full_window():
+    tr = _trace(("cpu", "a", 0.0, 5.0), ("cpu", "b", 5.0, 10.0))
+    assert tr.utilization("cpu") == pytest.approx(1.0)
+
+
+def test_utilization_with_gap():
+    tr = _trace(("cpu", "a", 0.0, 2.0), ("cpu", "b", 8.0, 10.0))
+    assert tr.utilization("cpu") == pytest.approx(0.4)
+
+
+def test_utilization_concurrent_tasks_not_double_counted():
+    tr = _trace(("cpu", "a", 0.0, 10.0), ("cpu", "b", 0.0, 10.0))
+    assert tr.busy_time("cpu") == pytest.approx(10.0)
+    assert tr.utilization("cpu") == pytest.approx(1.0)
+
+
+def test_overlap_fraction_between_devices():
+    tr = _trace(("cpu", "a", 0.0, 6.0), ("gpu", "k", 4.0, 10.0))
+    assert tr.overlap_time("cpu", "gpu") == pytest.approx(2.0)
+    assert tr.overlap_fraction("cpu", "gpu") == pytest.approx(0.2)
+
+
+def test_span_and_empty_trace():
+    assert Trace([]).span() == (0.0, 0.0)
+    assert Trace([]).utilization("cpu") == 0.0
+
+
+def test_count_and_total_duration_filters():
+    tr = _trace(
+        ("gpu", "launch:a", 0.0, 1.0),
+        ("gpu", "launch:b", 1.0, 2.0),
+        ("gpu", "kernel:a", 2.0, 6.0),
+    )
+    assert tr.count("gpu") == 3
+    assert tr.count("gpu", name_prefix="launch:") == 2
+    assert tr.total_duration("gpu", name_prefix="kernel:") == pytest.approx(4.0)
+
+
+def test_from_simulator_skips_zero_duration():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    sim.submit("real", res, 3.0)
+    sim.submit("barrier", res, 0.0)
+    sim.drain()
+    tr = Trace.from_simulator(sim)
+    assert tr.count() == 1
+    assert tr.busy_time("cpu") == pytest.approx(3.0)
+
+
+def test_gantt_renders_all_resources():
+    tr = _trace(("cpu", "a", 0.0, 5.0), ("gpu", "b", 5.0, 10.0))
+    art = tr.render_gantt(width=20)
+    assert "cpu" in art and "gpu" in art
+    assert "#" in art

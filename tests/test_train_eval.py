@@ -1,0 +1,188 @@
+"""Tests for the training substrate and evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import (
+    engine_for,
+    exact_match,
+    mean_kl,
+    relative_accuracy_change,
+    top1_agreement,
+)
+from repro.model import MoETransformer, tiny_config
+from repro.train import (
+    Example,
+    TrainableMoETransformer,
+    TrainConfig,
+    default_suite,
+    example_loss,
+    task,
+    train,
+    train_for_task,
+)
+
+
+class TestTasks:
+    def test_suite_has_five_tasks(self):
+        assert set(default_suite()) == {
+            "modsum", "copy", "reverse", "majority", "recall"
+        }
+
+    def test_deterministic_generation(self):
+        t = task("modsum")
+        a = t.generate(10, seed=7)
+        b = t.generate(10, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.prompt, y.prompt)
+            assert np.array_equal(x.target, y.target)
+
+    def test_modsum_correctness(self):
+        t = task("modsum")
+        for ex in t.generate(20, seed=0):
+            a, b = ex.prompt[1] - 2, ex.prompt[2] - 2
+            assert ex.target[0] - 2 == (a + b) % t.n_symbols
+
+    def test_copy_and_reverse(self):
+        for ex in task("copy").generate(5, seed=1):
+            assert np.array_equal(ex.target, ex.prompt[1:-1])
+        for ex in task("reverse").generate(5, seed=1):
+            assert np.array_equal(ex.target, ex.prompt[1:-1][::-1])
+
+    def test_majority_correctness(self):
+        t = task("majority")
+        for ex in t.generate(20, seed=2):
+            seq = ex.prompt[1:-1] - 2
+            counts = np.bincount(seq, minlength=t.n_symbols)
+            assert ex.target[0] - 2 == np.argmax(counts)
+
+    def test_recall_correctness(self):
+        t = task("recall")
+        for ex in t.generate(20, seed=3):
+            body = ex.prompt[1:-2] - 2
+            query = ex.prompt[-1] - 2
+            keys, values = body[0::2], body[1::2]
+            assert ex.target[0] - 2 == values[list(keys).index(query)]
+
+    def test_splits_disjoint_lengths(self):
+        tr, te = task("copy").splits(50, 20, seed=0)
+        assert len(tr) == 50 and len(te) == 20
+
+    def test_unknown_task(self):
+        with pytest.raises(ConfigError):
+            task("sudoku")
+
+    def test_tokens_within_vocab(self):
+        for t in default_suite().values():
+            for ex in t.generate(10, seed=4):
+                assert ex.prompt.max() < t.min_vocab
+                assert ex.target.max() < t.min_vocab
+
+
+class TestTrainableModel:
+    @pytest.mark.parametrize("config_name", ["tiny-qw", "tiny-ds"])
+    def test_forward_matches_inference_model(self, config_name):
+        """The train/deploy contract: same weights -> same logits."""
+        cfg = tiny_config(config_name, seed=11)
+        tm = TrainableMoETransformer(cfg)
+        inf = MoETransformer(cfg)
+        inf.load_state_dict(tm.export_state_dict())
+        tokens = np.array([1, 5, 9, 2])
+        assert np.allclose(tm.forward(tokens).data, inf.forward(tokens),
+                           atol=1e-4)
+
+    def test_state_dict_keys_match(self):
+        cfg = tiny_config("tiny-ds")
+        tm = TrainableMoETransformer(cfg)
+        inf = MoETransformer(cfg)
+        assert set(tm.export_state_dict()) == set(inf.state_dict())
+
+    def test_gradients_reach_every_parameter_family(self):
+        cfg = tiny_config("tiny", seed=0)
+        tm = TrainableMoETransformer(cfg)
+        ex = Example(np.array([0, 3, 4, 1]), np.array([5]))
+        example_loss(tm, ex).backward()
+        grads = {name: p.grad for name, p in tm.params.items()}
+        assert grads["embed_tokens.weight"] is not None
+        assert grads["lm_head.weight"] is not None
+        assert grads["layers.0.mlp.gate.weight"] is not None
+        assert grads["layers.0.mlp.shared_experts.0.w_gate"] is not None
+        assert grads["layers.0.self_attn.wq.weight"] is not None
+        # At least top_k experts received gradient in each layer.
+        touched = sum(
+            1 for n, g in grads.items()
+            if ".experts." in n and n.endswith("w_gate") and g is not None
+            and np.abs(g).sum() > 0
+        )
+        assert touched >= cfg.top_k
+
+    def test_training_reduces_loss(self):
+        cfg = tiny_config("tiny", seed=1)
+        tm = TrainableMoETransformer(cfg)
+        examples = task("modsum").generate(64, seed=0)
+        report = train(tm, examples, TrainConfig(steps=40, batch_size=4))
+        assert report.final_loss < report.initial_loss * 0.8
+
+    def test_train_for_task_end_to_end(self):
+        model, report, test = train_for_task(
+            tiny_config("tiny-qw", top_k=4), task("modsum"), n_train=64,
+            train_config=TrainConfig(steps=30),
+        )
+        assert isinstance(model, MoETransformer)
+        assert len(test) == 64
+        assert report.final_loss < report.initial_loss
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            train_for_task(tiny_config("tiny", vocab_size=4), task("modsum"))
+
+    def test_empty_examples_rejected(self):
+        with pytest.raises(ConfigError):
+            train(TrainableMoETransformer(tiny_config("tiny")), [])
+
+
+class TestEvalHarness:
+    def test_exact_match_counts_correctly(self):
+        class Oracle:
+            def __init__(self, answers):
+                self.answers = iter(answers)
+
+            def generate(self, prompt, max_new_tokens, greedy=True):
+                return next(self.answers)
+
+        examples = [Example(np.array([0]), np.array([5])),
+                    Example(np.array([0]), np.array([6]))]
+        engine = Oracle([np.array([5]), np.array([7])])
+        assert exact_match(engine, examples) == 0.5
+
+    def test_exact_match_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            exact_match(MoETransformer(tiny_config("tiny")), [])
+
+    def test_engine_for_modes(self):
+        from repro.core import DeferralEngine, SkippingEngine
+        model = MoETransformer(tiny_config("tiny-qw", top_k=6))
+        assert engine_for(model, "standard", 0) is model
+        assert isinstance(engine_for(model, "deferral", 2), DeferralEngine)
+        assert isinstance(engine_for(model, "skipping", 2), SkippingEngine)
+        with pytest.raises(ConfigError):
+            engine_for(model, "pruning", 1)
+
+    def test_fidelity_metrics(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((10, 6)).astype(np.float32)
+        assert top1_agreement(a, a) == 1.0
+        assert mean_kl(a, a) == pytest.approx(0.0, abs=1e-9)
+        b = a + rng.standard_normal((10, 6)) * 5
+        assert top1_agreement(a, b) < 1.0
+        assert mean_kl(a, b) > 0.0
+
+    def test_relative_accuracy_change(self):
+        assert relative_accuracy_change(0.8, 0.4) == pytest.approx(-50.0)
+        with pytest.raises(ConfigError):
+            relative_accuracy_change(0.0, 0.5)
+
+    def test_mismatched_logits_rejected(self):
+        with pytest.raises(ConfigError):
+            mean_kl(np.zeros((2, 3)), np.zeros((3, 3)))

@@ -1,0 +1,149 @@
+"""Tests for the functional MoE transformer and model presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import (
+    DS2,
+    DS3,
+    QW2,
+    ModelConfig,
+    MoETransformer,
+    preset,
+    tiny_config,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MoETransformer(tiny_config("tiny"))
+
+
+class TestForward:
+    def test_logits_shape(self, model):
+        tokens = np.array([1, 2, 3, 4])
+        logits = model.forward(tokens)
+        assert logits.shape == (4, model.config.vocab_size)
+
+    def test_deterministic(self, model):
+        tokens = np.array([5, 6, 7])
+        a = model.forward(tokens)
+        b = model.forward(tokens)
+        assert np.array_equal(a, b)
+
+    def test_incremental_decode_matches_prefill(self, model):
+        tokens = np.array([1, 2, 3, 4, 5])
+        full = model.forward(tokens)
+        caches = model.new_caches()
+        outs = [model.step(tokens[i:i + 1], caches) for i in range(5)]
+        assert np.allclose(np.concatenate(outs), full, atol=1e-3)
+
+    def test_chunked_prefill_matches(self, model):
+        tokens = np.array([1, 2, 3, 4, 5, 6])
+        full = model.forward(tokens)
+        caches = model.new_caches()
+        a = model.step(tokens[:4], caches)
+        b = model.step(tokens[4:], caches)
+        assert np.allclose(np.concatenate([a, b]), full, atol=1e-3)
+
+    def test_cache_count_checked(self, model):
+        with pytest.raises(ConfigError):
+            model.step(np.array([1]), caches=[])
+
+
+class TestGenerate:
+    def test_greedy_deterministic(self, model):
+        prompt = np.array([1, 2, 3])
+        a = model.generate(prompt, max_new_tokens=5)
+        b = model.generate(prompt, max_new_tokens=5)
+        assert np.array_equal(a, b)
+        assert len(a) == 5
+
+    def test_tokens_in_vocab(self, model):
+        out = model.generate(np.array([0]), max_new_tokens=8)
+        assert out.min() >= 0
+        assert out.max() < model.config.vocab_size
+
+    def test_stop_token(self, model):
+        out = model.generate(np.array([1, 2]), max_new_tokens=10,
+                             stop_token=int(model.generate(
+                                 np.array([1, 2]), max_new_tokens=1)[0]))
+        assert len(out) == 1
+
+    def test_sampled_generation_runs(self, model):
+        out = model.generate(np.array([3]), max_new_tokens=4, greedy=False,
+                             temperature=1.5, rng=np.random.default_rng(0))
+        assert len(out) == 4
+
+    def test_negative_max_tokens_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.generate(np.array([1]), max_new_tokens=-1)
+
+
+class TestVariants:
+    def test_mla_grouped_model_runs(self):
+        m = MoETransformer(tiny_config("tiny-ds"))
+        logits = m.forward(np.array([1, 2, 3]))
+        assert logits.shape == (3, 64)
+
+    def test_dense_first_layer(self):
+        m = MoETransformer(tiny_config("tiny-ds"))
+        assert not m.layers[0].is_moe
+        assert m.layers[1].is_moe
+
+    def test_state_dict_roundtrip_changes_output(self):
+        cfg = tiny_config("tiny")
+        m1 = MoETransformer(cfg)
+        m2 = MoETransformer(ModelConfig(**{**cfg.__dict__, "seed": 99}))
+        tokens = np.array([1, 2, 3])
+        assert not np.allclose(m1.forward(tokens), m2.forward(tokens))
+        m2.load_state_dict(m1.state_dict())
+        assert np.allclose(m1.forward(tokens), m2.forward(tokens), atol=1e-4)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            tiny_config("tiny", attention="mla")  # kv_rank missing
+        with pytest.raises(ConfigError):
+            tiny_config("tiny", first_dense_layers=2)
+        with pytest.raises(ConfigError):
+            tiny_config("nope")
+
+
+class TestPresets:
+    def test_table1_cpu_params(self):
+        assert DS3.cpu_params == pytest.approx(654e9, rel=0.01)
+        assert DS2.cpu_params == pytest.approx(223e9, rel=0.01)
+        assert QW2.cpu_params == pytest.approx(49e9, rel=0.01)
+
+    def test_table1_totals(self):
+        assert DS3.total_params == pytest.approx(671e9, rel=0.01)
+        assert DS2.total_params == pytest.approx(236e9, rel=0.01)
+        assert QW2.total_params == pytest.approx(57e9, rel=0.01)
+
+    def test_table1_routing(self):
+        assert (DS3.n_experts, DS3.top_k) == (256, 8)
+        assert (DS2.n_experts, DS2.top_k) == (160, 6)
+        assert (QW2.n_experts, QW2.top_k) == (64, 8)
+
+    def test_table1_moe_layers(self):
+        assert DS3.n_moe_layers == 58
+        assert DS2.n_moe_layers == 59
+        assert QW2.n_moe_layers == 28
+
+    def test_preset_lookup(self):
+        assert preset("DS3") is DS3
+        with pytest.raises(ConfigError):
+            preset("gpt4")
+
+    def test_quantized_ds3_fits_4080_experts_per_layer(self):
+        """Int4 experts: one layer's 8 activated experts stream < 1 GB."""
+        per_expert = DS3.expert_bytes(DS3.quant_dtype)
+        assert per_expert * DS3.top_k < 1e9
+
+    def test_gpu_weights_fit_vram(self):
+        from repro.hw import A100_40G, RTX_4080_16G
+        from repro.tensor import BF16
+        assert DS3.gpu_params * BF16.bytes_per_element < A100_40G.vram_capacity
+        assert (DS3.gpu_params * DS3.quant_dtype.bytes_per_element
+                < RTX_4080_16G.vram_capacity)

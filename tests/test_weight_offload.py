@@ -1,0 +1,105 @@
+"""Tests for the weight-offloading baseline and its expert cache."""
+
+import pytest
+
+from repro.baselines import (
+    ExpertCache,
+    simulate_weight_offload_decode,
+    spare_vram_experts,
+)
+from repro.core import KTRANSFORMERS, run_decode
+from repro.errors import ConfigError
+from repro.hw import paper_testbed
+from repro.model import DS3, QW2
+from repro.tensor import BF16, INT4
+
+
+class TestExpertCache:
+    def test_miss_then_hit(self):
+        c = ExpertCache(4)
+        assert not c.access(0, 1)
+        assert c.access(0, 1)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction(self):
+        c = ExpertCache(2)
+        c.access(0, 1)
+        c.access(0, 2)
+        c.access(0, 3)          # evicts (0, 1)
+        assert not c.access(0, 1)
+
+    def test_lru_touch_refreshes(self):
+        c = ExpertCache(2)
+        c.access(0, 1)
+        c.access(0, 2)
+        c.access(0, 1)          # refresh 1
+        c.access(0, 3)          # evicts 2, not 1
+        assert c.access(0, 1)
+
+    def test_zero_capacity_never_hits(self):
+        c = ExpertCache(0)
+        c.access(0, 1)
+        assert not c.access(0, 1)
+        assert c.hit_rate == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ExpertCache(-1)
+
+    def test_layers_are_distinct(self):
+        c = ExpertCache(10)
+        c.access(0, 5)
+        assert not c.access(1, 5)
+
+
+class TestWeightOffloadSimulation:
+    def test_spare_vram_ds3_bf16_tiny(self):
+        """BF16 DS-3 leaves almost no VRAM for cached experts on an A100."""
+        n = spare_vram_experts(DS3, paper_testbed("a100"), BF16)
+        assert n < 100
+
+    def test_spare_vram_qw2_large(self):
+        n = spare_vram_experts(QW2, paper_testbed("a100"), BF16)
+        assert n > 100
+
+    def test_pcie_dominates_ds3(self):
+        """The Section 2.1 argument: transfers swamp compute for DS-3."""
+        r = simulate_weight_offload_decode(DS3, paper_testbed("a100"), BF16,
+                                           n_tokens=4)
+        assert r.pcie_time_us > r.gpu_time_us
+
+    def test_computation_offloading_wins(self):
+        """KTransformers' computation offloading beats weight offloading."""
+        machine = paper_testbed("a100")
+        wo = simulate_weight_offload_decode(DS3, machine, BF16, n_tokens=4)
+        kt = run_decode(KTRANSFORMERS, DS3, machine, BF16, n_tokens=4)
+        assert kt.tokens_per_s > 3 * wo.tokens_per_s
+
+    def test_quantization_helps_weight_offload(self):
+        machine = paper_testbed("a100")
+        bf16 = simulate_weight_offload_decode(DS3, machine, BF16, n_tokens=2)
+        int4 = simulate_weight_offload_decode(DS3, machine, INT4, n_tokens=2)
+        assert int4.tokens_per_s > bf16.tokens_per_s
+
+    def test_big_cache_raises_hit_rate(self):
+        machine = paper_testbed("a100")
+        small = simulate_weight_offload_decode(QW2, machine, BF16, n_tokens=8,
+                                               cache_experts=8)
+        big = simulate_weight_offload_decode(QW2, machine, BF16, n_tokens=8,
+                                             cache_experts=QW2.n_experts
+                                             * QW2.n_moe_layers)
+        assert big.cache_hit_rate > small.cache_hit_rate
+        assert big.tokens_per_s > small.tokens_per_s
+
+    def test_invalid_tokens_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_weight_offload_decode(DS3, paper_testbed(), BF16,
+                                           n_tokens=0)
+
+    def test_deterministic(self):
+        machine = paper_testbed("a100")
+        a = simulate_weight_offload_decode(QW2, machine, BF16, n_tokens=3,
+                                           seed=7)
+        b = simulate_weight_offload_decode(QW2, machine, BF16, n_tokens=3,
+                                           seed=7)
+        assert a.elapsed_us == b.elapsed_us
