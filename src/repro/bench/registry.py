@@ -83,6 +83,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("serving", "deployment characterization",
                "test_serving_latency.py",
                "TPOT load-independent at batch 1; queueing drives p95"),
+    Experiment("serving-cb", "extension (continuous batching)",
+               "test_serving_continuous_batching.py",
+               "iteration-level batching: >=2x request throughput at "
+               "saturation; aggregated ARI shifts experts onto AMX"),
 )
 
 

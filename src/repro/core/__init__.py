@@ -15,7 +15,9 @@ from .deferral import (
 from .engine import (
     KTRANSFORMERS,
     ThroughputResult,
+    batched_decode_works,
     decode_works,
+    run_batched_decode,
     run_decode,
     run_prefill,
 )
@@ -26,7 +28,7 @@ __all__ = [
     "AutotuneResult", "autotune_deferral", "heuristic_deferred_count",
     "MIN_IMMEDIATE_EXPERTS", "DeferralConfig", "DeferralEngine",
     "split_routing",
-    "KTRANSFORMERS", "ThroughputResult", "decode_works", "run_decode",
-    "run_prefill",
+    "KTRANSFORMERS", "ThroughputResult", "batched_decode_works",
+    "decode_works", "run_batched_decode", "run_decode", "run_prefill",
     "SkippingConfig", "SkippingEngine",
 ]

@@ -11,6 +11,7 @@ figure in Section 6 is produced through these two entry points.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..baselines.base import SystemProfile
 from ..errors import ConfigError
@@ -25,8 +26,10 @@ from ..sched.cuda_graph import LaunchMode
 from ..sched.decode import DecodeScheduleConfig, simulate_decode
 from ..sched.prefill import simulate_prefill
 from ..sched.workload import (
+    BatchedDispatchSummary,
     DecodeLayerWork,
     PrefillLayerWork,
+    batched_decode_layer_work,
     decode_layer_work,
     prefill_layer_work,
 )
@@ -135,6 +138,70 @@ def run_decode(
     )
     sim = simulate_decode(works, config, machine, n_tokens)
     return _result(system, preset, "decode", n_tokens * batch_size, sim)
+
+
+def batched_decode_works(
+    system: SystemProfile,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    context_lens: Sequence[int],
+    ari_threshold: int | None = None,
+    seed: int = 0,
+) -> tuple[list[DecodeLayerWork], BatchedDispatchSummary]:
+    """Per-layer work of one multi-request decode step (continuous batching).
+
+    Unlike :func:`decode_works`, kernel dispatch happens per expert over
+    the batch's *aggregated* token counts, so a big enough batch shifts
+    individual experts from the AVX-512 to the AMX kernel even while
+    others stay below the crossover.
+    """
+    kwargs = {} if ari_threshold is None else {"ari_threshold": ari_threshold}
+    moe, summary = batched_decode_layer_work(
+        preset, machine, dtype, context_lens,
+        avx512_profile=system.decode_kernel,
+        amx_profile=_supported_kernel(system.prefill_kernel, system, machine),
+        numa_strategy=system.numa_strategy,
+        kernels_per_layer=system.decode_kernels_per_layer,
+        seed=seed,
+        **kwargs,
+    )
+    dense = _dense_decode_work(moe)
+    works = [dense] * preset.n_dense_layers + [moe] * preset.n_moe_layers
+    return works, summary
+
+
+def run_batched_decode(
+    system: SystemProfile,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType = BF16,
+    n_tokens: int = 8,
+    context_lens: Sequence[int] = (32,),
+    n_deferred: int | None = None,
+    ari_threshold: int | None = None,
+) -> tuple[ThroughputResult, BatchedDispatchSummary]:
+    """Simulate ``n_tokens`` continuous-batching decode iterations.
+
+    Each iteration decodes one token for every request in
+    ``context_lens`` (one entry per request, giving its context length).
+    Reported throughput counts ``n_tokens * len(context_lens)`` generated
+    tokens; the returned summary records the per-expert ARI dispatch.
+    """
+    works, summary = batched_decode_works(
+        system, preset, machine, dtype, context_lens,
+        ari_threshold=ari_threshold,
+    )
+    config = DecodeScheduleConfig(
+        launch_mode=system.launch_mode,
+        overlap_cpu_gpu=system.overlap_cpu_gpu,
+        top_k=preset.top_k,
+        n_deferred=n_deferred or 0,
+    )
+    sim = simulate_decode(works, config, machine, n_tokens)
+    result = _result(system, preset, "decode",
+                     n_tokens * len(context_lens), sim)
+    return result, summary
 
 
 def run_prefill(

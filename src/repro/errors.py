@@ -39,6 +39,10 @@ class InjectionError(ReproError):
     """A module-injection rule failed to parse or apply."""
 
 
+class KVCacheError(ReproError):
+    """A paged KV-cache pool was exhausted or used inconsistently."""
+
+
 class GraphCaptureError(ReproError):
     """CUDA-graph capture was used incorrectly (e.g. nested capture)."""
 

@@ -67,6 +67,32 @@ class AMXKernel(CPUGemmKernel):
     profile = KT_AMX
 
     def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        """Blocked-einsum execution of the task -> block -> tile traversal.
+
+        All column tasks advance together: for each row block, one batched
+        tile multiply ``(m, 16) @ (ct, 16, tc)`` updates every task's
+        accumulator.  The per-tile GEMMs and the row-block accumulation
+        order are identical to :meth:`run_reference`, so the float32 output
+        is bit-identical (asserted in tests) -- only the Python-level loop
+        nest is collapsed.
+        """
+        xp = self._check_shapes(x, weights)
+        tiles = weights.dense_tiles()            # (rt, ct, 16, tc)
+        row_tiles, col_tiles, tr, tc = tiles.shape
+        m = xp.shape[0]
+
+        # acc[ct] is column task ct's tile-register accumulator.
+        acc = np.zeros((col_tiles, m, tc), dtype=np.float32)
+        for rt_idx in range(row_tiles):
+            k_lo = rt_idx * TILE_ROWS
+            a_panel = xp[:, k_lo:k_lo + TILE_ROWS]
+            acc += np.matmul(a_panel, tiles[rt_idx])
+
+        out = acc.transpose(1, 0, 2).reshape(m, col_tiles * tc)
+        return out[:, :weights.cols]
+
+    def run_reference(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        """The explicit loop-nest traversal (kept as the layout oracle)."""
         xp = self._check_shapes(x, weights)
         tiles = weights.dense_tiles()            # (rt, ct, 16, tc)
         row_tiles, col_tiles, tr, tc = tiles.shape

@@ -26,6 +26,34 @@ class AVX512Kernel(CPUGemmKernel):
     profile = KT_AVX512
 
     def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        """Blocked broadcast-FMA over all column tasks at once.
+
+        Each weight row r still issues one broadcast-FMA, but the update
+        spans every column task's accumulator in a single vector op instead
+        of per-task, per-strip Python iterations.  Every float32 multiply
+        and add happens in the same order as :meth:`run_reference` (strips
+        are disjoint columns), so the output is bit-identical.
+        """
+        xp = self._check_shapes(x, weights)
+        tiles = weights.dense_tiles()            # (rt, ct, 16, tc)
+        row_tiles, col_tiles, tr, tc = tiles.shape
+        m = xp.shape[0]
+
+        acc = np.zeros((col_tiles, m, tc), dtype=np.float32)
+        for rt_idx in range(row_tiles):
+            k_lo = rt_idx * TILE_ROWS
+            block = tiles[rt_idx]                              # (ct, 16, tc)
+            for r in range(TILE_ROWS):
+                # broadcast-FMA: acc += x_col outer weight_row, for every
+                # column task simultaneously.
+                xcol = xp[:, k_lo + r]                         # (m,)
+                acc += xcol[None, :, None] * block[:, r, :][:, None, :]
+
+        out = acc.transpose(1, 0, 2).reshape(m, col_tiles * tc)
+        return out[:, :weights.cols]
+
+    def run_reference(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
+        """The explicit strip-level loop nest (kept as the layout oracle)."""
         xp = self._check_shapes(x, weights)
         tiles = weights.dense_tiles()            # (rt, ct, 16, tc)
         row_tiles, col_tiles, tr, tc = tiles.shape

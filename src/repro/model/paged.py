@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, KVCacheError
 
 DEFAULT_PAGE_TOKENS = 16
 
@@ -111,3 +111,147 @@ class PagedKVCache:
     def reset(self) -> None:
         self._pages.clear()
         self._len = 0
+
+
+class PagedKVPool:
+    """A fixed-budget page pool shared by multiple concurrent request slots.
+
+    This is the serving-engine view of paged attention: one physical page
+    budget (the GPU KV/VRAM allowance) backs any number of logical request
+    *slots*.  Each slot grows page-by-page as its sequence extends; freeing
+    a slot returns its pages to the free list for the next admission.
+    Exhausting the budget raises :class:`~repro.errors.KVCacheError`, which
+    the continuous-batching scheduler treats as "stop admitting".
+
+    Gather semantics per slot are identical to :class:`PagedKVCache` (and
+    are tested against it).
+    """
+
+    def __init__(self, n_heads: int, head_dim: int, budget_tokens: int,
+                 page_tokens: int = DEFAULT_PAGE_TOKENS) -> None:
+        if n_heads <= 0 or head_dim <= 0 or page_tokens <= 0:
+            raise ConfigError("pool dimensions must be positive")
+        if budget_tokens < page_tokens:
+            raise ConfigError(
+                f"budget_tokens={budget_tokens} smaller than one page "
+                f"({page_tokens} tokens)"
+            )
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.page_tokens = page_tokens
+        self.budget_pages = budget_tokens // page_tokens
+        self.budget_tokens = self.budget_pages * page_tokens
+        self._free: list[Page] = []
+        self._slots: dict[int, list[Page]] = {}
+        self._allocated_pages = 0
+        self._next_slot = 0
+
+    # -- capacity accounting ------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return self.budget_pages - self._allocated_pages
+
+    @property
+    def free_tokens(self) -> int:
+        """Tokens guaranteed appendable into *new* pages."""
+        return self.free_pages * self.page_tokens
+
+    @property
+    def used_tokens(self) -> int:
+        """Tokens currently stored across every live slot."""
+        return sum(sum(p.used for p in pages) for pages in self._slots.values())
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    def pages_needed(self, n_tokens: int) -> int:
+        """Pages a fresh slot needs to hold ``n_tokens``."""
+        return -(-n_tokens // self.page_tokens)
+
+    def can_fit(self, n_tokens: int) -> bool:
+        """Whether a fresh slot of ``n_tokens`` fits the remaining budget."""
+        return self.pages_needed(n_tokens) <= self.free_pages
+
+    # -- slot lifecycle -----------------------------------------------------
+
+    def allocate(self) -> int:
+        """Open a new (empty) request slot and return its id."""
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[slot] = []
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Close a slot, returning all of its pages to the free list."""
+        pages = self._slots.pop(self._checked(slot))
+        for page in pages:
+            page.used = 0
+            self._free.append(page)
+        self._allocated_pages -= len(pages)
+
+    def _checked(self, slot: int) -> int:
+        if slot not in self._slots:
+            raise KVCacheError(f"slot {slot} is not allocated")
+        return slot
+
+    def _grow(self, slot: int) -> Page:
+        if self._allocated_pages >= self.budget_pages:
+            raise KVCacheError(
+                f"KV page budget exhausted: {self.budget_pages} pages "
+                f"({self.budget_tokens} tokens) across {self.n_slots} slots"
+            )
+        if self._free:
+            page = self._free.pop()
+        else:
+            shape = (self.page_tokens, self.n_heads, self.head_dim)
+            page = Page(keys=np.zeros(shape, dtype=np.float32),
+                        values=np.zeros(shape, dtype=np.float32))
+        self._allocated_pages += 1
+        self._slots[slot].append(page)
+        return page
+
+    # -- data path ----------------------------------------------------------
+
+    def append(self, slot: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append K/V rows to ``slot``, growing it by whole pages as needed."""
+        pages = self._slots[self._checked(slot)]
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        expected = (k.shape[0], self.n_heads, self.head_dim)
+        if k.shape != expected or v.shape != expected:
+            raise ConfigError(
+                f"pool append shape {k.shape}/{v.shape}, expected {expected}"
+            )
+        for row in range(k.shape[0]):
+            page = pages[-1] if pages else self._grow(slot)
+            if page.used == self.page_tokens:
+                page = self._grow(slot)
+            page.keys[page.used] = k[row]
+            page.values[page.used] = v[row]
+            page.used += 1
+
+    def append_placeholder(self, slot: int, n_tokens: int) -> None:
+        """Reserve ``n_tokens`` of zero K/V (occupancy tracking only)."""
+        if n_tokens <= 0:
+            return
+        shape = (n_tokens, self.n_heads, self.head_dim)
+        zeros = np.zeros(shape, dtype=np.float32)
+        self.append(slot, zeros, zeros)
+
+    def tokens(self, slot: int) -> int:
+        return sum(p.used for p in self._slots[self._checked(slot)])
+
+    def keys(self, slot: int) -> np.ndarray:
+        return self._gather(slot, "keys")
+
+    def values(self, slot: int) -> np.ndarray:
+        return self._gather(slot, "values")
+
+    def _gather(self, slot: int, field: str) -> np.ndarray:
+        pages = self._slots[self._checked(slot)]
+        if not pages:
+            return np.zeros((0, self.n_heads, self.head_dim), dtype=np.float32)
+        parts = [getattr(p, field)[:p.used] for p in pages]
+        return np.concatenate(parts, axis=0)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -128,6 +128,7 @@ def moe_layer_time_us(
     machine: MachineSpec,
     strategy: NumaStrategy,
     streaming_access: bool = False,
+    select_profile: Optional[Callable[[int], CPUKernelProfile]] = None,
 ) -> float:
     """Simulated CPU time of one MoE layer's routed experts.
 
@@ -136,28 +137,32 @@ def moe_layer_time_us(
     ``i % sockets`` -- placement is decided offline, so whichever experts a
     token happens to activate may all land on one socket.
     ``streaming_access`` selects the prefill-style oblivious penalty (see
-    the module constants).
+    the module constants).  ``select_profile``, when given, overrides
+    ``profile`` per expert based on its token count -- this is how batched
+    decode applies the hybrid kernel's ARI dispatch to each coalesced
+    expert GEMM independently.
     """
+    prof = select_profile if select_profile is not None else lambda t: profile
     active = [int(t) for t in expert_tokens if t > 0]
     if not active:
         return 0.0
     if strategy is NumaStrategy.OBLIVIOUS:
         cpu = oblivious_cpu(machine, streaming_access=streaming_access)
-        return sum(expert_time_us(profile, t, dims, cpu) for t in active)
+        return sum(expert_time_us(prof(t), t, dims, cpu) for t in active)
 
     if strategy is NumaStrategy.EXPERT_PARALLEL:
         loads = [0.0] * machine.sockets
         for expert_id, t in enumerate(expert_tokens):
             if t > 0:
                 loads[expert_id % machine.sockets] += expert_time_us(
-                    profile, int(t), dims, machine.cpu
+                    prof(int(t)), int(t), dims, machine.cpu
                 )
         return max(loads)
 
     if strategy is NumaStrategy.TENSOR_PARALLEL:
         shards = machine.sockets
         per_socket = sum(
-            expert_time_us(profile, t, dims, machine.cpu, tp_shards=shards)
+            expert_time_us(prof(t), t, dims, machine.cpu, tp_shards=shards)
             for t in active
         )
         if shards == 1:

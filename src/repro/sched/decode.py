@@ -176,3 +176,36 @@ def simulate_decode(
         deps = [end]
     sim.drain()
     return sim
+
+
+def batched_step_time_us(
+    works: list[DecodeLayerWork],
+    config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    n_steps: int = 4,
+    warmup_steps: int = 2,
+) -> float:
+    """Steady-state simulated cost of one batched decode iteration.
+
+    A continuous-batching scheduler needs the *marginal* price of one more
+    iteration at a given batch size, not the cold-start cost: the first
+    step pays pipeline fill (deferral has nothing in flight, the CUDA graph
+    has no overlap to hide behind).  This chains ``warmup_steps + n_steps``
+    full task graphs through the simulator and averages only the
+    post-warmup steps.
+
+    ``works`` is typically the output of
+    :func:`repro.sched.workload.batched_decode_layer_work` expanded over
+    the model's layers, so the returned cost reflects coalesced per-expert
+    GEMMs and aggregated-ARI kernel dispatch.
+    """
+    if n_steps <= 0:
+        raise SchedulingError("n_steps must be positive")
+    if warmup_steps < 0:
+        raise SchedulingError("warmup_steps must be >= 0")
+    total = simulate_decode(works, config, machine,
+                            warmup_steps + n_steps).now
+    if warmup_steps == 0:
+        return total / n_steps
+    warm = simulate_decode(works, config, machine, warmup_steps).now
+    return (total - warm) / n_steps

@@ -9,11 +9,13 @@ then arrange into task graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..hw.roofline import CPUKernelProfile, gpu_kernel_time_us
 from ..hw.spec import MachineSpec
+from ..kernels.dispatch import DEFAULT_ARI_THRESHOLD
 from ..model.presets import ModelPreset
 from ..moe.numa import MoELayerDims, NumaStrategy, moe_layer_time_us
 from ..moe.router import RouterConfig, balanced_synthetic_logits, route
@@ -116,6 +118,148 @@ def decode_layer_work(
         transfer_bytes=float(batch_size * preset.hidden * ACTIVATION_BYTES),
         n_gpu_kernels=kernels_per_layer,
     )
+
+
+@dataclass(frozen=True)
+class BatchedDispatchSummary:
+    """ARI kernel-dispatch outcome of one *batched* MoE decode layer.
+
+    Aggregating per-expert token counts across the batch is what moves the
+    AVX-512/AMX crossover (Fig. 7): requests that individually route 1
+    token to an expert can jointly push it past ``ari_threshold``.  This
+    summary records the decision per expert so tests and benchmarks can
+    observe the shift.
+    """
+
+    batch_size: int
+    ari_threshold: int
+    expert_token_counts: tuple[int, ...]
+    kernel_names: tuple[str, ...]     # per expert: "amx" | "avx512" | "idle"
+
+    @property
+    def n_active(self) -> int:
+        return sum(1 for t in self.expert_token_counts if t > 0)
+
+    @property
+    def n_amx(self) -> int:
+        return sum(1 for k in self.kernel_names if k == "amx")
+
+    @property
+    def n_avx512(self) -> int:
+        return sum(1 for k in self.kernel_names if k == "avx512")
+
+    @property
+    def max_tokens_per_expert(self) -> int:
+        return max(self.expert_token_counts, default=0)
+
+    @property
+    def dominant_kernel(self) -> str:
+        return "amx" if self.n_amx >= self.n_avx512 else "avx512"
+
+
+def batched_expert_counts(preset: ModelPreset, batch_size: int,
+                          seed: int = 0) -> np.ndarray:
+    """Aggregated per-expert token counts of one batched decode step.
+
+    ``batch_size == 1`` reproduces the deterministic single-token layout
+    used by :func:`decode_layer_work`; larger batches run an actual routing
+    pass so aggregation (and its imbalance) is realistic.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if batch_size == 1:
+        counts = np.zeros(preset.n_experts, dtype=int)
+        counts[np.linspace(0, preset.n_experts - 1, preset.top_k,
+                           dtype=int)] = 1
+        return counts
+    rng = np.random.default_rng(seed)
+    cfg = RouterConfig(n_experts=preset.n_experts, top_k=preset.top_k)
+    routing = route(balanced_synthetic_logits(batch_size, cfg, rng), cfg)
+    return routing.expert_token_counts(preset.n_experts)
+
+
+def batched_decode_layer_work(
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    context_lens: Sequence[int],
+    avx512_profile: CPUKernelProfile,
+    amx_profile: CPUKernelProfile,
+    numa_strategy: NumaStrategy,
+    kernels_per_layer: int,
+    ari_threshold: int = DEFAULT_ARI_THRESHOLD,
+    seed: int = 0,
+) -> tuple[DecodeLayerWork, BatchedDispatchSummary]:
+    """Price one MoE layer of a multi-request (continuous-batching) step.
+
+    Differences from :func:`decode_layer_work` with ``batch_size > 1``:
+
+    - per-expert token counts are aggregated across the whole batch
+      *before* kernel dispatch, and each expert's GEMM pair is priced once
+      over its coalesced token count (weights stream from DRAM once per
+      expert per step, not once per request);
+    - kernel selection is per expert: experts whose aggregated count
+      exceeds ``ari_threshold`` switch from the low-latency AVX-512 kernel
+      to AMX, exactly like :class:`repro.kernels.dispatch.HybridKernel`;
+    - attention KV traffic sums over each request's own context length.
+
+    Returns the priced layer work plus the dispatch decisions.
+    """
+    batch_size = len(context_lens)
+    if batch_size <= 0:
+        raise ValueError("context_lens must not be empty")
+    if not machine.cpu.has_amx:
+        amx_profile = avx512_profile
+    gpu = machine.gpu
+    layer_bytes = preset.gpu_layer_bytes(dtype)
+    shared_bytes = preset.shared_expert_bytes(dtype)
+    attn_bytes = max(layer_bytes - shared_bytes, layer_bytes * 0.3)
+    kv_bytes = 0.0
+    for context_len in context_lens:
+        if preset.kv_rank > 0:
+            kv_bytes += context_len * preset.kv_rank * ACTIVATION_BYTES
+        else:
+            kv_bytes += 2.0 * context_len * preset.hidden * ACTIVATION_BYTES
+    gpu_attn_us = gpu_kernel_time_us(
+        flops=2.0 * batch_size * (attn_bytes / dtype.bytes_per_element),
+        bytes_moved=attn_bytes + kv_bytes,
+        gpu=gpu,
+    )
+    gpu_shared_us = gpu_kernel_time_us(
+        flops=2.0 * batch_size * (shared_bytes / dtype.bytes_per_element),
+        bytes_moved=shared_bytes,
+        gpu=gpu,
+    ) if shared_bytes > 0 else 0.0
+
+    counts = batched_expert_counts(preset, batch_size, seed=seed)
+
+    def select(tokens: int) -> CPUKernelProfile:
+        return avx512_profile if tokens <= ari_threshold else amx_profile
+
+    dims = MoELayerDims(preset.hidden, preset.moe_intermediate, dtype)
+    cpu_routed_us = moe_layer_time_us(
+        counts, dims, avx512_profile, machine, numa_strategy,
+        select_profile=select,
+    )
+
+    kernel_names = tuple(
+        "idle" if t == 0 else ("avx512" if t <= ari_threshold else "amx")
+        for t in counts
+    )
+    summary = BatchedDispatchSummary(
+        batch_size=batch_size,
+        ari_threshold=ari_threshold,
+        expert_token_counts=tuple(int(t) for t in counts),
+        kernel_names=kernel_names,
+    )
+    work = DecodeLayerWork(
+        gpu_attn_us=gpu_attn_us,
+        gpu_shared_us=gpu_shared_us,
+        cpu_routed_us=cpu_routed_us,
+        transfer_bytes=float(batch_size * preset.hidden * ACTIVATION_BYTES),
+        n_gpu_kernels=kernels_per_layer,
+    )
+    return work, summary
 
 
 def prefill_layer_work(

@@ -1,6 +1,23 @@
-"""Serving layer: sessions (real tokens, simulated clocks) and a local server."""
+"""Serving layer: sessions (real tokens, simulated clocks) and servers.
 
-from .metrics import RequestTiming, ServingStats, percentile
+Two servers share the same workload/stats types: the paper's batch-1
+``LocalServer`` and the iteration-level ``ContinuousBatchingServer``.
+"""
+
+from .continuous import (
+    BatchCostModel,
+    BatchSchedulerConfig,
+    ContinuousBatchingServer,
+)
+from .metrics import (
+    BatchTimeline,
+    RequestTiming,
+    ServingSLO,
+    ServingStats,
+    TimelinePoint,
+    percentile,
+    percentiles,
+)
 from .server import LocalServer, TimedRequest, poisson_workload
 from .session import (
     GenerationRequest,
@@ -10,7 +27,9 @@ from .session import (
 )
 
 __all__ = [
-    "RequestTiming", "ServingStats", "percentile",
+    "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
+    "BatchTimeline", "RequestTiming", "ServingSLO", "ServingStats",
+    "TimelinePoint", "percentile", "percentiles",
     "LocalServer", "TimedRequest", "poisson_workload",
     "GenerationRequest", "GenerationResult", "InferenceSession",
     "PhaseCostModel",

@@ -1,0 +1,284 @@
+"""Iteration-level continuous batching over the discrete-event simulator.
+
+The paper's :class:`~repro.serving.server.LocalServer` is strictly FIFO at
+batch size 1: a request queues until the previous generation finishes.
+:class:`ContinuousBatchingServer` instead recomposes the running batch at
+every decode iteration (Orca-style):
+
+- an **admission queue** holds arrived requests; at each iteration
+  boundary the scheduler admits as many as fit the KV **token budget**
+  (tracked as page reservations against a shared
+  :class:`~repro.model.paged.PagedKVPool`) and the batch-size cap;
+- newly admitted requests are **prefilled together** in one batched pass
+  -- simulated prefill cost is dominated by fixed per-pass overheads, so
+  co-admission amortizes it the way real engines batch prompt tokens;
+- each **decode iteration** generates one token for every in-flight
+  request.  The step is priced by
+  :func:`~repro.sched.workload.batched_decode_layer_work`: per-expert
+  token counts are aggregated across the batch before ARI kernel
+  dispatch, so batching visibly moves the AVX-512/AMX crossover (Fig. 7)
+  and CPU expert GEMMs are coalesced per expert;
+- finished requests free their KV pages immediately, unblocking the next
+  admission.
+
+Prefill runs as its own pass at the iteration boundary and stalls
+in-flight decodes for its duration (chunked prefill is future work); this
+is the classic continuous-batching trade reflected in the TPOT tail.
+Token *values* stay real: each request's tokens come from the functional
+model via the session, exactly as in the batch-1 server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError, KVCacheError
+from ..core.engine import batched_decode_works, run_prefill
+from ..model.paged import DEFAULT_PAGE_TOKENS, PagedKVPool
+from ..sched.decode import DecodeScheduleConfig, batched_step_time_us
+from ..sched.workload import BatchedDispatchSummary
+from .metrics import BatchTimeline, RequestTiming, ServingStats
+from .server import TimedRequest
+from .session import InferenceSession
+
+
+@dataclass(frozen=True)
+class BatchSchedulerConfig:
+    """Policy knobs of the iteration-level scheduler.
+
+    ``kv_budget_tokens`` is the shared KV/VRAM allowance backing every
+    concurrent request; admission reserves ``prompt + max_new_tokens``
+    worth of pages up front so an admitted request can never be evicted
+    mid-flight.  ``max_batch_size`` caps the decode batch regardless of
+    budget.
+    """
+
+    kv_budget_tokens: int = 8192
+    max_batch_size: int = 32
+    page_tokens: int = DEFAULT_PAGE_TOKENS
+    ari_threshold: int | None = None   # None -> kernels' DEFAULT_ARI_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.kv_budget_tokens <= 0:
+            raise ConfigError("kv_budget_tokens must be positive")
+        if self.max_batch_size <= 0:
+            raise ConfigError("max_batch_size must be positive")
+        if self.page_tokens <= 0:
+            raise ConfigError("page_tokens must be positive")
+
+
+class BatchCostModel:
+    """Caches simulated batched prefill/decode step costs.
+
+    Decode steps are keyed by ``(batch_size, context bucket)``; each entry
+    runs the full task-graph simulator once via
+    :func:`~repro.sched.decode.batched_step_time_us` and keeps the
+    :class:`~repro.sched.workload.BatchedDispatchSummary` for
+    observability.  Batched prefill cost is keyed by the total prompt
+    tokens of the co-admitted requests, bucketed like the session's
+    :class:`~repro.serving.session.PhaseCostModel` -- but returning the
+    whole-pass cost (prefill is overhead-dominated, so cost is flat
+    across a bucket, not proportional to tokens).
+    """
+
+    CTX_BUCKETS = (64, 256, 1024, 4096)
+    PREFILL_BUCKETS = (32, 128, 512, 2048, 8192)
+
+    def __init__(self, session: InferenceSession,
+                 ari_threshold: int | None = None) -> None:
+        self.session = session
+        self.ari_threshold = ari_threshold
+        self._step: dict[tuple[int, int], float] = {}
+        self._summaries: dict[tuple[int, int], BatchedDispatchSummary] = {}
+        self._prefill: dict[int, float] = {}
+
+    @staticmethod
+    def _bucket(value: int, buckets: tuple[int, ...]) -> int:
+        for b in buckets:
+            if value <= b:
+                return b
+        return buckets[-1]
+
+    def decode_step_us(self, context_lens: list[int]) -> float:
+        """Steady-state cost of one decode iteration over these requests."""
+        if not context_lens:
+            raise ConfigError("decode step needs at least one request")
+        costs = self.session.costs
+        key = (len(context_lens),
+               self._bucket(max(context_lens), self.CTX_BUCKETS))
+        if key not in self._step:
+            bsz, ctx = key
+            works, summary = batched_decode_works(
+                costs.system, costs.preset, costs.machine, costs.dtype,
+                context_lens=[ctx] * bsz, ari_threshold=self.ari_threshold,
+            )
+            config = DecodeScheduleConfig(
+                launch_mode=costs.system.launch_mode,
+                overlap_cpu_gpu=costs.system.overlap_cpu_gpu,
+                top_k=costs.preset.top_k,
+                n_deferred=self.session.n_deferred,
+            )
+            self._step[key] = batched_step_time_us(
+                works, config, costs.machine
+            )
+            self._summaries[key] = summary
+        return self._step[key]
+
+    def dispatch_summary(self, context_lens: list[int]) -> BatchedDispatchSummary:
+        """The ARI dispatch decisions behind :meth:`decode_step_us`."""
+        self.decode_step_us(context_lens)
+        return self._summaries[(len(context_lens),
+                                self._bucket(max(context_lens),
+                                             self.CTX_BUCKETS))]
+
+    def batched_prefill_us(self, total_prompt_tokens: int) -> float:
+        """One prefill pass over all co-admitted prompts' tokens."""
+        if total_prompt_tokens <= 0:
+            raise ConfigError("prefill needs at least one token")
+        costs = self.session.costs
+        bucket = self._bucket(total_prompt_tokens, self.PREFILL_BUCKETS)
+        if bucket not in self._prefill:
+            r = run_prefill(costs.system, costs.preset, costs.machine,
+                            costs.dtype, prompt_len=bucket)
+            self._prefill[bucket] = r.elapsed_us
+        cost = self._prefill[bucket]
+        if total_prompt_tokens > self.PREFILL_BUCKETS[-1]:
+            cost *= total_prompt_tokens / self.PREFILL_BUCKETS[-1]
+        return cost
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping of one admitted request."""
+
+    timed: TimedRequest
+    slot: int
+    reserved_pages: int
+    tokens: np.ndarray          # real token values, generated at admission
+    start_us: float             # when its admission's prefill pass began
+    context_len: int            # prompt + emitted so far
+    emitted: int = 0
+    first_token_us: float = field(default=0.0)
+
+
+class ContinuousBatchingServer:
+    """Drop-in alternative to ``LocalServer`` with iteration-level batching.
+
+    ``replay(workload)`` serves the same :class:`TimedRequest` workloads and
+    returns the same :class:`~repro.serving.metrics.ServingStats`; the
+    per-iteration batch size and KV occupancy are additionally recorded on
+    :attr:`timeline`.
+    """
+
+    def __init__(self, session: InferenceSession,
+                 config: BatchSchedulerConfig | None = None) -> None:
+        self.session = session
+        self.config = config or BatchSchedulerConfig()
+        self.costs = BatchCostModel(session,
+                                    ari_threshold=self.config.ari_threshold)
+        # The pool tracks token occupancy only; K/V payloads stay tiny.
+        self.pool = PagedKVPool(
+            n_heads=1, head_dim=1,
+            budget_tokens=self.config.kv_budget_tokens,
+            page_tokens=self.config.page_tokens,
+        )
+        self.stats = ServingStats()
+        self.timeline = BatchTimeline(
+            kv_budget_tokens=self.pool.budget_tokens)
+        self._reserved_pages = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def _request_pages(self, timed: TimedRequest) -> int:
+        prompt_len = len(np.atleast_1d(timed.request.prompt))
+        return self.pool.pages_needed(
+            prompt_len + timed.request.max_new_tokens)
+
+    def _admit(self, pending: list[TimedRequest], clock: float,
+               n_active: int) -> list[_InFlight]:
+        """Admit arrived requests that fit the budget and batch cap."""
+        admitted: list[_InFlight] = []
+        while pending and pending[-1].arrival_us <= clock:
+            if n_active + len(admitted) >= self.config.max_batch_size:
+                break
+            timed = pending[-1]
+            need = self._request_pages(timed)
+            if need > self.pool.budget_pages:
+                raise KVCacheError(
+                    f"request needs {need} KV pages but the pool budget is "
+                    f"{self.pool.budget_pages}; raise kv_budget_tokens"
+                )
+            if self._reserved_pages + need > self.pool.budget_pages:
+                break
+            pending.pop()
+            prompt = np.atleast_1d(np.asarray(timed.request.prompt))
+            result = self.session.generate(timed.request)  # real tokens
+            slot = self.pool.allocate()
+            self.pool.append_placeholder(slot, len(prompt))
+            self._reserved_pages += need
+            admitted.append(_InFlight(
+                timed=timed, slot=slot, reserved_pages=need,
+                tokens=result.tokens, start_us=clock,
+                context_len=len(prompt),
+            ))
+        return admitted
+
+    # -- serving loop -------------------------------------------------------
+
+    def replay(self, workload: list[TimedRequest]) -> ServingStats:
+        """Serve a workload with continuous batching; returns aggregate stats."""
+        if not workload:
+            raise ConfigError("empty workload")
+        # Stack with the earliest arrival on top (pop from the end).
+        pending = sorted(workload, key=lambda t: -t.arrival_us)
+        active: list[_InFlight] = []
+        clock = 0.0
+
+        while pending or active:
+            admitted = self._admit(pending, clock, len(active))
+            if admitted:
+                total_prompt = sum(
+                    len(np.atleast_1d(a.timed.request.prompt))
+                    for a in admitted
+                )
+                clock += self.costs.batched_prefill_us(total_prompt)
+                active.extend(admitted)
+            if not active:
+                # Nothing in flight and nothing admissible: jump to the
+                # next arrival (the budget check above guarantees any
+                # single request fits an empty pool).
+                clock = pending[-1].arrival_us
+                continue
+
+            # One decode iteration: every in-flight request emits a token.
+            clock += self.costs.decode_step_us(
+                [a.context_len for a in active])
+            still_running: list[_InFlight] = []
+            for a in active:
+                a.emitted += 1
+                a.context_len += 1
+                self.pool.append_placeholder(a.slot, 1)
+                if a.emitted == 1:
+                    a.first_token_us = clock
+                if a.emitted >= len(a.tokens):
+                    self._finish(a, clock)
+                else:
+                    still_running.append(a)
+            self.timeline.record(clock, batch_size=len(active),
+                                 kv_used_tokens=self.pool.used_tokens)
+            active = still_running
+        return self.stats
+
+    def _finish(self, a: _InFlight, clock: float) -> None:
+        self.pool.free(a.slot)
+        self._reserved_pages -= a.reserved_pages
+        self.stats.add(RequestTiming(
+            arrival_us=a.timed.arrival_us,
+            start_us=a.start_us,
+            first_token_us=a.first_token_us,
+            finish_us=clock,
+            prompt_tokens=len(np.atleast_1d(a.timed.request.prompt)),
+            generated_tokens=a.emitted,
+        ))

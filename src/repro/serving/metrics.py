@@ -53,6 +53,93 @@ def percentile(values: list[float], pct: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=np.float64), pct))
 
 
+def percentiles(values: list[float]) -> dict[str, float]:
+    """p50/p95/p99 of ``values`` in one pass (errors on empty input)."""
+    if not values:
+        raise ConfigError("no values to summarize")
+    arr = np.asarray(values, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+@dataclass(frozen=True)
+class ServingSLO:
+    """A TTFT/TPOT service-level objective (milliseconds).
+
+    The framing follows the cloud-grade-SLO line of work: a request counts
+    toward *goodput* only if its time-to-first-token and its per-output-
+    token latency both meet target.
+    """
+
+    ttft_ms: float
+    tpot_ms: float
+
+    def __post_init__(self) -> None:
+        if self.ttft_ms <= 0 or self.tpot_ms <= 0:
+            raise ConfigError("SLO targets must be positive")
+
+    def met_by(self, timing: "RequestTiming") -> bool:
+        return (timing.ttft_us <= self.ttft_ms * 1e3
+                and timing.tpot_us <= self.tpot_ms * 1e3)
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One decode-iteration sample of the serving engine's state."""
+
+    t_us: float
+    batch_size: int
+    kv_used_tokens: int
+
+
+@dataclass
+class BatchTimeline:
+    """Per-iteration batch-size and KV-occupancy trajectory.
+
+    The continuous-batching scheduler records one point per decode
+    iteration; the trajectory is what the serving benchmark emits so batch
+    composition and KV pressure are inspectable over time.
+    """
+
+    kv_budget_tokens: int
+    points: list[TimelinePoint] = field(default_factory=list)
+
+    def record(self, t_us: float, batch_size: int,
+               kv_used_tokens: int) -> None:
+        self.points.append(TimelinePoint(t_us, batch_size, kv_used_tokens))
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.points)
+
+    @property
+    def peak_batch_size(self) -> int:
+        return max((p.batch_size for p in self.points), default=0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.batch_size for p in self.points) / len(self.points)
+
+    @property
+    def peak_kv_occupancy(self) -> float:
+        """Peak fraction of the KV token budget in use."""
+        peak = max((p.kv_used_tokens for p in self.points), default=0)
+        return peak / self.kv_budget_tokens
+
+    def as_dict(self) -> dict:
+        """JSON-ready trajectory (times in ms)."""
+        return {
+            "kv_budget_tokens": self.kv_budget_tokens,
+            "iterations": [
+                {"t_ms": p.t_us / 1e3, "batch_size": p.batch_size,
+                 "kv_used_tokens": p.kv_used_tokens}
+                for p in self.points
+            ],
+        }
+
+
 @dataclass
 class ServingStats:
     """Aggregate statistics over a batch of served requests."""
@@ -69,21 +156,50 @@ class ServingStats:
     def _values(self, attr: str) -> list[float]:
         return [getattr(t, attr) for t in self.timings]
 
+    def _span_us(self) -> float:
+        return (max(t.finish_us for t in self.timings)
+                - min(t.arrival_us for t in self.timings))
+
     def summary(self) -> dict[str, float]:
-        """p50/p95 TTFT and per-token latency plus aggregate throughput."""
+        """p50/p95/p99 TTFT and per-token latency plus aggregate throughput."""
         if not self.timings:
             raise ConfigError("no requests recorded")
-        ttft = self._values("ttft_us")
-        tpot = [t for t in self._values("tpot_us") if t > 0]
+        ttft = percentiles(self._values("ttft_us"))
+        tpot_values = [t for t in self._values("tpot_us") if t > 0]
+        tpot = (percentiles(tpot_values) if tpot_values
+                else {"p50": 0.0, "p95": 0.0, "p99": 0.0})
         total_tokens = sum(t.generated_tokens for t in self.timings)
-        span = (max(t.finish_us for t in self.timings)
-                - min(t.arrival_us for t in self.timings))
+        span = self._span_us()
         return {
             "requests": float(self.n_requests),
-            "ttft_p50_ms": percentile(ttft, 50) / 1e3,
-            "ttft_p95_ms": percentile(ttft, 95) / 1e3,
-            "tpot_p50_ms": percentile(tpot, 50) / 1e3 if tpot else 0.0,
-            "tpot_p95_ms": percentile(tpot, 95) / 1e3 if tpot else 0.0,
+            "ttft_p50_ms": ttft["p50"] / 1e3,
+            "ttft_p95_ms": ttft["p95"] / 1e3,
+            "ttft_p99_ms": ttft["p99"] / 1e3,
+            "tpot_p50_ms": tpot["p50"] / 1e3,
+            "tpot_p95_ms": tpot["p95"] / 1e3,
+            "tpot_p99_ms": tpot["p99"] / 1e3,
             "queue_p95_ms": percentile(self._values("queue_delay_us"), 95) / 1e3,
             "tokens_per_s": total_tokens / (span / 1e6) if span > 0 else 0.0,
+            "requests_per_s": (self.n_requests / (span / 1e6)
+                               if span > 0 else 0.0),
+        }
+
+    def goodput(self, slo: ServingSLO) -> dict[str, float]:
+        """Throughput counting only requests that met ``slo``.
+
+        Returns the fraction of SLO-attaining requests and the goodput in
+        requests/s over the same wall-clock span as :meth:`summary` (so
+        goodput <= requests_per_s by construction).
+        """
+        if not self.timings:
+            raise ConfigError("no requests recorded")
+        good = sum(1 for t in self.timings if slo.met_by(t))
+        span = self._span_us()
+        return {
+            "slo_ttft_ms": slo.ttft_ms,
+            "slo_tpot_ms": slo.tpot_ms,
+            "good_requests": float(good),
+            "attainment": good / self.n_requests,
+            "goodput_requests_per_s": (good / (span / 1e6)
+                                       if span > 0 else 0.0),
         }

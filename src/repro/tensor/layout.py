@@ -10,7 +10,7 @@ straddle a tile row and the payload stays 64-byte aligned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 import numpy as np
@@ -21,18 +21,22 @@ from .quant import QuantizedTensor, dequantize, quantize
 from .tiles import TILE_ROWS, padded_cols, padded_rows, tile_cols
 
 
-@dataclass
+@dataclass(frozen=True)
 class PackedWeights:
     """A weight matrix in tile order, optionally quantized.
 
     ``tiles`` has logical shape ``(row_tiles, col_tiles, TILE_ROWS, tile_cols)``
     -- either a float32 ndarray (for bf16/fp16/fp32 storage) or a
-    :class:`QuantizedTensor` over that same shape.
+    :class:`QuantizedTensor` over that same shape.  Instances are frozen:
+    the packed payload never changes after :func:`pack_matrix`, which lets
+    :meth:`dense_tiles` memoize its dequantized view.
     """
 
     original_shape: tuple[int, int]
     dtype: DType
     tiles: Union[np.ndarray, QuantizedTensor]
+    _dense_cache: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def rows(self) -> int:
@@ -59,10 +63,22 @@ class PackedWeights:
         return int(pr * pc * self.dtype.bytes_per_element)
 
     def dense_tiles(self) -> np.ndarray:
-        """The tile array as float32 (dequantizing if needed)."""
-        if isinstance(self.tiles, QuantizedTensor):
-            return dequantize(self.tiles)
-        return self.tiles
+        """The tile array as float32 (dequantizing if needed).
+
+        The result is computed once per instance and cached: every kernel
+        call reads the same tile stream, so re-materializing the dense
+        tensor (a full dequantization pass for Int8/Int4) on each GEMM was
+        pure waste.  The cached array is read-only; callers must copy
+        before mutating.
+        """
+        if self._dense_cache is None:
+            if isinstance(self.tiles, QuantizedTensor):
+                dense = dequantize(self.tiles)
+            else:
+                dense = self.tiles.view()
+            dense.flags.writeable = False
+            object.__setattr__(self, "_dense_cache", dense)
+        return self._dense_cache
 
 
 def pack_matrix(weights: np.ndarray, dtype: DType = BF16) -> PackedWeights:

@@ -130,3 +130,34 @@ def test_property_padded_dims_are_tile_multiples(rows, cols):
     assert pr % TILE_ROWS == 0
     assert pc % tile_cols(BF16) == 0
     assert pr >= rows and pc >= cols
+
+
+class TestDenseTilesCache:
+    """dense_tiles() memoizes on the frozen instance (one dequant, ever)."""
+
+    def test_same_object_returned(self):
+        pw = pack_matrix(np.random.default_rng(0).standard_normal(
+            (40, 40)).astype(np.float32), INT8)
+        assert pw.dense_tiles() is pw.dense_tiles()
+
+    def test_cached_array_is_read_only(self):
+        pw = pack_matrix(np.zeros((16, 32), dtype=np.float32), BF16)
+        dense = pw.dense_tiles()
+        assert not dense.flags.writeable
+        with pytest.raises(ValueError):
+            dense[0, 0, 0, 0] = 1.0
+
+    def test_bf16_cache_does_not_freeze_backing_tiles(self):
+        """Only the returned view is locked; the payload array stays owned."""
+        pw = pack_matrix(np.ones((16, 32), dtype=np.float32), BF16)
+        _ = pw.dense_tiles()
+        assert isinstance(pw.tiles, np.ndarray)
+        assert pw.tiles.flags.writeable
+
+    def test_quantized_cache_matches_fresh_dequant(self):
+        from repro.tensor import dequantize
+        rng = np.random.default_rng(1)
+        pw = pack_matrix(rng.standard_normal((48, 24)).astype(np.float32),
+                         INT4)
+        np.testing.assert_array_equal(pw.dense_tiles(),
+                                      dequantize(pw.tiles))

@@ -1,0 +1,156 @@
+"""Tests for the shared paged-KV pool behind the serving engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, KVCacheError
+from repro.model import PagedKVCache, PagedKVPool
+
+
+def _rows(rng, n, heads=2, dim=4):
+    k = rng.standard_normal((n, heads, dim)).astype(np.float32)
+    v = rng.standard_normal((n, heads, dim)).astype(np.float32)
+    return k, v
+
+
+class TestConstruction:
+    def test_budget_rounds_down_to_whole_pages(self):
+        pool = PagedKVPool(n_heads=2, head_dim=4, budget_tokens=35,
+                           page_tokens=8)
+        assert pool.budget_pages == 4
+        assert pool.budget_tokens == 32
+
+    def test_budget_below_one_page_rejected(self):
+        with pytest.raises(ConfigError):
+            PagedKVPool(n_heads=2, head_dim=4, budget_tokens=3, page_tokens=8)
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ConfigError):
+            PagedKVPool(n_heads=0, head_dim=4, budget_tokens=32)
+
+
+class TestSlotLifecycle:
+    def test_allocate_free_cycle_returns_pages(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=64,
+                           page_tokens=8)
+        slots = [pool.allocate() for _ in range(3)]
+        for s in slots:
+            pool.append_placeholder(s, 16)
+        assert pool.free_pages == 8 - 6
+        pool.free(slots[1])
+        assert pool.free_pages == 8 - 4
+        assert pool.n_slots == 2
+        # Freed pages are reusable by a new slot.
+        s = pool.allocate()
+        pool.append_placeholder(s, 16)
+        assert pool.free_pages == 8 - 6
+
+    def test_slot_ids_never_reused(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=64)
+        a = pool.allocate()
+        pool.free(a)
+        assert pool.allocate() != a
+
+    def test_unknown_slot_rejected(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=64)
+        with pytest.raises(KVCacheError):
+            pool.free(99)
+        with pytest.raises(KVCacheError):
+            pool.tokens(99)
+
+    def test_partial_pages_count_toward_budget(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=32,
+                           page_tokens=8)
+        s = pool.allocate()
+        pool.append_placeholder(s, 1)   # one row occupies a whole page
+        assert pool.free_pages == 3
+        assert pool.used_tokens == 1
+        assert pool.free_tokens == 24
+
+
+class TestBudgetExhaustion:
+    def test_typed_error_on_exhaustion(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=16,
+                           page_tokens=8)
+        s = pool.allocate()
+        pool.append_placeholder(s, 16)
+        with pytest.raises(KVCacheError, match="budget exhausted"):
+            pool.append_placeholder(s, 1)
+
+    def test_exhaustion_across_slots(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=16,
+                           page_tokens=8)
+        a, b = pool.allocate(), pool.allocate()
+        pool.append_placeholder(a, 8)
+        pool.append_placeholder(b, 8)
+        assert not pool.can_fit(1)
+        with pytest.raises(KVCacheError):
+            pool.append_placeholder(b, 1)
+        # Freeing one slot restores admissibility.
+        pool.free(a)
+        assert pool.can_fit(8)
+        pool.append_placeholder(b, 8)
+
+    def test_can_fit_matches_pages_needed(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=32,
+                           page_tokens=8)
+        assert pool.pages_needed(1) == 1
+        assert pool.pages_needed(8) == 1
+        assert pool.pages_needed(9) == 2
+        assert pool.can_fit(32)
+        assert not pool.can_fit(33)
+
+
+class TestGatherCorrectness:
+    def test_matches_single_request_paged_cache(self):
+        """Interleaved appends across slots gather like per-request caches."""
+        rng = np.random.default_rng(0)
+        pool = PagedKVPool(n_heads=2, head_dim=4, budget_tokens=256,
+                           page_tokens=8)
+        refs = {}
+        slots = {}
+        for name in ("a", "b", "c"):
+            slots[name] = pool.allocate()
+            refs[name] = PagedKVCache(n_heads=2, head_dim=4, page_tokens=8)
+        # Interleave appends of varying sizes (crossing page boundaries).
+        schedule = [("a", 5), ("b", 12), ("a", 7), ("c", 1), ("b", 3),
+                    ("a", 9), ("c", 16), ("b", 1)]
+        for name, n in schedule:
+            k, v = _rows(rng, n)
+            pool.append(slots[name], k, v)
+            refs[name].append(k, v)
+        for name in ("a", "b", "c"):
+            assert pool.tokens(slots[name]) == len(refs[name])
+            np.testing.assert_array_equal(pool.keys(slots[name]),
+                                          refs[name].keys())
+            np.testing.assert_array_equal(pool.values(slots[name]),
+                                          refs[name].values())
+
+    def test_gather_after_free_and_realloc(self):
+        """Recycled pages must not leak a previous slot's rows."""
+        rng = np.random.default_rng(1)
+        pool = PagedKVPool(n_heads=2, head_dim=4, budget_tokens=32,
+                           page_tokens=8)
+        a = pool.allocate()
+        k, v = _rows(rng, 13)
+        pool.append(a, k, v)
+        pool.free(a)
+        b = pool.allocate()
+        k2, v2 = _rows(rng, 6)
+        pool.append(b, k2, v2)
+        assert pool.tokens(b) == 6
+        np.testing.assert_array_equal(pool.keys(b), k2)
+        np.testing.assert_array_equal(pool.values(b), v2)
+
+    def test_empty_slot_gathers_empty(self):
+        pool = PagedKVPool(n_heads=2, head_dim=4, budget_tokens=32)
+        s = pool.allocate()
+        assert pool.keys(s).shape == (0, 2, 4)
+        assert pool.tokens(s) == 0
+
+    def test_append_shape_mismatch_rejected(self):
+        pool = PagedKVPool(n_heads=2, head_dim=4, budget_tokens=32)
+        s = pool.allocate()
+        with pytest.raises(ConfigError):
+            pool.append(s, np.zeros((3, 1, 4), np.float32),
+                        np.zeros((3, 1, 4), np.float32))
