@@ -87,6 +87,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "test_serving_continuous_batching.py",
                "iteration-level batching: >=2x request throughput at "
                "saturation; aggregated ARI shifts experts onto AMX"),
+    Experiment("expert-cache", "extension (dynamic expert placement)",
+               "test_expert_cache.py",
+               "online residency cache recovers >=80% of oracle hit rate "
+               "after a hot-set shift and beats stale static placement"),
 )
 
 

@@ -219,6 +219,24 @@ def pcie_transfer_time_us(bytes_moved: float, link: InterconnectSpec) -> float:
     return bytes_moved / link.pcie_bandwidth * 1e6 + link.pcie_latency_us
 
 
+def overlapped_transfer_stall_us(
+    bytes_moved: float,
+    link: InterconnectSpec,
+    overlap_window_us: float,
+) -> float:
+    """Non-overlapped remainder of a PCIe transfer hidden behind compute.
+
+    Prefetched expert uploads ride the link while the next iteration's
+    attention runs; only the part of the DMA that outlives that window
+    stalls expert dispatch.
+    """
+    if overlap_window_us < 0:
+        raise ValueError("overlap_window_us must be >= 0")
+    if bytes_moved <= 0:
+        return 0.0
+    return max(0.0, pcie_transfer_time_us(bytes_moved, link) - overlap_window_us)
+
+
 def cross_socket_transfer_time_us(bytes_moved: float,
                                   link: InterconnectSpec) -> float:
     """Socket-to-socket transfer (UPI) time, e.g. for reduce-scatter."""

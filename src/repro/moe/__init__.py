@@ -25,6 +25,12 @@ from .numa import (
     oblivious_cpu,
     oblivious_efficiency,
 )
+from .expert_cache import (
+    CacheStepResult,
+    ExpertCacheConfig,
+    ExpertCacheManager,
+    oracle_hit_rate,
+)
 from .mixed_precision import (
     PRECISION_LADDER,
     PrecisionAssignment,
@@ -77,6 +83,8 @@ __all__ = [
     "static_schedule",
     "PRECISION_LADDER", "PrecisionAssignment", "apply_mixed_precision",
     "assign_expert_precision", "bandwidth_savings", "expert_sensitivity",
+    "CacheStepResult", "ExpertCacheConfig", "ExpertCacheManager",
+    "oracle_hit_rate",
     "PlacementPlan", "placement_speedup_estimate", "plan_gpu_residency",
     "profile_expert_popularity", "zipf_popularity",
     "coactivation_matrix", "effective_experts", "gate_weight_entropy",

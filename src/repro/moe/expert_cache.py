@@ -1,0 +1,326 @@
+"""Dynamic hot-expert GPU cache with prefetch (runtime residency management).
+
+:mod:`repro.moe.placement` pins popular experts on the GPU from an
+*offline* profile; real traffic drifts, so a static plan bleeds hit rate
+whenever the routing distribution shifts (HybriMoE's observation).  This
+module manages expert residency *online*:
+
+- :class:`ExpertCacheManager` maintains a rolling **EWMA of each
+  (layer, expert)'s token share** from the routing observations the
+  serving loop already produces, and keeps GPU residency under a VRAM
+  byte budget with **frequency-weighted-LRU** admission/eviction:
+  the eviction victim is the resident expert with the lowest
+  ``(ewma score, last-touched step)`` pair, and a non-resident candidate
+  is admitted only if its score beats the victim's by a hysteresis
+  margin (so a single noisy iteration cannot thrash the cache);
+- uploads are **prefetched**: admissions planned at iteration *n* ride
+  the PCIe link while iteration *n+1* runs its attention phase, so a
+  transfer only stalls expert dispatch by its non-overlapped remainder
+  (:func:`repro.hw.roofline.overlapped_transfer_stall_us`).  Hit/miss
+  accounting for an iteration therefore uses the residency *before*
+  that iteration's planned uploads land.
+
+Determinism: all ordering ties break on ``(layer, expert)`` index and the
+EWMA arithmetic is plain float64, so identical observation streams yield
+identical admission/eviction sequences (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..hw.roofline import overlapped_transfer_stall_us, pcie_transfer_time_us
+from ..hw.spec import InterconnectSpec
+from .placement import PlacementPlan
+from .router import RoutingResult
+
+
+@dataclass(frozen=True)
+class ExpertCacheConfig:
+    """Policy knobs of the dynamic expert cache.
+
+    ``ewma_alpha`` is the per-iteration weight of the newest token-share
+    observation; ``admit_margin`` is the multiplicative hysteresis a
+    candidate's score must clear over the eviction victim's;
+    ``max_uploads_per_step`` bounds how many expert weights one
+    iteration's prefetch window may carry over PCIe.
+    """
+
+    n_layers: int
+    n_experts: int
+    expert_bytes: float
+    vram_budget_bytes: float
+    ewma_alpha: float = 0.3
+    admit_margin: float = 1.15
+    max_uploads_per_step: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_layers <= 0 or self.n_experts <= 0:
+            raise ConfigError("cache dimensions must be positive")
+        if self.expert_bytes <= 0:
+            raise ConfigError("expert_bytes must be positive")
+        if self.vram_budget_bytes < self.expert_bytes:
+            raise ConfigError(
+                "vram_budget_bytes must fit at least one expert"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        if self.admit_margin < 1.0:
+            raise ConfigError("admit_margin must be >= 1")
+        if self.max_uploads_per_step <= 0:
+            raise ConfigError("max_uploads_per_step must be positive")
+
+    @property
+    def capacity_experts(self) -> int:
+        """How many experts the VRAM budget holds."""
+        return int(self.vram_budget_bytes // self.expert_bytes)
+
+
+@dataclass(frozen=True)
+class CacheStepResult:
+    """Outcome of one serving iteration's cache pass."""
+
+    step: int
+    hit_tokens: int
+    miss_tokens: int
+    n_hit_experts: int          # distinct resident experts that saw tokens
+    uploads: tuple[tuple[int, int], ...]     # (layer, expert) admitted
+    evictions: tuple[tuple[int, int], ...]   # (layer, expert) evicted
+    bytes_transferred: float
+    transfer_us: float          # raw PCIe time of this step's uploads
+    stall_us: float             # non-overlapped remainder after prefetch
+
+    @property
+    def total_tokens(self) -> int:
+        return self.hit_tokens + self.miss_tokens
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.total_tokens
+        return self.hit_tokens / total if total else 0.0
+
+
+class ExpertCacheManager:
+    """Runtime GPU-residency manager for routed experts.
+
+    Feed it one per-layer expert-token-count observation per serving
+    iteration via :meth:`step` (or :meth:`observe_routing` when holding a
+    raw :class:`~repro.moe.router.RoutingResult`); query residency via
+    :meth:`is_resident` / :meth:`residency`.  The full admission/eviction
+    history is kept on :attr:`eviction_log` for determinism checks.
+    """
+
+    def __init__(self, config: ExpertCacheConfig,
+                 interconnect: InterconnectSpec) -> None:
+        self.config = config
+        self.interconnect = interconnect
+        shape = (config.n_layers, config.n_experts)
+        self._score = np.zeros(shape, dtype=np.float64)
+        self._last_used = np.full(shape, -1, dtype=np.int64)
+        self._resident = np.zeros(shape, dtype=bool)
+        self._step_idx = 0
+        self.eviction_log: list[tuple[int, int, int]] = []  # (step, layer, expert)
+        self.upload_log: list[tuple[int, int, int]] = []
+        self.total_evictions = 0
+        self.total_uploads = 0
+        self.total_bytes_transferred = 0.0
+
+    # -- seeding ------------------------------------------------------------
+
+    def warm_start(self, plan: PlacementPlan | list[set[int]]) -> None:
+        """Seed residency (and a small score prior) from a static plan.
+
+        The serving engine starts from the offline
+        :func:`~repro.moe.placement.plan_gpu_residency` plan and lets the
+        runtime cache drift away from it as traffic shifts.
+        """
+        resident_sets = plan.gpu_resident if isinstance(plan, PlacementPlan) else plan
+        if len(resident_sets) != self.config.n_layers:
+            raise ConfigError(
+                f"plan covers {len(resident_sets)} layers, cache has "
+                f"{self.config.n_layers}"
+            )
+        self._resident[:] = False
+        n = 0
+        for layer, experts in enumerate(resident_sets):
+            for e in experts:
+                if not 0 <= e < self.config.n_experts:
+                    raise ConfigError(f"expert {e} out of range")
+                if n >= self.config.capacity_experts:
+                    raise ConfigError("plan exceeds the cache's VRAM budget")
+                self._resident[layer, e] = True
+                n += 1
+        # A mild uniform prior over the seeded experts keeps them from
+        # being evicted by the very first observation.
+        self._score[self._resident] = np.maximum(
+            self._score[self._resident], 1.0 / max(1, self.config.n_experts))
+
+    # -- observation --------------------------------------------------------
+
+    def observe_routing(self, routing: RoutingResult, layer: int = 0,
+                        overlap_window_us: float = 0.0) -> CacheStepResult:
+        """One-layer convenience wrapper over :meth:`step`."""
+        counts = np.zeros((self.config.n_layers, self.config.n_experts),
+                          dtype=np.int64)
+        counts[layer] = routing.expert_token_counts(self.config.n_experts)
+        return self.step(counts, overlap_window_us=overlap_window_us)
+
+    def step(self, counts: np.ndarray,
+             overlap_window_us: float = 0.0) -> CacheStepResult:
+        """Process one iteration's routing observation.
+
+        ``counts`` is ``(n_layers, n_experts)`` tokens-per-expert (a 1-D
+        array is accepted when the cache covers one layer).  Returns the
+        iteration's hit/miss accounting (against residency *before* this
+        step's uploads) plus the planned prefetch transfers and their
+        non-overlapped stall given ``overlap_window_us`` of attention
+        time to hide them behind.
+        """
+        counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
+        if counts.shape != self._score.shape:
+            raise ConfigError(
+                f"counts shape {counts.shape} != cache shape {self._score.shape}"
+            )
+        if overlap_window_us < 0:
+            raise ConfigError("overlap_window_us must be >= 0")
+
+        # 1. Hit/miss accounting against current (pre-upload) residency.
+        hit_tokens = int(counts[self._resident].sum())
+        miss_tokens = int(counts.sum()) - hit_tokens
+        n_hit_experts = int(np.count_nonzero(counts[self._resident]))
+
+        # 2. EWMA update over per-layer token shares (scale-invariant).
+        totals = counts.sum(axis=1, keepdims=True)
+        shares = np.divide(counts, np.maximum(totals, 1), dtype=np.float64)
+        a = self.config.ewma_alpha
+        self._score = (1.0 - a) * self._score + a * shares
+        touched = counts > 0
+        self._last_used[touched] = self._step_idx
+
+        # 3. Frequency-weighted-LRU admission/eviction (prefetch plan).
+        uploads, evictions = self._plan_uploads()
+        bytes_moved = len(uploads) * self.config.expert_bytes
+        transfer_us = (pcie_transfer_time_us(bytes_moved, self.interconnect)
+                       if uploads else 0.0)
+        stall_us = (overlapped_transfer_stall_us(
+            bytes_moved, self.interconnect, overlap_window_us)
+            if uploads else 0.0)
+
+        for layer, expert in evictions:
+            self._resident[layer, expert] = False
+            self.eviction_log.append((self._step_idx, layer, expert))
+        for layer, expert in uploads:
+            self._resident[layer, expert] = True
+            self.upload_log.append((self._step_idx, layer, expert))
+        self.total_evictions += len(evictions)
+        self.total_uploads += len(uploads)
+        self.total_bytes_transferred += bytes_moved
+
+        result = CacheStepResult(
+            step=self._step_idx,
+            hit_tokens=hit_tokens,
+            miss_tokens=miss_tokens,
+            n_hit_experts=n_hit_experts,
+            uploads=tuple(uploads),
+            evictions=tuple(evictions),
+            bytes_transferred=bytes_moved,
+            transfer_us=transfer_us,
+            stall_us=stall_us,
+        )
+        self._step_idx += 1
+        return result
+
+    def _plan_uploads(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Pick up to ``max_uploads_per_step`` admissions (and victims)."""
+        resident = self._resident
+        capacity = self.config.capacity_experts
+        n_resident = int(resident.sum())
+
+        # Candidates: hottest non-resident experts, deterministic order.
+        cand_idx = np.flatnonzero(~resident.ravel())
+        if cand_idx.size == 0:
+            return [], []
+        cand_scores = self._score.ravel()[cand_idx]
+        order = np.lexsort((cand_idx, -cand_scores))
+        candidates = cand_idx[order][:self.config.max_uploads_per_step]
+
+        # Victims: coldest residents, LRU inside a score tie.
+        res_idx = np.flatnonzero(resident.ravel())
+        res_scores = self._score.ravel()[res_idx]
+        res_last = self._last_used.ravel()[res_idx]
+        victim_order = np.lexsort((res_idx, res_last, res_scores))
+        victims = list(res_idx[victim_order])
+
+        uploads: list[tuple[int, int]] = []
+        evictions: list[tuple[int, int]] = []
+        flat_score = self._score.ravel()
+        for cand in candidates:
+            if flat_score[cand] <= 0.0:
+                break                     # never admit a never-seen expert
+            if n_resident + len(uploads) - len(evictions) < capacity:
+                uploads.append(self._unravel(cand))
+                continue
+            if not victims:
+                break
+            victim = victims[0]
+            if flat_score[cand] > self.config.admit_margin * flat_score[victim]:
+                evictions.append(self._unravel(victim))
+                victims.pop(0)
+                uploads.append(self._unravel(cand))
+            else:
+                break                     # candidates only get colder
+        return uploads, evictions
+
+    def _unravel(self, flat: int) -> tuple[int, int]:
+        layer, expert = divmod(int(flat), self.config.n_experts)
+        return layer, expert
+
+    # -- queries ------------------------------------------------------------
+
+    def is_resident(self, layer: int, expert: int) -> bool:
+        return bool(self._resident[layer, expert])
+
+    def residency(self) -> list[set[int]]:
+        """Current GPU-resident experts per layer (a la ``PlacementPlan``)."""
+        return [set(np.flatnonzero(self._resident[layer]).tolist())
+                for layer in range(self.config.n_layers)]
+
+    @property
+    def n_resident(self) -> int:
+        return int(self._resident.sum())
+
+    @property
+    def vram_used_bytes(self) -> float:
+        return self.n_resident * self.config.expert_bytes
+
+    def hit_rate(self, counts: np.ndarray) -> float:
+        """Fraction of ``counts``' tokens served by current residency."""
+        counts = np.atleast_2d(np.asarray(counts))
+        if counts.shape != self._score.shape:
+            raise ConfigError(
+                f"counts shape {counts.shape} != cache shape {self._score.shape}"
+            )
+        total = int(counts.sum())
+        if total == 0:
+            return 0.0
+        return int(counts[self._resident].sum()) / total
+
+
+def oracle_hit_rate(counts: np.ndarray, capacity_experts: int) -> float:
+    """Best achievable hit rate for a window of observations.
+
+    The oracle sees the window's aggregate ``(layers, experts)`` counts
+    and keeps the globally hottest ``capacity_experts`` resident -- the
+    clairvoyant bound the dynamic cache is scored against.
+    """
+    counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
+    total = int(counts.sum())
+    if total == 0:
+        return 0.0
+    if capacity_experts <= 0:
+        raise ConfigError("capacity_experts must be positive")
+    flat = np.sort(counts.ravel())[::-1]
+    return int(flat[:capacity_experts].sum()) / total

@@ -209,3 +209,26 @@ def batched_step_time_us(
         return total / n_steps
     warm = simulate_decode(works, config, machine, warmup_steps).now
     return (total - warm) / n_steps
+
+
+def cache_aware_step_time_us(
+    works: list[DecodeLayerWork],
+    config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    transfer_stall_us: float = 0.0,
+    n_steps: int = 4,
+    warmup_steps: int = 2,
+) -> float:
+    """Batched step cost under an expert cache, plus prefetch stall.
+
+    ``works`` should already be repriced by
+    :func:`repro.sched.workload.apply_expert_cache` (cache hits as GPU
+    expert work, misses on the CPU); ``transfer_stall_us`` is the
+    non-overlapped remainder of this iteration's expert-weight uploads
+    (zero when prefetch fully hides behind the attention phase).
+    """
+    if transfer_stall_us < 0:
+        raise SchedulingError("transfer_stall_us must be >= 0")
+    return batched_step_time_us(works, config, machine,
+                                n_steps=n_steps,
+                                warmup_steps=warmup_steps) + transfer_stall_us

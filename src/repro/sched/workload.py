@@ -262,6 +262,57 @@ def batched_decode_layer_work(
     return work, summary
 
 
+# A fully-hit layer still pays gating/dispatch on the CPU control thread;
+# the floor also keeps the task-graph builder from degenerating the layer
+# to its dense (no-transfer, no-merge) shape.
+MIN_CPU_DISPATCH_US = 0.05
+
+
+def apply_expert_cache(
+    work: DecodeLayerWork,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    total_tokens: int,
+    hit_tokens: int,
+    n_hit_experts: int,
+) -> DecodeLayerWork:
+    """Reprice a batched MoE decode layer under an expert-cache outcome.
+
+    ``hit_tokens`` of the layer's ``total_tokens`` routed tokens land on
+    GPU-resident experts: their GEMMs leave the CPU bill (which scales
+    linearly with routed tokens -- per-expert GEMMs sum) and are instead
+    priced on the GPU roofline, streaming the ``n_hit_experts`` resident
+    experts' weights from HBM.  Misses keep the CPU (AMX/AVX-512) price.
+    Transfer stall for non-overlapped prefetches is added by the
+    scheduler (:func:`repro.sched.decode.cache_aware_step_time_us`), not
+    here.
+    """
+    if total_tokens <= 0:
+        raise ValueError("total_tokens must be positive")
+    if not 0 <= hit_tokens <= total_tokens:
+        raise ValueError("hit_tokens must be within [0, total_tokens]")
+    if n_hit_experts < 0 or (hit_tokens > 0 and n_hit_experts == 0):
+        raise ValueError("n_hit_experts inconsistent with hit_tokens")
+    miss_fraction = 1.0 - hit_tokens / total_tokens
+    cpu_routed_us = max(work.cpu_routed_us * miss_fraction, MIN_CPU_DISPATCH_US)
+    gpu_routed_us = 0.0
+    if hit_tokens > 0:
+        per_token_flops = 2.0 * 3.0 * preset.hidden * preset.moe_intermediate
+        gpu_routed_us = gpu_kernel_time_us(
+            flops=hit_tokens * per_token_flops,
+            bytes_moved=n_hit_experts * preset.expert_bytes(dtype),
+            gpu=machine.gpu,
+        )
+    return DecodeLayerWork(
+        gpu_attn_us=work.gpu_attn_us,
+        gpu_shared_us=work.gpu_shared_us + gpu_routed_us,
+        cpu_routed_us=cpu_routed_us,
+        transfer_bytes=work.transfer_bytes,
+        n_gpu_kernels=work.n_gpu_kernels,
+    )
+
+
 def prefill_layer_work(
     preset: ModelPreset,
     machine: MachineSpec,

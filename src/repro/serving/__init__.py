@@ -8,9 +8,12 @@ from .continuous import (
     BatchCostModel,
     BatchSchedulerConfig,
     ContinuousBatchingServer,
+    serving_expert_cache,
 )
 from .metrics import (
     BatchTimeline,
+    CachePoint,
+    ExpertCacheTimeline,
     RequestTiming,
     ServingSLO,
     ServingStats,
@@ -28,8 +31,10 @@ from .session import (
 
 __all__ = [
     "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
-    "BatchTimeline", "RequestTiming", "ServingSLO", "ServingStats",
-    "TimelinePoint", "percentile", "percentiles",
+    "serving_expert_cache",
+    "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "RequestTiming",
+    "ServingSLO", "ServingStats", "TimelinePoint", "percentile",
+    "percentiles",
     "LocalServer", "TimedRequest", "poisson_workload",
     "GenerationRequest", "GenerationResult", "InferenceSession",
     "PhaseCostModel",

@@ -31,17 +31,40 @@ model via the session, exactly as in the batch-1 server.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..errors import ConfigError, KVCacheError
 from ..core.engine import batched_decode_works, run_prefill
 from ..model.paged import DEFAULT_PAGE_TOKENS, PagedKVPool
-from ..sched.decode import DecodeScheduleConfig, batched_step_time_us
-from ..sched.workload import BatchedDispatchSummary
-from .metrics import BatchTimeline, RequestTiming, ServingStats
+from ..moe.expert_cache import (
+    CacheStepResult,
+    ExpertCacheConfig,
+    ExpertCacheManager,
+)
+from ..sched.decode import (
+    DecodeScheduleConfig,
+    batched_step_time_us,
+    cache_aware_step_time_us,
+)
+from ..sched.workload import (
+    BatchedDispatchSummary,
+    DecodeLayerWork,
+    apply_expert_cache,
+)
+from .metrics import (
+    BatchTimeline,
+    ExpertCacheTimeline,
+    RequestTiming,
+    ServingStats,
+)
 from .server import TimedRequest
 from .session import InferenceSession
+
+# Per-expert token counts of the representative MoE layer for one decode
+# iteration; lets benchmarks inject non-stationary routing into the server.
+RoutingStream = Callable[[int, int], np.ndarray]   # (iteration, batch) -> counts
 
 
 @dataclass(frozen=True)
@@ -86,12 +109,16 @@ class BatchCostModel:
     CTX_BUCKETS = (64, 256, 1024, 4096)
     PREFILL_BUCKETS = (32, 128, 512, 2048, 8192)
 
+    HIT_RATE_BUCKETS = 20        # cached-step pricing quantizes hit rate
+
     def __init__(self, session: InferenceSession,
                  ari_threshold: int | None = None) -> None:
         self.session = session
         self.ari_threshold = ari_threshold
         self._step: dict[tuple[int, int], float] = {}
         self._summaries: dict[tuple[int, int], BatchedDispatchSummary] = {}
+        self._works: dict[tuple[int, int], list[DecodeLayerWork]] = {}
+        self._cached_step: dict[tuple[int, int, int, int], float] = {}
         self._prefill: dict[int, float] = {}
 
     @staticmethod
@@ -101,37 +128,84 @@ class BatchCostModel:
                 return b
         return buckets[-1]
 
-    def decode_step_us(self, context_lens: list[int]) -> float:
-        """Steady-state cost of one decode iteration over these requests."""
+    def _key(self, context_lens: list[int]) -> tuple[int, int]:
         if not context_lens:
             raise ConfigError("decode step needs at least one request")
+        return (len(context_lens),
+                self._bucket(max(context_lens), self.CTX_BUCKETS))
+
+    def _schedule_config(self) -> DecodeScheduleConfig:
         costs = self.session.costs
-        key = (len(context_lens),
-               self._bucket(max(context_lens), self.CTX_BUCKETS))
+        return DecodeScheduleConfig(
+            launch_mode=costs.system.launch_mode,
+            overlap_cpu_gpu=costs.system.overlap_cpu_gpu,
+            top_k=costs.preset.top_k,
+            n_deferred=self.session.n_deferred,
+        )
+
+    def decode_step_us(self, context_lens: list[int]) -> float:
+        """Steady-state cost of one decode iteration over these requests."""
+        costs = self.session.costs
+        key = self._key(context_lens)
         if key not in self._step:
             bsz, ctx = key
             works, summary = batched_decode_works(
                 costs.system, costs.preset, costs.machine, costs.dtype,
                 context_lens=[ctx] * bsz, ari_threshold=self.ari_threshold,
             )
-            config = DecodeScheduleConfig(
-                launch_mode=costs.system.launch_mode,
-                overlap_cpu_gpu=costs.system.overlap_cpu_gpu,
-                top_k=costs.preset.top_k,
-                n_deferred=self.session.n_deferred,
-            )
             self._step[key] = batched_step_time_us(
-                works, config, costs.machine
+                works, self._schedule_config(), costs.machine
             )
             self._summaries[key] = summary
+            self._works[key] = works
         return self._step[key]
+
+    def attn_window_us(self, context_lens: list[int]) -> float:
+        """GPU attention time of one iteration -- the prefetch window."""
+        key = self._key(context_lens)
+        self.decode_step_us(context_lens)
+        return sum(w.gpu_attn_us for w in self._works[key])
+
+    def cached_decode_step_us(self, context_lens: list[int],
+                              cache_step: CacheStepResult) -> float:
+        """One iteration's cost under the expert cache's latest outcome.
+
+        MoE layers are repriced with cache hits as GPU expert work and
+        misses on the CPU (:func:`repro.sched.workload.apply_expert_cache`,
+        hit rate quantized to 1/``HIT_RATE_BUCKETS`` for memoization);
+        the cache step's non-overlapped prefetch stall is added on top.
+        """
+        total = cache_step.total_tokens
+        if total == 0:
+            return self.decode_step_us(context_lens) + cache_step.stall_us
+        costs = self.session.costs
+        key = self._key(context_lens)
+        self.decode_step_us(context_lens)          # populate works cache
+        hit_bucket = round(self.HIT_RATE_BUCKETS * cache_step.hit_tokens
+                           / total)
+        ck = (*key, hit_bucket, cache_step.n_hit_experts)
+        if ck not in self._cached_step:
+            bsz = key[0]
+            layer_tokens = bsz * costs.preset.top_k
+            hit_tokens = round(layer_tokens * hit_bucket
+                               / self.HIT_RATE_BUCKETS)
+            works = [
+                w if w.cpu_routed_us <= 0.0 else apply_expert_cache(
+                    w, costs.preset, costs.machine, costs.dtype,
+                    total_tokens=layer_tokens, hit_tokens=hit_tokens,
+                    n_hit_experts=cache_step.n_hit_experts,
+                )
+                for w in self._works[key]
+            ]
+            self._cached_step[ck] = cache_aware_step_time_us(
+                works, self._schedule_config(), costs.machine,
+            )
+        return self._cached_step[ck] + cache_step.stall_us
 
     def dispatch_summary(self, context_lens: list[int]) -> BatchedDispatchSummary:
         """The ARI dispatch decisions behind :meth:`decode_step_us`."""
         self.decode_step_us(context_lens)
-        return self._summaries[(len(context_lens),
-                                self._bucket(max(context_lens),
-                                             self.CTX_BUCKETS))]
+        return self._summaries[self._key(context_lens)]
 
     def batched_prefill_us(self, total_prompt_tokens: int) -> float:
         """One prefill pass over all co-admitted prompts' tokens."""
@@ -147,6 +221,29 @@ class BatchCostModel:
         if total_prompt_tokens > self.PREFILL_BUCKETS[-1]:
             cost *= total_prompt_tokens / self.PREFILL_BUCKETS[-1]
         return cost
+
+
+def serving_expert_cache(
+    session: InferenceSession,
+    vram_budget_bytes: float,
+    **overrides,
+) -> ExpertCacheManager:
+    """An :class:`ExpertCacheManager` sized for a session's cost preset.
+
+    The serving cost model prices one representative MoE layer replicated
+    across the model, so the serving-side cache covers one layer of the
+    preset's experts; ``overrides`` patch any :class:`ExpertCacheConfig`
+    policy field (``ewma_alpha``, ``admit_margin``, ...).
+    """
+    costs = session.costs
+    config = ExpertCacheConfig(
+        n_layers=1,
+        n_experts=costs.preset.n_experts,
+        expert_bytes=costs.preset.expert_bytes(costs.dtype),
+        vram_budget_bytes=vram_budget_bytes,
+        **overrides,
+    )
+    return ExpertCacheManager(config, costs.machine.interconnect)
 
 
 @dataclass
@@ -173,7 +270,9 @@ class ContinuousBatchingServer:
     """
 
     def __init__(self, session: InferenceSession,
-                 config: BatchSchedulerConfig | None = None) -> None:
+                 config: BatchSchedulerConfig | None = None,
+                 expert_cache: ExpertCacheManager | None = None,
+                 routing_stream: Optional[RoutingStream] = None) -> None:
         self.session = session
         self.config = config or BatchSchedulerConfig()
         self.costs = BatchCostModel(session,
@@ -184,10 +283,19 @@ class ContinuousBatchingServer:
             budget_tokens=self.config.kv_budget_tokens,
             page_tokens=self.config.page_tokens,
         )
+        self.expert_cache = expert_cache
+        self._routing_stream = routing_stream
+        if routing_stream is not None and expert_cache is None:
+            raise ConfigError("routing_stream requires an expert_cache")
         self.stats = ServingStats()
         self.timeline = BatchTimeline(
             kv_budget_tokens=self.pool.budget_tokens)
+        self.cache_timeline: ExpertCacheTimeline | None = None
+        if expert_cache is not None:
+            self.cache_timeline = ExpertCacheTimeline()
+            self.stats.expert_cache = self.cache_timeline
         self._reserved_pages = 0
+        self._iteration = 0
 
     # -- admission ----------------------------------------------------------
 
@@ -253,8 +361,9 @@ class ContinuousBatchingServer:
                 continue
 
             # One decode iteration: every in-flight request emits a token.
-            clock += self.costs.decode_step_us(
-                [a.context_len for a in active])
+            clock += self._decode_step_us([a.context_len for a in active],
+                                          clock)
+            self._iteration += 1
             still_running: list[_InFlight] = []
             for a in active:
                 a.emitted += 1
@@ -270,6 +379,36 @@ class ContinuousBatchingServer:
                                  kv_used_tokens=self.pool.used_tokens)
             active = still_running
         return self.stats
+
+    def _decode_step_us(self, context_lens: list[int], clock: float) -> float:
+        """Price one decode iteration, consulting the expert cache if any.
+
+        With a cache attached, the iteration's per-expert token counts
+        (from the injected routing stream, or the cost model's dispatch
+        summary) update the EWMA residency state; hits are priced as GPU
+        expert work, misses stay on the CPU, and planned uploads prefetch
+        behind the attention window with only the non-overlapped
+        remainder stalling the step.
+        """
+        if self.expert_cache is None:
+            return self.costs.decode_step_us(context_lens)
+        if self._routing_stream is not None:
+            counts = np.asarray(
+                self._routing_stream(self._iteration, len(context_lens)))
+        else:
+            counts = np.asarray(
+                self.costs.dispatch_summary(context_lens).expert_token_counts)
+        window = self.costs.attn_window_us(context_lens)
+        result = self.expert_cache.step(counts, overlap_window_us=window)
+        cost = self.costs.cached_decode_step_us(context_lens, result)
+        self.cache_timeline.record(
+            clock + cost,
+            hit_tokens=result.hit_tokens, miss_tokens=result.miss_tokens,
+            uploads=len(result.uploads), evictions=len(result.evictions),
+            bytes_transferred=result.bytes_transferred,
+            stall_us=result.stall_us,
+        )
+        return cost
 
     def _finish(self, a: _InFlight, clock: float) -> None:
         self.pool.free(a.slot)

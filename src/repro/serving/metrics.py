@@ -140,11 +140,97 @@ class BatchTimeline:
         }
 
 
+@dataclass(frozen=True)
+class CachePoint:
+    """One decode-iteration sample of the expert cache's behaviour."""
+
+    t_us: float
+    hit_tokens: int
+    miss_tokens: int
+    uploads: int
+    evictions: int
+    bytes_transferred: float
+    stall_us: float
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hit_tokens + self.miss_tokens
+        return self.hit_tokens / total if total else 0.0
+
+
+@dataclass
+class ExpertCacheTimeline:
+    """Per-iteration hit-rate / eviction / transfer trajectory.
+
+    Recorded by :class:`~repro.serving.continuous.ContinuousBatchingServer`
+    when a dynamic expert cache is attached; the aggregate view lands in
+    :meth:`ServingStats.summary` via :meth:`summary`.
+    """
+
+    points: list[CachePoint] = field(default_factory=list)
+
+    def record(self, t_us: float, hit_tokens: int, miss_tokens: int,
+               uploads: int, evictions: int, bytes_transferred: float,
+               stall_us: float) -> None:
+        self.points.append(CachePoint(
+            t_us, hit_tokens, miss_tokens, uploads, evictions,
+            bytes_transferred, stall_us))
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.points)
+
+    @property
+    def hit_rate(self) -> float:
+        """Token-weighted hit rate over the whole run."""
+        hits = sum(p.hit_tokens for p in self.points)
+        total = hits + sum(p.miss_tokens for p in self.points)
+        return hits / total if total else 0.0
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(p.evictions for p in self.points)
+
+    @property
+    def total_uploads(self) -> int:
+        return sum(p.uploads for p in self.points)
+
+    @property
+    def total_bytes_transferred(self) -> float:
+        return sum(p.bytes_transferred for p in self.points)
+
+    @property
+    def total_stall_us(self) -> float:
+        return sum(p.stall_us for p in self.points)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cache_hit_rate": self.hit_rate,
+            "cache_evictions": float(self.total_evictions),
+            "cache_uploads": float(self.total_uploads),
+            "cache_bytes_transferred_mb": self.total_bytes_transferred / 1e6,
+            "cache_stall_ms": self.total_stall_us / 1e3,
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready trajectory (times in ms)."""
+        return {
+            "iterations": [
+                {"t_ms": p.t_us / 1e3, "hit_rate": p.hit_rate,
+                 "uploads": p.uploads, "evictions": p.evictions,
+                 "bytes_transferred": p.bytes_transferred,
+                 "stall_us": p.stall_us}
+                for p in self.points
+            ],
+        }
+
+
 @dataclass
 class ServingStats:
     """Aggregate statistics over a batch of served requests."""
 
     timings: list[RequestTiming] = field(default_factory=list)
+    expert_cache: ExpertCacheTimeline | None = None
 
     def add(self, timing: RequestTiming) -> None:
         self.timings.append(timing)
@@ -170,7 +256,7 @@ class ServingStats:
                 else {"p50": 0.0, "p95": 0.0, "p99": 0.0})
         total_tokens = sum(t.generated_tokens for t in self.timings)
         span = self._span_us()
-        return {
+        out = {
             "requests": float(self.n_requests),
             "ttft_p50_ms": ttft["p50"] / 1e3,
             "ttft_p95_ms": ttft["p95"] / 1e3,
@@ -183,6 +269,9 @@ class ServingStats:
             "requests_per_s": (self.n_requests / (span / 1e6)
                                if span > 0 else 0.0),
         }
+        if self.expert_cache is not None:
+            out.update(self.expert_cache.summary())
+        return out
 
     def goodput(self, slo: ServingSLO) -> dict[str, float]:
         """Throughput counting only requests that met ``slo``.

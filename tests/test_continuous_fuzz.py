@@ -1,0 +1,125 @@
+"""Property/fuzz tests for ``ContinuousBatchingServer.replay`` invariants.
+
+Across randomized Poisson workloads, KV budgets, and batch caps, the
+iteration-level scheduler must uphold its contracts:
+
+- KV pages in use never exceed the pool budget (admission reserves
+  ``prompt + max_new_tokens`` up front, so in-flight growth is safe);
+- every admitted request eventually finishes -- nothing is dropped or
+  starved, whatever the arrival pattern;
+- admission never reorders requests: the queue is strict FIFO with
+  blocking (a request that does not fit blocks later ones rather than
+  being overtaken), so start times are monotone in arrival order;
+- per-request timestamps are monotone
+  (arrival <= start <= first token <= finish).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import DS3, MoETransformer, tiny_config
+from repro.serving import (
+    BatchSchedulerConfig,
+    ContinuousBatchingServer,
+    InferenceSession,
+    poisson_workload,
+    serving_expert_cache,
+)
+from repro.tensor import BF16
+
+_SESSION = None
+
+
+def get_session():
+    global _SESSION
+    if _SESSION is None:
+        model = MoETransformer(tiny_config("tiny-qw"))
+        _SESSION = InferenceSession(model, DS3)
+    return _SESSION
+
+
+workload_strategy = st.fixed_dictionaries({
+    "n_requests": st.integers(2, 10),
+    "mean_interarrival_us": st.sampled_from([1e3, 1e4, 1e5, 1e6]),
+    "prompt_len": st.integers(4, 24),
+    "max_new_tokens": st.integers(2, 8),
+    "seed": st.integers(0, 10_000),
+})
+config_strategy = st.fixed_dictionaries({
+    "kv_budget_tokens": st.sampled_from([64, 128, 256, 512]),
+    "max_batch_size": st.integers(1, 8),
+})
+
+
+def _replay(wl_params, cfg_params, expert_cache=None):
+    session = get_session()
+    workload = poisson_workload(vocab_size=64, **wl_params)
+    server = ContinuousBatchingServer(
+        session, BatchSchedulerConfig(**cfg_params),
+        expert_cache=expert_cache)
+    stats = server.replay(list(workload))
+    return workload, server, stats
+
+
+def _assert_invariants(workload, server, stats, cfg_params):
+    # Every admitted request eventually finishes.
+    assert stats.n_requests == len(workload)
+    # All KV pages and reservations are released at the end.
+    assert server.pool.n_slots == 0
+    assert server.pool.used_tokens == 0
+    assert server._reserved_pages == 0
+    # KV occupancy never exceeded the budget, batch never exceeded the cap.
+    for p in server.timeline.points:
+        assert p.kv_used_tokens <= server.pool.budget_tokens
+        assert p.batch_size <= cfg_params["max_batch_size"]
+    # Per-request timestamps are monotone.
+    for t in stats.timings:
+        assert t.arrival_us <= t.start_us <= t.first_token_us <= t.finish_us
+        if t.generated_tokens > 1:
+            assert t.finish_us > t.first_token_us
+    # FIFO admission: start times are monotone in arrival order (ties in
+    # arrival keep whatever order admission produced within a batch).
+    ordered = sorted(stats.timings, key=lambda t: t.arrival_us)
+    starts = [t.start_us for t in ordered]
+    assert all(a <= b + 1e-9 for a, b in zip(starts, starts[1:]))
+    # The simulated clock only moves forward.
+    points = server.timeline.points
+    assert all(b.t_us > a.t_us for a, b in zip(points, points[1:]))
+
+
+@settings(max_examples=12, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy)
+def test_replay_invariants(wl, cfg):
+    workload, server, stats = _replay(wl, cfg)
+    _assert_invariants(workload, server, stats, cfg)
+
+
+@settings(max_examples=6, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy,
+       capacity=st.integers(4, 48))
+def test_replay_invariants_with_expert_cache(wl, cfg, capacity):
+    cache = serving_expert_cache(
+        get_session(), vram_budget_bytes=capacity * DS3.expert_bytes(BF16))
+    workload, server, stats = _replay(wl, cfg, expert_cache=cache)
+    _assert_invariants(workload, server, stats, cfg)
+    # Cache invariants: bounded residency, sane hit rates, one cache
+    # observation per decode iteration.
+    assert cache.n_resident <= cache.config.capacity_experts
+    assert server.cache_timeline.n_iterations == server.timeline.n_iterations
+    for p in server.cache_timeline.points:
+        assert 0.0 <= p.hit_rate <= 1.0
+        assert p.stall_us >= 0.0
+    summary = stats.summary()
+    assert 0.0 <= summary["cache_hit_rate"] <= 1.0
+    assert np.isfinite(summary["cache_stall_ms"])
+
+
+@settings(max_examples=4, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy)
+def test_replay_deterministic(wl, cfg):
+    """Identical inputs give identical ServingStats (ISSUE 2 satellite)."""
+    _, _, s1 = _replay(wl, cfg)
+    _, _, s2 = _replay(wl, cfg)
+    assert s1.timings == s2.timings
+    assert s1.summary() == s2.summary()

@@ -15,7 +15,8 @@ import pytest
 from repro.baselines import FIDDLER, LLAMACPP
 from repro.core import KTRANSFORMERS, run_decode, run_prefill
 from repro.hw import paper_testbed
-from repro.model import DS2, DS3, QW2
+from repro.model import DS2, DS3, QW2, MoETransformer, tiny_config
+from repro.serving import BatchCostModel, InferenceSession
 from repro.tensor import BF16, INT4
 
 MACHINE = paper_testbed("a100")
@@ -72,6 +73,41 @@ def test_golden_intro_fiddler_prefill():
     runs at ~70 tokens/s; our simulated Fiddler lands in that regime."""
     r = run_prefill(FIDDLER, DS3, MACHINE, BF16, prompt_len=8192)
     assert 60.0 <= r.tokens_per_s <= 180.0
+
+
+# Serving-engine pricing pins (DS-3 costs on the A100 testbed).  These are
+# what BENCH_serving / BENCH_expert_cache numbers are built from, so a
+# pricing refactor that shifts them must be deliberate and recorded.
+GOLDEN_DECODE_STEP_US = {
+    (1, 64): 162_222.0,
+    (8, 64): 801_589.0,
+    (16, 256): 1_485_880.0,
+}
+
+GOLDEN_BATCHED_PREFILL_US = {
+    128: 3_950_184.0,
+    2048: 4_407_961.0,
+}
+
+
+@pytest.fixture(scope="module")
+def batch_costs():
+    model = MoETransformer(tiny_config("tiny-qw"))
+    return BatchCostModel(InferenceSession(model, DS3))
+
+
+@pytest.mark.parametrize("batch,ctx", sorted(GOLDEN_DECODE_STEP_US))
+def test_golden_batched_decode_step(batch_costs, batch, ctx):
+    expected = GOLDEN_DECODE_STEP_US[(batch, ctx)]
+    assert batch_costs.decode_step_us([ctx] * batch) == pytest.approx(
+        expected, rel=TOL)
+
+
+@pytest.mark.parametrize("tokens", sorted(GOLDEN_BATCHED_PREFILL_US))
+def test_golden_batched_prefill(batch_costs, tokens):
+    expected = GOLDEN_BATCHED_PREFILL_US[tokens]
+    assert batch_costs.batched_prefill_us(tokens) == pytest.approx(
+        expected, rel=TOL)
 
 
 def test_golden_intro_fiddler_decode():

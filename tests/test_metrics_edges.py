@@ -1,0 +1,140 @@
+"""Edge cases for serving metrics: empty, single-sample, degenerate streams.
+
+Every path must either return a finite value or raise the typed
+``ConfigError`` -- never crash with an unhandled exception, divide by
+zero, or emit NaN/inf.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import (
+    BatchTimeline,
+    CachePoint,
+    ExpertCacheTimeline,
+    RequestTiming,
+    ServingSLO,
+    ServingStats,
+    percentile,
+    percentiles,
+)
+
+
+def timing(arrival=0.0, start=1.0, first=2.0, finish=10.0,
+           prompt=4, generated=5):
+    return RequestTiming(arrival_us=arrival, start_us=start,
+                         first_token_us=first, finish_us=finish,
+                         prompt_tokens=prompt, generated_tokens=generated)
+
+
+def assert_all_finite(d):
+    for key, value in d.items():
+        assert math.isfinite(value), f"{key} is {value}"
+
+
+class TestPercentileEdges:
+    def test_empty_raises_typed_error(self):
+        with pytest.raises(ConfigError):
+            percentile([], 95)
+        with pytest.raises(ConfigError):
+            percentiles([])
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+        p = percentiles([7.0])
+        assert p == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+    def test_all_identical(self):
+        p = percentiles([3.0] * 100)
+        assert p["p50"] == p["p95"] == p["p99"] == 3.0
+
+
+class TestServingStatsEdges:
+    def test_empty_stream_raises_typed_error(self):
+        stats = ServingStats()
+        with pytest.raises(ConfigError):
+            stats.summary()
+        with pytest.raises(ConfigError):
+            stats.goodput(ServingSLO(ttft_ms=1.0, tpot_ms=1.0))
+
+    def test_single_sample_finite(self):
+        stats = ServingStats(timings=[timing()])
+        s = stats.summary()
+        assert_all_finite(s)
+        assert s["requests"] == 1.0
+        assert s["ttft_p50_ms"] == s["ttft_p95_ms"] == s["ttft_p99_ms"]
+        assert s["tokens_per_s"] > 0
+
+    def test_single_token_request_has_zero_tpot(self):
+        stats = ServingStats(timings=[timing(generated=1)])
+        s = stats.summary()
+        assert_all_finite(s)
+        assert s["tpot_p50_ms"] == s["tpot_p95_ms"] == 0.0
+
+    def test_zero_span_yields_zero_throughput_not_nan(self):
+        # All timestamps coincide: the span is zero and throughput must
+        # degrade to 0.0, never divide by zero.
+        t = timing(arrival=5.0, start=5.0, first=5.0, finish=5.0,
+                   generated=1)
+        stats = ServingStats(timings=[t])
+        s = stats.summary()
+        assert_all_finite(s)
+        assert s["tokens_per_s"] == 0.0
+        assert s["requests_per_s"] == 0.0
+        g = stats.goodput(ServingSLO(ttft_ms=1.0, tpot_ms=1.0))
+        assert_all_finite(g)
+        assert g["goodput_requests_per_s"] == 0.0
+        assert g["attainment"] == 1.0      # zero-latency request meets any SLO
+
+    def test_all_identical_latencies(self):
+        stats = ServingStats(timings=[timing() for _ in range(10)])
+        s = stats.summary()
+        assert_all_finite(s)
+        assert s["ttft_p50_ms"] == s["ttft_p99_ms"]
+        assert s["tpot_p50_ms"] == s["tpot_p99_ms"]
+
+    def test_goodput_boundary_is_inclusive(self):
+        t = timing(arrival=0.0, start=0.0, first=1000.0, finish=2000.0,
+                   generated=2)          # ttft 1 ms, tpot 1 ms exactly
+        stats = ServingStats(timings=[t])
+        exact = stats.goodput(ServingSLO(ttft_ms=1.0, tpot_ms=1.0))
+        assert exact["attainment"] == 1.0
+        tighter = stats.goodput(ServingSLO(ttft_ms=0.999, tpot_ms=1.0))
+        assert tighter["attainment"] == 0.0
+
+
+class TestTimelineEdges:
+    def test_empty_batch_timeline(self):
+        tl = BatchTimeline(kv_budget_tokens=128)
+        assert tl.n_iterations == 0
+        assert tl.peak_batch_size == 0
+        assert tl.mean_batch_size == 0.0
+        assert tl.peak_kv_occupancy == 0.0
+        assert tl.as_dict()["iterations"] == []
+
+    def test_empty_cache_timeline(self):
+        tl = ExpertCacheTimeline()
+        assert tl.hit_rate == 0.0
+        assert tl.total_evictions == 0
+        assert tl.total_bytes_transferred == 0.0
+        assert_all_finite(tl.summary())
+        assert tl.as_dict()["iterations"] == []
+
+    def test_cache_point_zero_tokens(self):
+        p = CachePoint(t_us=1.0, hit_tokens=0, miss_tokens=0, uploads=0,
+                       evictions=0, bytes_transferred=0.0, stall_us=0.0)
+        assert p.hit_rate == 0.0
+
+    def test_cache_timeline_weighted_hit_rate(self):
+        tl = ExpertCacheTimeline()
+        tl.record(1.0, hit_tokens=9, miss_tokens=1, uploads=0, evictions=0,
+                  bytes_transferred=0.0, stall_us=0.0)
+        tl.record(2.0, hit_tokens=0, miss_tokens=10, uploads=1, evictions=1,
+                  bytes_transferred=5.0, stall_us=2.0)
+        assert tl.hit_rate == pytest.approx(9 / 20)   # token-weighted
+        s = tl.summary()
+        assert s["cache_evictions"] == 1.0
+        assert s["cache_bytes_transferred_mb"] == pytest.approx(5e-6)
+        assert s["cache_stall_ms"] == pytest.approx(2e-3)
