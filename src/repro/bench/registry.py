@@ -91,6 +91,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "test_expert_cache.py",
                "online residency cache recovers >=80% of oracle hit rate "
                "after a hot-set shift and beats stale static placement"),
+    Experiment("chaos", "extension (fault injection)",
+               "test_chaos_serving.py",
+               "hardened serving holds >=70% of fault-free goodput under "
+               "the canonical fault storm, naive <40%; both arms "
+               "bit-reproducible per seed"),
 )
 
 

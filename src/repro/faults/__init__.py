@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the CPU/GPU hybrid serving stack.
+
+``repro.faults`` perturbs the simulated hardware mid-run -- PCIe
+bandwidth loss, transient expert-upload failures, straggler sockets,
+NUMA contention bursts, clock jitter -- through hooks in
+:mod:`repro.hw.event_sim` and :mod:`repro.hw.roofline`, so every cost
+model prices the same degraded timeline.  Everything is seeded and
+replayable: the chaos harness (``benchmarks/test_chaos_serving.py``)
+relies on bit-identical perturbations across runs.
+"""
+
+from .injector import (
+    IDENTITY_PERTURBATION,
+    NUMA_CPU_SHARE,
+    FaultInjector,
+    StepPerturbation,
+)
+from .plan import (
+    ClockJitter,
+    CpuStraggler,
+    FaultPlan,
+    FaultWindow,
+    NumaContention,
+    PcieDegradation,
+    UploadFailureWindow,
+    canonical_chaos_plan,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "ClockJitter", "CpuStraggler", "FaultInjector", "FaultPlan",
+    "FaultWindow", "IDENTITY_PERTURBATION", "NUMA_CPU_SHARE",
+    "NumaContention", "PcieDegradation", "RetryPolicy", "StepPerturbation",
+    "UploadFailureWindow", "canonical_chaos_plan",
+]

@@ -1,0 +1,182 @@
+"""Seeded fault plans: what goes wrong, when, and how badly.
+
+A :class:`FaultPlan` is a declarative, fully-deterministic description of
+hardware misbehaviour over a serving run's simulated timeline:
+
+- :class:`PcieDegradation` -- the host<->GPU link loses bandwidth inside a
+  window (thermal throttling, a competing DMA stream, link retraining);
+- :class:`CpuStraggler` -- one socket's routed-expert work slows down by a
+  multiplier (frequency capping, a noisy co-tenant, a failing DIMM);
+- :class:`NumaContention` -- the cross-socket fabric saturates, inflating
+  the reduce/combine share of routed-expert layers;
+- :class:`UploadFailureWindow` -- expert-weight uploads over PCIe fail with
+  some probability (ECC retries, driver resets, dropped DMA descriptors);
+- :class:`ClockJitter` -- multiplicative per-iteration noise on step time
+  (OS scheduling, interrupt storms).
+
+All windows are half-open ``[start_us, end_us)`` on the *serving* clock.
+Every stochastic element (failure draws, jitter) is derived from
+``FaultPlan.seed`` plus stable stream/step keys by
+:class:`~repro.faults.injector.FaultInjector`, so one plan replayed twice
+perturbs the run bit-identically -- which is what makes chaos testing on
+the discrete-event simulator replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Base class: a half-open ``[start_us, end_us)`` misbehaviour window."""
+
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0:
+            raise ConfigError("fault window cannot start before t=0")
+        if self.end_us <= self.start_us:
+            raise ConfigError(
+                f"fault window [{self.start_us}, {self.end_us}) is empty"
+            )
+
+    def active_at(self, t_us: float) -> bool:
+        """Whether the window covers simulated time ``t_us``."""
+        return self.start_us <= t_us < self.end_us
+
+
+@dataclass(frozen=True)
+class PcieDegradation(FaultWindow):
+    """PCIe bandwidth drops to ``bandwidth_fraction`` of nominal."""
+
+    bandwidth_fraction: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.bandwidth_fraction <= 1.0:
+            raise ConfigError("bandwidth_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CpuStraggler(FaultWindow):
+    """One CPU socket's expert work runs ``slowdown`` times slower.
+
+    Routed-expert layers barrier on the slowest socket, so a single
+    straggling socket stretches the whole layer by its slowdown.
+    """
+
+    slowdown: float
+    socket: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.slowdown < 1.0:
+            raise ConfigError("straggler slowdown must be >= 1")
+        if self.socket < 0:
+            raise ConfigError("socket index must be >= 0")
+
+
+@dataclass(frozen=True)
+class NumaContention(FaultWindow):
+    """Cross-socket (UPI) fabric contention inflates transfers by ``slowdown``."""
+
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.slowdown < 1.0:
+            raise ConfigError("NUMA contention slowdown must be >= 1")
+
+
+@dataclass(frozen=True)
+class UploadFailureWindow(FaultWindow):
+    """Expert-weight uploads fail with ``probability`` inside the window."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError("failure probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ClockJitter:
+    """Per-iteration multiplicative step-time noise, uniform in ``1 +- sigma``."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sigma < 1.0:
+            raise ConfigError("jitter sigma must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete seeded description of one chaos scenario.
+
+    ``seed`` drives every stochastic draw (upload-failure Bernoullis,
+    retry-success draws, clock jitter); the windows themselves are
+    deterministic.  An all-empty plan is the identity: injecting it must
+    leave a serving run bit-identical to running with no injector at all
+    (property-tested).
+    """
+
+    seed: int = 0
+    pcie: tuple[PcieDegradation, ...] = ()
+    stragglers: tuple[CpuStraggler, ...] = ()
+    numa: tuple[NumaContention, ...] = ()
+    upload_failures: tuple[UploadFailureWindow, ...] = ()
+    jitter: ClockJitter | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigError("fault plan seed must be >= 0")
+        for name, kind in (("pcie", PcieDegradation),
+                           ("stragglers", CpuStraggler),
+                           ("numa", NumaContention),
+                           ("upload_failures", UploadFailureWindow)):
+            for w in getattr(self, name):
+                if not isinstance(w, kind):
+                    raise ConfigError(
+                        f"plan field {name!r} holds {type(w).__name__}, "
+                        f"expected {kind.__name__}"
+                    )
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        """The identity plan: no windows, no jitter."""
+        return cls(seed=seed)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan perturbs nothing."""
+        return (not self.pcie and not self.stragglers and not self.numa
+                and not self.upload_failures
+                and (self.jitter is None or self.jitter.sigma == 0.0))
+
+
+def canonical_chaos_plan(seed: int = 1234) -> FaultPlan:
+    """The chaos bench's canonical sustained fault storm.
+
+    A compound failure landing 5 seconds into the serving clock and
+    outlasting the run: the PCIe link collapses to 2% bandwidth while
+    expert uploads fail 90% of the time, one socket straggles at 1.3x,
+    the UPI fabric saturates at 1.2x, and every step carries 2% clock
+    jitter.  Golden-pinned by ``tests/test_golden_regression.py`` so
+    fault semantics cannot drift silently;
+    ``benchmarks/test_chaos_serving.py`` scores hardened vs. naive
+    serving against it.
+    """
+    return FaultPlan(
+        seed=seed,
+        pcie=(PcieDegradation(5e6, 300e6, bandwidth_fraction=0.02),),
+        stragglers=(CpuStraggler(5e6, 300e6, slowdown=1.3),),
+        numa=(NumaContention(5e6, 300e6, slowdown=1.2),),
+        upload_failures=(UploadFailureWindow(5e6, 300e6, probability=0.9),),
+        jitter=ClockJitter(sigma=0.02),
+    )

@@ -1,0 +1,68 @@
+"""Capped exponential backoff with seeded, bounded jitter.
+
+The hardened serving path retries failed expert uploads off the critical
+path; this module owns the retry *schedule* so it can be unit-pinned
+exactly: ``delay(attempt) = min(cap, base * 2^(attempt-1)) * (1 + j)``
+with ``j`` uniform in ``[-jitter, +jitter]`` drawn from a generator
+seeded by ``(seed, key..., attempt)``.  Deterministic keys make the whole
+retry timeline a pure function of the fault plan's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+_BACKOFF_STREAM = 401
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff shape for failed expert uploads.
+
+    ``max_retries`` bounds attempts per upload; ``base_us``/``cap_us``
+    shape the exponential backoff; ``jitter`` is the +-fractional noise
+    decorrelating retries (seeded by ``seed`` plus the caller's key, so
+    it is reproducible, not random).
+    """
+
+    max_retries: int = 4
+    base_us: float = 200_000.0
+    cap_us: float = 2_000_000.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries <= 0:
+            raise ConfigError("max_retries must be positive")
+        if self.base_us <= 0 or self.cap_us < self.base_us:
+            raise ConfigError("need 0 < base_us <= cap_us")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+        if self.seed < 0:
+            raise ConfigError("seed must be >= 0")
+
+    def delay_us(self, attempt: int, key: Sequence[int] = ()) -> float:
+        """Backoff delay before retry ``attempt`` (1-based) of upload ``key``.
+
+        Always within ``[base * 2^(a-1) * (1 - jitter),
+        base * 2^(a-1) * (1 + jitter)]`` clipped at ``cap_us`` before
+        jitter -- the bounds the fault-matrix tests pin.
+        """
+        if attempt <= 0:
+            raise ConfigError("retry attempts are 1-based")
+        base = min(self.cap_us, self.base_us * 2.0 ** (attempt - 1))
+        if self.jitter == 0.0:
+            return base
+        rng = np.random.default_rng(
+            [self.seed, _BACKOFF_STREAM, *(int(k) for k in key), attempt])
+        return base * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))
+
+    def schedule_us(self, key: Sequence[int] = ()) -> tuple[float, ...]:
+        """All ``max_retries`` backoff delays for one upload key."""
+        return tuple(self.delay_us(a, key)
+                     for a in range(1, self.max_retries + 1))

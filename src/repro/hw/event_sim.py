@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
@@ -117,12 +118,13 @@ class Resource:
         self._in_flight += 1
         task.state = TaskState.RUNNING
         task.start_time = self.sim.now
-        self.sim.after(task.duration, lambda: self._finish(task))
+        self.sim.after(self.sim._effective_duration(task),
+                       lambda: self._finish(task))
 
     def _finish(self, task: Task) -> None:
         task.state = TaskState.DONE
         task.end_time = self.sim.now
-        self.busy_time += task.duration
+        self.busy_time += task.end_time - task.start_time
         self._in_flight -= 1
         for dep in task._dependents:
             dep._remaining_deps -= 1
@@ -137,14 +139,37 @@ class Resource:
 
 
 class Simulator:
-    """Event loop: a priority queue of timed callbacks plus task bookkeeping."""
+    """Event loop: a priority queue of timed callbacks plus task bookkeeping.
 
-    def __init__(self) -> None:
+    ``perturb``, when given, is a duration hook ``(task, now) -> duration``
+    consulted at each task's *start* time; fault injection
+    (:mod:`repro.faults`) uses it to stretch CPU/PCIe tasks inside
+    degradation windows without the task-graph builders knowing.  The hook
+    must return a finite, non-negative duration.
+    """
+
+    def __init__(
+        self,
+        perturb: Optional[Callable[[Task, float], float]] = None,
+    ) -> None:
         self.now = 0.0
+        self.perturb = perturb
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.all_tasks: list[Task] = []
         self._resources: dict[str, Resource] = {}
+
+    def _effective_duration(self, task: Task) -> float:
+        """The duration a task occupies its resource, after perturbation."""
+        if self.perturb is None:
+            return task.duration
+        duration = float(self.perturb(task, self.now))
+        if not math.isfinite(duration) or duration < 0:
+            raise SimulationError(
+                f"perturb hook returned invalid duration {duration!r} "
+                f"for task {task.name!r}"
+            )
+        return duration
 
     # -- resources ----------------------------------------------------------
 
@@ -220,18 +245,28 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the queue drains (or simulated ``until``).
 
+        ``until`` is a **closed** boundary: every event scheduled at
+        exactly ``until`` fires -- including callbacks those events
+        themselves schedule at the same instant -- before the loop
+        pauses, and the clock lands on exactly ``until`` even if the
+        queue drains earlier.  Strictly-later events are left in place
+        without re-insertion, so their relative order is stable across
+        pause/resume (fault windows land on exact boundaries, so this
+        edge is defined and tested rather than heap-order dependent).
+
         Returns the final simulated time.
         """
         while self._events:
-            time, __, fn = heapq.heappop(self._events)
-            if until is not None and time > until:
-                heapq.heappush(self._events, (time, next(self._seq), fn))
+            if until is not None and self._events[0][0] > until:
                 self.now = until
                 return self.now
+            time, __, fn = heapq.heappop(self._events)
             if time < self.now:
                 raise SimulationError("event queue went backwards in time")
             self.now = time
             fn()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def drain(self) -> float:

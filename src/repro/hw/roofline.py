@@ -23,7 +23,7 @@ Calibration anchors (all from the paper):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..tensor.dtypes import DType
 from .spec import CPUSpec, GPUSpec, InterconnectSpec
@@ -235,6 +235,32 @@ def overlapped_transfer_stall_us(
     if bytes_moved <= 0:
         return 0.0
     return max(0.0, pcie_transfer_time_us(bytes_moved, link) - overlap_window_us)
+
+
+def degraded_link(
+    link: InterconnectSpec,
+    pcie_scale: float = 1.0,
+    cross_socket_scale: float = 1.0,
+) -> InterconnectSpec:
+    """A copy of ``link`` with bandwidths scaled down by fault injection.
+
+    ``pcie_scale`` / ``cross_socket_scale`` are the remaining bandwidth
+    fractions inside a degradation window (latencies are unchanged --
+    contention throttles throughput, not DMA setup).  Returns ``link``
+    itself when both scales are 1.0, so the unfaulted path reuses the
+    exact same spec object and float arithmetic.
+    """
+    if not 0.0 < pcie_scale <= 1.0:
+        raise ValueError("pcie_scale must be in (0, 1]")
+    if not 0.0 < cross_socket_scale <= 1.0:
+        raise ValueError("cross_socket_scale must be in (0, 1]")
+    if pcie_scale == 1.0 and cross_socket_scale == 1.0:
+        return link
+    return replace(
+        link,
+        pcie_bandwidth=link.pcie_bandwidth * pcie_scale,
+        cross_socket_bandwidth=link.cross_socket_bandwidth * cross_socket_scale,
+    )
 
 
 def cross_socket_transfer_time_us(bytes_moved: float,

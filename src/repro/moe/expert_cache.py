@@ -124,8 +124,10 @@ class ExpertCacheManager:
         self._step_idx = 0
         self.eviction_log: list[tuple[int, int, int]] = []  # (step, layer, expert)
         self.upload_log: list[tuple[int, int, int]] = []
+        self.failure_log: list[tuple[int, int, int]] = []   # failed uploads
         self.total_evictions = 0
         self.total_uploads = 0
+        self.total_failed_uploads = 0
         self.total_bytes_transferred = 0.0
 
     # -- seeding ------------------------------------------------------------
@@ -169,7 +171,8 @@ class ExpertCacheManager:
         return self.step(counts, overlap_window_us=overlap_window_us)
 
     def step(self, counts: np.ndarray,
-             overlap_window_us: float = 0.0) -> CacheStepResult:
+             overlap_window_us: float = 0.0,
+             link: InterconnectSpec | None = None) -> CacheStepResult:
         """Process one iteration's routing observation.
 
         ``counts`` is ``(n_layers, n_experts)`` tokens-per-expert (a 1-D
@@ -177,7 +180,10 @@ class ExpertCacheManager:
         iteration's hit/miss accounting (against residency *before* this
         step's uploads) plus the planned prefetch transfers and their
         non-overlapped stall given ``overlap_window_us`` of attention
-        time to hide them behind.
+        time to hide them behind.  ``link`` overrides the construction
+        interconnect for this step's transfer/stall pricing -- fault
+        injection passes a bandwidth-degraded spec during PCIe
+        degradation windows.
         """
         counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
         if counts.shape != self._score.shape:
@@ -202,11 +208,12 @@ class ExpertCacheManager:
 
         # 3. Frequency-weighted-LRU admission/eviction (prefetch plan).
         uploads, evictions = self._plan_uploads()
+        active_link = self.interconnect if link is None else link
         bytes_moved = len(uploads) * self.config.expert_bytes
-        transfer_us = (pcie_transfer_time_us(bytes_moved, self.interconnect)
+        transfer_us = (pcie_transfer_time_us(bytes_moved, active_link)
                        if uploads else 0.0)
         stall_us = (overlapped_transfer_stall_us(
-            bytes_moved, self.interconnect, overlap_window_us)
+            bytes_moved, active_link, overlap_window_us)
             if uploads else 0.0)
 
         for layer, expert in evictions:
@@ -277,6 +284,46 @@ class ExpertCacheManager:
     def _unravel(self, flat: int) -> tuple[int, int]:
         layer, expert = divmod(int(flat), self.config.n_experts)
         return layer, expert
+
+    # -- fault channel -------------------------------------------------------
+
+    def fail_upload(self, layer: int, expert: int) -> None:
+        """Roll back a just-planned upload whose PCIe transfer failed.
+
+        Fault injection calls this right after :meth:`step` for each
+        upload the injector failed: the expert never arrived, so its
+        residency is revoked (the EWMA score is untouched -- the expert
+        is still hot, which is what drives the retry).  The failure is
+        recorded on :attr:`failure_log` against the step that planned it.
+        """
+        if not self._resident[layer, expert]:
+            raise ConfigError(
+                f"expert ({layer}, {expert}) is not resident; no upload to fail"
+            )
+        self._resident[layer, expert] = False
+        self.failure_log.append((max(0, self._step_idx - 1), layer, expert))
+        self.total_failed_uploads += 1
+
+    def admit(self, layer: int, expert: int) -> bool:
+        """Admit one expert outside the planner (a successful retry upload).
+
+        Returns ``False`` -- without changing state -- when the expert is
+        already resident or the VRAM budget is full (the retry subsystem
+        then drops the upload; the planner will re-admit it organically
+        if it stays hot).
+        """
+        if not (0 <= layer < self.config.n_layers
+                and 0 <= expert < self.config.n_experts):
+            raise ConfigError(f"expert ({layer}, {expert}) out of range")
+        if self._resident[layer, expert]:
+            return False
+        if self.n_resident >= self.config.capacity_experts:
+            return False
+        self._resident[layer, expert] = True
+        self.upload_log.append((max(0, self._step_idx - 1), layer, expert))
+        self.total_uploads += 1
+        self.total_bytes_transferred += self.config.expert_bytes
+        return True
 
     # -- queries ------------------------------------------------------------
 

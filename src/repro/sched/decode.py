@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Callable, Optional
+
 from ..errors import SchedulingError
 from ..hw.event_sim import Simulator, Task
 from ..hw.roofline import pcie_transfer_time_us
@@ -26,6 +28,10 @@ from .cuda_graph import GpuExecutor, LaunchMode
 from .workload import DecodeLayerWork
 
 MERGE_KERNEL_US = 2.0  # elementwise merge of CPU and GPU activations
+
+# Fault-injection duration hook forwarded to the simulator (see
+# repro.faults.StepPerturbation.sim_hook).
+PerturbHook = Optional[Callable[[Task, float], float]]
 
 
 @dataclass(frozen=True)
@@ -155,16 +161,20 @@ def simulate_decode(
     config: DecodeScheduleConfig,
     machine: MachineSpec,
     n_tokens: int,
+    perturb: PerturbHook = None,
 ) -> Simulator:
     """Chain ``n_tokens`` decode steps and run the simulation to completion.
 
     The same per-layer work is reused for every step (context growth over a
     few hundred tokens changes attention time negligibly at these scales),
-    so throughput is tokens / final simulated time.
+    so throughput is tokens / final simulated time.  ``perturb`` is an
+    optional fault-injection duration hook handed straight to
+    :class:`~repro.hw.event_sim.Simulator`, so degraded hardware windows
+    reprice the whole task graph coherently.
     """
     if n_tokens <= 0:
         raise SchedulingError("n_tokens must be positive")
-    sim = Simulator()
+    sim = Simulator(perturb=perturb)
     ex = GpuExecutor(sim, machine, config.launch_mode)
     deps: list[Task] = []
     carried: Task | None = None
@@ -184,6 +194,7 @@ def batched_step_time_us(
     machine: MachineSpec,
     n_steps: int = 4,
     warmup_steps: int = 2,
+    perturb: PerturbHook = None,
 ) -> float:
     """Steady-state simulated cost of one batched decode iteration.
 
@@ -204,10 +215,11 @@ def batched_step_time_us(
     if warmup_steps < 0:
         raise SchedulingError("warmup_steps must be >= 0")
     total = simulate_decode(works, config, machine,
-                            warmup_steps + n_steps).now
+                            warmup_steps + n_steps, perturb=perturb).now
     if warmup_steps == 0:
         return total / n_steps
-    warm = simulate_decode(works, config, machine, warmup_steps).now
+    warm = simulate_decode(works, config, machine, warmup_steps,
+                           perturb=perturb).now
     return (total - warm) / n_steps
 
 
@@ -218,6 +230,7 @@ def cache_aware_step_time_us(
     transfer_stall_us: float = 0.0,
     n_steps: int = 4,
     warmup_steps: int = 2,
+    perturb: PerturbHook = None,
 ) -> float:
     """Batched step cost under an expert cache, plus prefetch stall.
 
@@ -231,4 +244,5 @@ def cache_aware_step_time_us(
         raise SchedulingError("transfer_stall_us must be >= 0")
     return batched_step_time_us(works, config, machine,
                                 n_steps=n_steps,
-                                warmup_steps=warmup_steps) + transfer_stall_us
+                                warmup_steps=warmup_steps,
+                                perturb=perturb) + transfer_stall_us

@@ -14,6 +14,7 @@ from .metrics import (
     BatchTimeline,
     CachePoint,
     ExpertCacheTimeline,
+    FaultStats,
     RequestTiming,
     ServingSLO,
     ServingStats,
@@ -21,6 +22,7 @@ from .metrics import (
     percentile,
     percentiles,
 )
+from .resilience import DegradationTracker, ResilienceConfig, RetryState
 from .server import LocalServer, TimedRequest, poisson_workload
 from .session import (
     GenerationRequest,
@@ -32,9 +34,10 @@ from .session import (
 __all__ = [
     "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
     "serving_expert_cache",
-    "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "RequestTiming",
-    "ServingSLO", "ServingStats", "TimelinePoint", "percentile",
-    "percentiles",
+    "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "FaultStats",
+    "RequestTiming", "ServingSLO", "ServingStats", "TimelinePoint",
+    "percentile", "percentiles",
+    "DegradationTracker", "ResilienceConfig", "RetryState",
     "LocalServer", "TimedRequest", "poisson_workload",
     "GenerationRequest", "GenerationResult", "InferenceSession",
     "PhaseCostModel",

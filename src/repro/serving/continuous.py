@@ -37,6 +37,13 @@ import numpy as np
 
 from ..errors import ConfigError, KVCacheError
 from ..core.engine import batched_decode_works, run_prefill
+from ..faults.injector import (
+    IDENTITY_PERTURBATION,
+    FaultInjector,
+    StepPerturbation,
+)
+from ..hw.roofline import overlapped_transfer_stall_us, pcie_transfer_time_us
+from ..hw.spec import InterconnectSpec
 from ..model.paged import DEFAULT_PAGE_TOKENS, PagedKVPool
 from ..moe.expert_cache import (
     CacheStepResult,
@@ -56,11 +63,18 @@ from ..sched.workload import (
 from .metrics import (
     BatchTimeline,
     ExpertCacheTimeline,
+    FaultStats,
     RequestTiming,
     ServingStats,
 )
+from .resilience import DegradationTracker, ResilienceConfig, RetryState
 from .server import TimedRequest
 from .session import InferenceSession
+
+# Synchronous re-upload attempts the *naive* (no-ResilienceConfig) server
+# makes per failed expert upload, each stalling the whole batch for the
+# full PCIe transfer on the degraded link.
+NAIVE_UPLOAD_ATTEMPTS = 8
 
 # Per-expert token counts of the representative MoE layer for one decode
 # iteration; lets benchmarks inject non-stationary routing into the server.
@@ -119,7 +133,13 @@ class BatchCostModel:
         self._summaries: dict[tuple[int, int], BatchedDispatchSummary] = {}
         self._works: dict[tuple[int, int], list[DecodeLayerWork]] = {}
         self._cached_step: dict[tuple[int, int, int, int], float] = {}
+        self._cached_works: dict[
+            tuple[int, int, int, int], list[DecodeLayerWork]] = {}
         self._prefill: dict[int, float] = {}
+        # Fault-perturbed variants, additionally keyed by the
+        # perturbation's price_key (piecewise-constant per fault window).
+        self._perturbed: dict[tuple, float] = {}
+        self._cached_pert: dict[tuple, float] = {}
 
     @staticmethod
     def _bucket(value: int, buckets: tuple[int, ...]) -> int:
@@ -166,30 +186,29 @@ class BatchCostModel:
         self.decode_step_us(context_lens)
         return sum(w.gpu_attn_us for w in self._works[key])
 
-    def cached_decode_step_us(self, context_lens: list[int],
-                              cache_step: CacheStepResult) -> float:
-        """One iteration's cost under the expert cache's latest outcome.
+    def _cached_key_works(
+        self, context_lens: list[int], cache_step: CacheStepResult,
+    ) -> tuple[tuple[int, int, int, int], list[DecodeLayerWork]]:
+        """Memo key and cache-repriced layer works for one cache outcome.
 
         MoE layers are repriced with cache hits as GPU expert work and
         misses on the CPU (:func:`repro.sched.workload.apply_expert_cache`,
-        hit rate quantized to 1/``HIT_RATE_BUCKETS`` for memoization);
-        the cache step's non-overlapped prefetch stall is added on top.
+        hit rate quantized to 1/``HIT_RATE_BUCKETS`` for memoization).
+        Shared by the clean and fault-perturbed cached pricing paths so
+        both see the same repriced task graph.
         """
-        total = cache_step.total_tokens
-        if total == 0:
-            return self.decode_step_us(context_lens) + cache_step.stall_us
         costs = self.session.costs
         key = self._key(context_lens)
         self.decode_step_us(context_lens)          # populate works cache
         hit_bucket = round(self.HIT_RATE_BUCKETS * cache_step.hit_tokens
-                           / total)
+                           / cache_step.total_tokens)
         ck = (*key, hit_bucket, cache_step.n_hit_experts)
-        if ck not in self._cached_step:
+        if ck not in self._cached_works:
             bsz = key[0]
             layer_tokens = bsz * costs.preset.top_k
             hit_tokens = round(layer_tokens * hit_bucket
                                / self.HIT_RATE_BUCKETS)
-            works = [
+            self._cached_works[ck] = [
                 w if w.cpu_routed_us <= 0.0 else apply_expert_cache(
                     w, costs.preset, costs.machine, costs.dtype,
                     total_tokens=layer_tokens, hit_tokens=hit_tokens,
@@ -197,10 +216,71 @@ class BatchCostModel:
                 )
                 for w in self._works[key]
             ]
+        return ck, self._cached_works[ck]
+
+    def cached_decode_step_us(self, context_lens: list[int],
+                              cache_step: CacheStepResult) -> float:
+        """One iteration's cost under the expert cache's latest outcome.
+
+        The cache step's non-overlapped prefetch stall is added on top of
+        the memoized repriced step (see :meth:`_cached_key_works`).
+        """
+        if cache_step.total_tokens == 0:
+            return self.decode_step_us(context_lens) + cache_step.stall_us
+        ck, works = self._cached_key_works(context_lens, cache_step)
+        if ck not in self._cached_step:
             self._cached_step[ck] = cache_aware_step_time_us(
-                works, self._schedule_config(), costs.machine,
+                works, self._schedule_config(), self.session.costs.machine,
             )
         return self._cached_step[ck] + cache_step.stall_us
+
+    def perturbed_decode_step_us(self, context_lens: list[int],
+                                 pert: StepPerturbation) -> float:
+        """Decode-iteration cost under an active fault perturbation.
+
+        Reruns the task-graph simulation with the perturbation's duration
+        hook installed, so stragglers/NUMA contention stretch CPU tasks
+        and PCIe degradation stretches transfers *inside* the overlap
+        structure (a slower link may hide behind attention rather than
+        adding linearly).  Identity perturbations short-circuit to the
+        unperturbed memo so a run with an empty fault plan is
+        bit-identical to one with no injector at all.
+        """
+        if pert.prices_identity:
+            return self.decode_step_us(context_lens)
+        key = self._key(context_lens)
+        self.decode_step_us(context_lens)          # populate works cache
+        pk = (key, pert.price_key())
+        if pk not in self._perturbed:
+            self._perturbed[pk] = batched_step_time_us(
+                self._works[key], self._schedule_config(),
+                self.session.costs.machine, perturb=pert.sim_hook(),
+            )
+        return self._perturbed[pk]
+
+    def perturbed_cached_step_us(self, context_lens: list[int],
+                                 cache_step: CacheStepResult,
+                                 pert: StepPerturbation) -> float:
+        """Cache-aware iteration cost under an active fault perturbation.
+
+        Same repriced works as :meth:`cached_decode_step_us` (so the
+        cache's hit/miss split is identical), simulated under the
+        perturbation's duration hook; the cache step's stall -- already
+        computed against the degraded link by the caller -- rides on top.
+        """
+        if pert.prices_identity:
+            return self.cached_decode_step_us(context_lens, cache_step)
+        if cache_step.total_tokens == 0:
+            return (self.perturbed_decode_step_us(context_lens, pert)
+                    + cache_step.stall_us)
+        ck, works = self._cached_key_works(context_lens, cache_step)
+        pk = (ck, pert.price_key())
+        if pk not in self._cached_pert:
+            self._cached_pert[pk] = cache_aware_step_time_us(
+                works, self._schedule_config(), self.session.costs.machine,
+                perturb=pert.sim_hook(),
+            )
+        return self._cached_pert[pk] + cache_step.stall_us
 
     def dispatch_summary(self, context_lens: list[int]) -> BatchedDispatchSummary:
         """The ARI dispatch decisions behind :meth:`decode_step_us`."""
@@ -267,12 +347,25 @@ class ContinuousBatchingServer:
     returns the same :class:`~repro.serving.metrics.ServingStats`; the
     per-iteration batch size and KV occupancy are additionally recorded on
     :attr:`timeline`.
+
+    With a ``fault_injector`` attached, every decode iteration is priced
+    under the perturbation active on the serving clock and planned expert
+    uploads can fail in transit.  Without a ``resilience`` policy the
+    server is the *naive* arm: it re-uploads failed experts synchronously
+    (:data:`NAIVE_UPLOAD_ATTEMPTS` blocking transfers stalling the whole
+    batch) and never sheds load.  With a :class:`ResilienceConfig` it
+    retries off the critical path with capped exponential backoff, sheds
+    queue/decode-timeout violators, and degrades to cache-bypass (all
+    experts priced on the CPU) when failures persist; everything is
+    surfaced on ``stats.faults``.
     """
 
     def __init__(self, session: InferenceSession,
                  config: BatchSchedulerConfig | None = None,
                  expert_cache: ExpertCacheManager | None = None,
-                 routing_stream: Optional[RoutingStream] = None) -> None:
+                 routing_stream: Optional[RoutingStream] = None,
+                 fault_injector: FaultInjector | None = None,
+                 resilience: ResilienceConfig | None = None) -> None:
         self.session = session
         self.config = config or BatchSchedulerConfig()
         self.costs = BatchCostModel(session,
@@ -294,6 +387,16 @@ class ContinuousBatchingServer:
         if expert_cache is not None:
             self.cache_timeline = ExpertCacheTimeline()
             self.stats.expert_cache = self.cache_timeline
+        self.fault_injector = fault_injector
+        self.resilience = resilience
+        self.fault_stats = FaultStats()
+        if fault_injector is not None or resilience is not None:
+            self.stats.faults = self.fault_stats
+        self._degradation: DegradationTracker | None = None
+        if (resilience is not None and fault_injector is not None
+                and expert_cache is not None):
+            self._degradation = DegradationTracker(resilience)
+        self._retries: list[RetryState] = []
         self._reserved_pages = 0
         self._iteration = 0
 
@@ -344,7 +447,12 @@ class ContinuousBatchingServer:
         active: list[_InFlight] = []
         clock = 0.0
 
+        decode_timeout = (self.resilience.decode_timeout_us
+                          if self.resilience is not None else None)
         while pending or active:
+            self._shed_stale(pending, clock)
+            if not pending and not active:
+                break
             admitted = self._admit(pending, clock, len(active))
             if admitted:
                 total_prompt = sum(
@@ -373,12 +481,27 @@ class ContinuousBatchingServer:
                     a.first_token_us = clock
                 if a.emitted >= len(a.tokens):
                     self._finish(a, clock)
+                elif (decode_timeout is not None
+                      and clock - a.start_us > decode_timeout):
+                    # Load shedding: cut off a request decoding past its
+                    # deadline; its pages free immediately for admission.
+                    self.fault_stats.timed_out_requests += 1
+                    self._finish(a, clock, timed_out=True)
                 else:
                     still_running.append(a)
             self.timeline.record(clock, batch_size=len(active),
                                  kv_used_tokens=self.pool.used_tokens)
             active = still_running
         return self.stats
+
+    def _shed_stale(self, pending: list[TimedRequest], clock: float) -> None:
+        """Shed queued requests whose wait exceeds the queue timeout."""
+        if self.resilience is None or self.resilience.queue_timeout_us is None:
+            return
+        timeout = self.resilience.queue_timeout_us
+        while pending and clock - pending[-1].arrival_us > timeout:
+            pending.pop()
+            self.fault_stats.shed_requests += 1
 
     def _decode_step_us(self, context_lens: list[int], clock: float) -> float:
         """Price one decode iteration, consulting the expert cache if any.
@@ -389,9 +512,22 @@ class ContinuousBatchingServer:
         expert work, misses stay on the CPU, and planned uploads prefetch
         behind the attention window with only the non-overlapped
         remainder stalling the step.
+
+        With a fault injector attached, the whole iteration is priced
+        under the perturbation active at ``clock`` (same degraded link
+        for upload stall accounting), planned uploads can fail in
+        transit (handled per the resilience policy -- see the class
+        docstring), and the iteration cost picks up this step's clock
+        jitter last, outside the memoized pricing.
         """
+        pert = (self.fault_injector.perturbation_at(clock, self._iteration)
+                if self.fault_injector is not None else IDENTITY_PERTURBATION)
         if self.expert_cache is None:
-            return self.costs.decode_step_us(context_lens)
+            return (self.costs.perturbed_decode_step_us(context_lens, pert)
+                    * pert.jitter_scale)
+        if self._degradation is not None and self._degradation.bypassing:
+            return self._degraded_step_us(context_lens, clock, pert)
+
         if self._routing_stream is not None:
             counts = np.asarray(
                 self._routing_stream(self._iteration, len(context_lens)))
@@ -399,8 +535,39 @@ class ContinuousBatchingServer:
             counts = np.asarray(
                 self.costs.dispatch_summary(context_lens).expert_token_counts)
         window = self.costs.attn_window_us(context_lens)
-        result = self.expert_cache.step(counts, overlap_window_us=window)
-        cost = self.costs.cached_decode_step_us(context_lens, result)
+        link = pert.degrade_link(self.expert_cache.interconnect)
+        result = self.expert_cache.step(counts, overlap_window_us=window,
+                                        link=link)
+
+        extra_stall = 0.0
+        had_failures = False
+        if self.resilience is not None and self._retries:
+            stall, abandoned = self._process_retries(clock, window, link)
+            extra_stall += stall
+            had_failures = had_failures or abandoned
+        failed: tuple[tuple[int, int], ...] = ()
+        if self.fault_injector is not None and result.uploads:
+            failed = self.fault_injector.failed_uploads(
+                clock, self._iteration, result.uploads)
+        if failed:
+            had_failures = True
+            self.fault_stats.upload_failures += len(failed)
+            for layer, expert in failed:
+                self.expert_cache.fail_upload(layer, expert)
+            if self.resilience is None:
+                extra_stall += self._naive_retry_stall_us(clock, failed, link)
+            else:
+                retry = self.resilience.retry
+                for layer, expert in failed:
+                    due = clock + retry.delay_us(
+                        1, key=(self._iteration, layer, expert))
+                    self._retries.append(RetryState(layer, expert, 1, due))
+
+        cost = self.costs.perturbed_cached_step_us(context_lens, result, pert)
+        cost += extra_stall
+        if extra_stall:
+            self.fault_stats.fault_stall_us += extra_stall
+        cost *= pert.jitter_scale
         self.cache_timeline.record(
             clock + cost,
             hit_tokens=result.hit_tokens, miss_tokens=result.miss_tokens,
@@ -408,9 +575,104 @@ class ContinuousBatchingServer:
             bytes_transferred=result.bytes_transferred,
             stall_us=result.stall_us,
         )
+        if self._degradation is not None:
+            self._degradation.observe(had_failures, clock, self.fault_stats)
+            if self._degradation.bypassing and self._retries:
+                # Entering degraded mode orphans in-flight retries: the
+                # cache is bypassed, so completing them buys nothing.
+                self.fault_stats.retries_abandoned += len(self._retries)
+                self._retries.clear()
         return cost
 
-    def _finish(self, a: _InFlight, clock: float) -> None:
+    def _degraded_step_us(self, context_lens: list[int], clock: float,
+                          pert: StepPerturbation) -> float:
+        """One cache-bypassed iteration: all routed experts priced on CPU.
+
+        Graceful degradation under a persistently failing cache: no
+        residency update, no uploads attempted (so no upload faults), the
+        plain CPU-expert pricing applies.  Ticks the degradation cooldown
+        and records a zero-activity cache timeline point.
+        """
+        self._degradation.tick_bypass()
+        self.fault_stats.degraded_iterations += 1
+        cost = (self.costs.perturbed_decode_step_us(context_lens, pert)
+                * pert.jitter_scale)
+        self.cache_timeline.record(
+            clock + cost, hit_tokens=0, miss_tokens=0, uploads=0,
+            evictions=0, bytes_transferred=0.0, stall_us=0.0,
+        )
+        return cost
+
+    def _process_retries(self, clock: float, window_us: float,
+                         link: InterconnectSpec) -> tuple[float, bool]:
+        """Run upload retries whose backoff expired; returns (stall, gave_up).
+
+        A successful retry re-admits the expert (if it still fits) and
+        pays only the non-overlapped remainder of its transfer -- it
+        rides the prefetch window like a planned upload.  A failing
+        retry re-enqueues with the next backoff delay until the policy's
+        attempt cap, then is abandoned (feeding the degradation
+        tracker).
+        """
+        due = [r for r in self._retries if r.due_us <= clock]
+        if not due:
+            return 0.0, False
+        keep = [r for r in self._retries if r.due_us > clock]
+        retry = self.resilience.retry
+        expert_bytes = self.expert_cache.config.expert_bytes
+        stall = 0.0
+        abandoned = False
+        for r in due:
+            self.fault_stats.record_retry(r.attempt)
+            fails = self.fault_injector.retry_fails(
+                clock, self._iteration, r.layer, r.expert, r.attempt)
+            if not fails:
+                self.fault_stats.retries_succeeded += 1
+                if self.expert_cache.admit(r.layer, r.expert):
+                    stall += overlapped_transfer_stall_us(
+                        expert_bytes, link, window_us)
+            elif r.attempt >= retry.max_retries:
+                self.fault_stats.retries_abandoned += 1
+                abandoned = True
+            else:
+                nxt = r.attempt + 1
+                keep.append(RetryState(
+                    r.layer, r.expert, nxt,
+                    clock + retry.delay_us(
+                        nxt, key=(self._iteration, r.layer, r.expert)),
+                ))
+        self._retries = keep
+        return stall, abandoned
+
+    def _naive_retry_stall_us(
+        self, clock: float, failed: tuple[tuple[int, int], ...],
+        link: InterconnectSpec,
+    ) -> float:
+        """Blocking synchronous re-uploads: the naive arm's failure mode.
+
+        Every failed expert is re-uploaded immediately and synchronously
+        -- each attempt stalls the *whole batch* for the full PCIe
+        transfer on the (possibly degraded) link, compounding exactly the
+        congestion that failed the upload in the first place.
+        """
+        expert_bytes = self.expert_cache.config.expert_bytes
+        xfer = pcie_transfer_time_us(expert_bytes, link)
+        stall = 0.0
+        for layer, expert in failed:
+            for attempt in range(1, NAIVE_UPLOAD_ATTEMPTS + 1):
+                self.fault_stats.record_retry(attempt)
+                stall += xfer
+                if not self.fault_injector.retry_fails(
+                        clock, self._iteration, layer, expert, attempt):
+                    self.fault_stats.retries_succeeded += 1
+                    self.expert_cache.admit(layer, expert)
+                    break
+            else:
+                self.fault_stats.retries_abandoned += 1
+        return stall
+
+    def _finish(self, a: _InFlight, clock: float,
+                timed_out: bool = False) -> None:
         self.pool.free(a.slot)
         self._reserved_pages -= a.reserved_pages
         self.stats.add(RequestTiming(
@@ -420,4 +682,5 @@ class ContinuousBatchingServer:
             finish_us=clock,
             prompt_tokens=len(np.atleast_1d(a.timed.request.prompt)),
             generated_tokens=a.emitted,
+            timed_out=timed_out,
         ))

@@ -11,7 +11,12 @@ from ..errors import ConfigError
 
 @dataclass(frozen=True)
 class RequestTiming:
-    """Simulated timing of one served request (microseconds)."""
+    """Simulated timing of one served request (microseconds).
+
+    ``timed_out`` marks a request the resilient server cut off at its
+    decode deadline: its timing is still recorded (with the tokens it
+    did emit), but goodput accounting never counts it as SLO-attaining.
+    """
 
     arrival_us: float
     start_us: float
@@ -19,6 +24,7 @@ class RequestTiming:
     finish_us: float
     prompt_tokens: int
     generated_tokens: int
+    timed_out: bool = False
 
     def __post_init__(self) -> None:
         if not (self.arrival_us <= self.start_us <= self.first_token_us
@@ -226,11 +232,69 @@ class ExpertCacheTimeline:
 
 
 @dataclass
+class FaultStats:
+    """Fault, retry, shedding, and degradation counters of one serving run.
+
+    Attached to :class:`ServingStats` by the continuous-batching server
+    when a fault injector or a resilience policy is active; the
+    aggregate view (fault counters, retry histogram, shed/degraded
+    counts, recovery times) lands in :meth:`ServingStats.summary` via
+    :meth:`summary`.
+    """
+
+    upload_failures: int = 0
+    retries_attempted: int = 0
+    retries_succeeded: int = 0
+    retries_abandoned: int = 0
+    retry_attempt_histogram: dict[int, int] = field(default_factory=dict)
+    shed_requests: int = 0
+    timed_out_requests: int = 0
+    degraded_entries: int = 0
+    degraded_iterations: int = 0
+    recovery_times_us: list[float] = field(default_factory=list)
+    fault_stall_us: float = 0.0
+
+    def record_retry(self, attempt: int) -> None:
+        """Count one retry attempt into the per-attempt histogram."""
+        self.retries_attempted += 1
+        self.retry_attempt_histogram[attempt] = (
+            self.retry_attempt_histogram.get(attempt, 0) + 1)
+
+    @property
+    def mean_recovery_us(self) -> float:
+        """Mean time from entering degraded mode back to normal operation."""
+        if not self.recovery_times_us:
+            return 0.0
+        return sum(self.recovery_times_us) / len(self.recovery_times_us)
+
+    def summary(self) -> dict[str, float]:
+        """Flat ``fault_*`` counters merged into ``ServingStats.summary()``."""
+        out = {
+            "fault_upload_failures": float(self.upload_failures),
+            "fault_retries_attempted": float(self.retries_attempted),
+            "fault_retries_succeeded": float(self.retries_succeeded),
+            "fault_retries_abandoned": float(self.retries_abandoned),
+            "fault_shed_requests": float(self.shed_requests),
+            "fault_timed_out_requests": float(self.timed_out_requests),
+            "fault_degraded_entries": float(self.degraded_entries),
+            "fault_degraded_iterations": float(self.degraded_iterations),
+            "fault_recoveries": float(len(self.recovery_times_us)),
+            "fault_mean_recovery_ms": self.mean_recovery_us / 1e3,
+            "fault_stall_ms": self.fault_stall_us / 1e3,
+        }
+        for attempt in sorted(self.retry_attempt_histogram):
+            out[f"fault_retry_attempt_{attempt}"] = float(
+                self.retry_attempt_histogram[attempt])
+        return out
+
+
+@dataclass
 class ServingStats:
     """Aggregate statistics over a batch of served requests."""
 
     timings: list[RequestTiming] = field(default_factory=list)
     expert_cache: ExpertCacheTimeline | None = None
+    faults: FaultStats | None = None
 
     def add(self, timing: RequestTiming) -> None:
         self.timings.append(timing)
@@ -271,6 +335,8 @@ class ServingStats:
         }
         if self.expert_cache is not None:
             out.update(self.expert_cache.summary())
+        if self.faults is not None:
+            out.update(self.faults.summary())
         return out
 
     def goodput(self, slo: ServingSLO) -> dict[str, float]:
@@ -278,17 +344,25 @@ class ServingStats:
 
         Returns the fraction of SLO-attaining requests and the goodput in
         requests/s over the same wall-clock span as :meth:`summary` (so
-        goodput <= requests_per_s by construction).
+        goodput <= requests_per_s by construction).  When fault counters
+        are attached, attainment is computed over every *submitted*
+        request -- shed requests count against goodput, and timed-out
+        requests can never attain -- so a server cannot shed its way to a
+        better score.
         """
         if not self.timings:
             raise ConfigError("no requests recorded")
-        good = sum(1 for t in self.timings if slo.met_by(t))
+        good = sum(1 for t in self.timings
+                   if slo.met_by(t) and not t.timed_out)
+        shed = self.faults.shed_requests if self.faults is not None else 0
+        submitted = self.n_requests + shed
         span = self._span_us()
         return {
             "slo_ttft_ms": slo.ttft_ms,
             "slo_tpot_ms": slo.tpot_ms,
             "good_requests": float(good),
-            "attainment": good / self.n_requests,
+            "submitted_requests": float(submitted),
+            "attainment": good / submitted,
             "goodput_requests_per_s": (good / (span / 1e6)
                                        if span > 0 else 0.0),
         }

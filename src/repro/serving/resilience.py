@@ -1,0 +1,132 @@
+"""Resilience policy and degradation state machine for the serving loop.
+
+The hardened :class:`~repro.serving.continuous.ContinuousBatchingServer`
+survives injected faults with three mechanisms, all configured here:
+
+- **retry with backoff** -- failed expert uploads re-attempt off the
+  critical path on the :class:`~repro.faults.retry.RetryPolicy` schedule
+  (capped attempts, seeded jitter), riding the prefetch window like any
+  other upload instead of stalling the batch;
+- **load shedding** -- admission-queue requests whose wait exceeds
+  ``queue_timeout_us`` are shed, and in-flight requests decoding past
+  ``decode_timeout_us`` are cut off, so a fault storm cannot grow the
+  queue without bound (shed/timed-out requests count *against* goodput);
+- **graceful degradation** -- :class:`DegradationTracker` runs the
+  ``NORMAL -> DEGRADED -> PROBE`` state machine: after
+  ``degrade_after`` consecutive failing iterations the expert cache is
+  bypassed entirely (experts priced on the CPU, no uploads attempted)
+  for ``degrade_cooldown_iters`` iterations, then a probe iteration
+  re-tries the cache; a clean probe returns to normal (recording the
+  recovery time), a failing one re-enters degraded mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..faults.retry import RetryPolicy
+from .metrics import FaultStats
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-handling policy of the hardened serving path.
+
+    ``None`` timeouts disable the corresponding shedding mechanism;
+    ``retry`` shapes upload retries; ``degrade_after`` /
+    ``degrade_cooldown_iters`` parameterize the degradation state
+    machine.  A server constructed *without* a ResilienceConfig but
+    *with* a fault injector is the naive arm of the chaos bench: it
+    blocks on failed uploads and never sheds.
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    queue_timeout_us: float | None = None
+    decode_timeout_us: float | None = None
+    degrade_after: int = 3
+    degrade_cooldown_iters: int = 6
+
+    def __post_init__(self) -> None:
+        if self.queue_timeout_us is not None and self.queue_timeout_us <= 0:
+            raise ConfigError("queue_timeout_us must be positive or None")
+        if self.decode_timeout_us is not None and self.decode_timeout_us <= 0:
+            raise ConfigError("decode_timeout_us must be positive or None")
+        if self.degrade_after <= 0:
+            raise ConfigError("degrade_after must be positive")
+        if self.degrade_cooldown_iters <= 0:
+            raise ConfigError("degrade_cooldown_iters must be positive")
+
+
+@dataclass
+class RetryState:
+    """One outstanding expert-upload retry (hardened path bookkeeping)."""
+
+    layer: int
+    expert: int
+    attempt: int            # the attempt that will run next (1-based)
+    due_us: float           # serving-clock time the backoff expires
+
+
+class DegradationTracker:
+    """``NORMAL -> DEGRADED -> PROBE`` cache-bypass state machine.
+
+    NORMAL counts consecutive iterations with upload failures (or
+    abandoned retries); hitting ``degrade_after`` enters DEGRADED, where
+    the server bypasses the expert cache for ``degrade_cooldown_iters``
+    iterations.  The cooldown expiring moves to PROBE: the next
+    iteration runs the cache path again, and its outcome either returns
+    to NORMAL (recording recovery time since the episode began) or falls
+    straight back to DEGRADED without starting a new episode.
+    """
+
+    NORMAL = "normal"
+    DEGRADED = "degraded"
+    PROBE = "probe"
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+        self.mode = self.NORMAL
+        self.consecutive_failures = 0
+        self.cooldown_left = 0
+        self.entered_at_us = 0.0
+
+    @property
+    def bypassing(self) -> bool:
+        """True while the server must price experts without the cache."""
+        return self.mode == self.DEGRADED
+
+    def tick_bypass(self) -> None:
+        """Account one degraded (cache-bypassed) iteration."""
+        if self.mode != self.DEGRADED:
+            raise ConfigError("tick_bypass outside degraded mode")
+        self.cooldown_left -= 1
+        if self.cooldown_left <= 0:
+            self.mode = self.PROBE
+
+    def observe(self, had_failures: bool, clock_us: float,
+                stats: FaultStats) -> None:
+        """Feed one cache-path iteration's failure outcome into the machine."""
+        if self.mode == self.NORMAL:
+            if had_failures:
+                self.consecutive_failures += 1
+                if self.consecutive_failures >= self.config.degrade_after:
+                    self._enter_degraded(clock_us, stats, new_episode=True)
+            else:
+                self.consecutive_failures = 0
+        elif self.mode == self.PROBE:
+            if had_failures:
+                self._enter_degraded(clock_us, stats, new_episode=False)
+            else:
+                self.mode = self.NORMAL
+                self.consecutive_failures = 0
+                stats.recovery_times_us.append(clock_us - self.entered_at_us)
+
+    def _enter_degraded(self, clock_us: float, stats: FaultStats,
+                        new_episode: bool) -> None:
+        self.mode = self.DEGRADED
+        self.cooldown_left = self.config.degrade_cooldown_iters
+        self.consecutive_failures = 0
+        if new_episode:
+            self.entered_at_us = clock_us
+            stats.degraded_entries += 1

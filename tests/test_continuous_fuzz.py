@@ -18,6 +18,14 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import (
+    ClockJitter,
+    CpuStraggler,
+    FaultInjector,
+    FaultPlan,
+    PcieDegradation,
+    UploadFailureWindow,
+)
 from repro.model import DS3, MoETransformer, tiny_config
 from repro.serving import (
     BatchSchedulerConfig,
@@ -123,3 +131,45 @@ def test_replay_deterministic(wl, cfg):
     _, _, s2 = _replay(wl, cfg)
     assert s1.timings == s2.timings
     assert s1.summary() == s2.summary()
+
+
+fault_plan_strategy = st.builds(
+    lambda seed, frac, slow, prob, sigma: FaultPlan(
+        seed=seed,
+        pcie=(PcieDegradation(0.0, 20e6, bandwidth_fraction=frac),),
+        stragglers=(CpuStraggler(5e5, 10e6, slowdown=slow),),
+        upload_failures=(UploadFailureWindow(0.0, 15e6, probability=prob),),
+        jitter=ClockJitter(sigma=sigma),
+    ),
+    seed=st.integers(0, 10_000),
+    frac=st.floats(0.05, 1.0),
+    slow=st.floats(1.0, 3.0),
+    prob=st.floats(0.0, 1.0),
+    sigma=st.floats(0.0, 0.1),
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy, plan=fault_plan_strategy,
+       capacity=st.integers(4, 24))
+def test_replay_invariants_under_fault_plan(wl, cfg, plan, capacity):
+    """Chaos replay (naive arm): scheduling invariants survive any plan,
+    and the perturbed run itself replays bit-identically."""
+    def run():
+        cache = serving_expert_cache(
+            get_session(), vram_budget_bytes=capacity * DS3.expert_bytes(BF16))
+        workload = poisson_workload(vocab_size=64, **wl)
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg),
+            expert_cache=cache, fault_injector=FaultInjector(plan))
+        return workload, server, server.replay(list(workload))
+
+    workload, server, stats = run()
+    # The naive arm never sheds, so the fault-free invariants hold whole.
+    _assert_invariants(workload, server, stats, cfg)
+    assert stats.faults is not None
+    assert stats.faults.shed_requests == 0
+    # Same plan, same workload: bit-identical replay, faults included.
+    _, _, again = run()
+    assert stats.timings == again.timings
+    assert stats.summary() == again.summary()

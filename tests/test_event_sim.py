@@ -137,6 +137,99 @@ def test_run_until_pauses_and_resumes():
     assert sim.now == 100.0
 
 
+def test_run_until_boundary_is_closed():
+    """Events at exactly ``until`` fire before the loop pauses."""
+    sim = Simulator()
+    res = sim.resource("cpu")
+    t = sim.submit("exact", res, 50.0)
+    sim.run(until=50.0)
+    assert t.state is TaskState.DONE
+    assert t.end_time == 50.0
+    assert sim.now == 50.0
+
+
+def test_run_until_fires_same_instant_cascades():
+    """Zero-delay follow-ups scheduled *at* the boundary also run."""
+    sim = Simulator()
+    res = sim.resource("cpu")
+    spawned = []
+    sim.submit("parent", res, 10.0).on_complete(
+        lambda task: spawned.append(sim.submit("child", res, 0.0)))
+    sim.run(until=10.0)
+    assert spawned and spawned[0].state is TaskState.DONE
+    assert sim.now == 10.0
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    sim.submit("short", res, 3.0)
+    assert sim.run(until=100.0) == 100.0
+    assert sim.now == 100.0
+    # Scheduling before the advanced clock is now (correctly) in the past.
+    with pytest.raises(SimulationError):
+        sim.at(50.0, lambda: None)
+
+
+def test_run_until_preserves_equal_time_order_across_pause():
+    """Pausing must not reshuffle same-time events: a paused-then-resumed
+    run executes callbacks in the same order as an uninterrupted one."""
+    def build(order):
+        sim = Simulator()
+        for tag in ("a", "b", "c"):
+            sim.at(20.0, lambda tag=tag: order.append(tag))
+        return sim
+
+    uninterrupted: list[str] = []
+    build(uninterrupted).run()
+
+    paused: list[str] = []
+    sim = build(paused)
+    # Pause strictly before the events, then at several boundaries.
+    sim.run(until=5.0)
+    sim.run(until=19.0)
+    assert paused == []
+    sim.run(until=20.0)
+    assert paused == uninterrupted == ["a", "b", "c"]
+
+
+def test_run_until_repeated_same_boundary_is_idempotent():
+    sim = Simulator()
+    res = sim.resource("cpu")
+    t = sim.submit("long", res, 100.0)
+    sim.run(until=40.0)
+    assert sim.run(until=40.0) == 40.0
+    assert t.state is TaskState.RUNNING
+    sim.run()
+    assert t.end_time == 100.0
+
+
+def test_perturb_hook_scales_at_start_time():
+    """The duration hook sees the task at its *start*; queued tasks that
+    start inside a later window get the later scaling."""
+    windows = {"first": 2.0, "second": 3.0}
+
+    def perturb(task, now):
+        return task.duration * windows[task.name]
+
+    sim = Simulator(perturb=perturb)
+    res = sim.resource("cpu")
+    a = sim.submit("first", res, 10.0)
+    b = sim.submit("second", res, 10.0)   # queued behind a
+    sim.drain()
+    assert a.end_time - a.start_time == 20.0
+    assert b.start_time == 20.0
+    assert b.end_time - b.start_time == 30.0
+
+
+def test_perturb_hook_invalid_duration_raises():
+    sim = Simulator(perturb=lambda task, now: -1.0)
+    res = sim.resource("cpu")
+    sim.submit("bad", res, 1.0)
+    with pytest.raises(SimulationError):
+        sim.drain()
+
+
 def test_zero_duration_tasks_complete():
     sim = Simulator()
     res = sim.resource("cpu")

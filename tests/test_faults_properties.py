@@ -1,0 +1,178 @@
+"""Property tests for the chaos harness (hypothesis).
+
+Three contracts the fault-injection design rests on:
+
+- **bit-reproducibility**: one seeded plan replayed twice produces
+  bit-identical ``ServingStats`` -- timings, summaries, fault counters;
+- **identity**: an *empty* plan injected through the full fault plumbing
+  leaves the run bit-identical to a server with no injector at all (the
+  perturbed code paths short-circuit to the exact same float arithmetic);
+- **conservation**: whatever the plan does, the serving loop never moves
+  time backwards, releases every KV page, and accounts for every
+  submitted request as completed, timed out, or shed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    ClockJitter,
+    CpuStraggler,
+    FaultInjector,
+    FaultPlan,
+    NumaContention,
+    PcieDegradation,
+    RetryPolicy,
+    UploadFailureWindow,
+)
+from repro.model import DS3, MoETransformer, tiny_config
+from repro.serving import (
+    BatchSchedulerConfig,
+    ContinuousBatchingServer,
+    InferenceSession,
+    ResilienceConfig,
+    poisson_workload,
+    serving_expert_cache,
+)
+from repro.tensor import BF16
+
+_SESSION = None
+
+
+def get_session():
+    """Module-wide tiny session (model construction dominates test time)."""
+    global _SESSION
+    if _SESSION is None:
+        model = MoETransformer(tiny_config("tiny-qw"))
+        _SESSION = InferenceSession(model, DS3)
+    return _SESSION
+
+
+def _window(kind, **extra):
+    """Strategy for one fault window of ``kind`` inside the serving horizon."""
+    return st.builds(
+        lambda start, length, kw: kind(start, start + length, **kw),
+        st.floats(0.0, 30e6), st.floats(1e5, 30e6),
+        st.fixed_dictionaries(extra),
+    )
+
+
+plan_strategy = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 10_000),
+    pcie=st.lists(
+        _window(PcieDegradation,
+                bandwidth_fraction=st.floats(0.05, 1.0)),
+        max_size=2).map(tuple),
+    stragglers=st.lists(
+        _window(CpuStraggler, slowdown=st.floats(1.0, 3.0)),
+        max_size=2).map(tuple),
+    numa=st.lists(
+        _window(NumaContention, slowdown=st.floats(1.0, 2.0)),
+        max_size=1).map(tuple),
+    upload_failures=st.lists(
+        _window(UploadFailureWindow, probability=st.floats(0.0, 1.0)),
+        max_size=2).map(tuple),
+    jitter=st.one_of(st.none(),
+                     st.builds(ClockJitter, sigma=st.floats(0.0, 0.1))),
+)
+
+workload_strategy = st.fixed_dictionaries({
+    "n_requests": st.integers(2, 6),
+    "mean_interarrival_us": st.sampled_from([1e5, 1e6]),
+    "prompt_len": st.integers(4, 16),
+    "max_new_tokens": st.integers(2, 6),
+    "seed": st.integers(0, 10_000),
+})
+
+resilience_strategy = st.one_of(
+    st.none(),
+    st.builds(
+        ResilienceConfig,
+        retry=st.builds(RetryPolicy,
+                        max_retries=st.integers(1, 4),
+                        base_us=st.sampled_from([1e4, 1e5]),
+                        seed=st.integers(0, 100)),
+        queue_timeout_us=st.one_of(st.none(),
+                                   st.sampled_from([2e6, 10e6])),
+        decode_timeout_us=st.one_of(st.none(),
+                                    st.sampled_from([5e6, 30e6])),
+        degrade_after=st.integers(1, 4),
+        degrade_cooldown_iters=st.integers(1, 6),
+    ),
+)
+
+
+def _replay(wl_params, plan=None, resilience=None, cache_experts=12):
+    session = get_session()
+    workload = poisson_workload(vocab_size=64, **wl_params)
+    cache = serving_expert_cache(
+        session, vram_budget_bytes=cache_experts * DS3.expert_bytes(BF16))
+    server = ContinuousBatchingServer(
+        session,
+        BatchSchedulerConfig(kv_budget_tokens=256, max_batch_size=4),
+        expert_cache=cache,
+        fault_injector=None if plan is None else FaultInjector(plan),
+        resilience=resilience,
+    )
+    stats = server.replay(list(workload))
+    return workload, server, stats
+
+
+@settings(max_examples=6, deadline=None)
+@given(wl=workload_strategy, plan=plan_strategy, res=resilience_strategy)
+def test_same_seed_is_bit_identical(wl, plan, res):
+    """One plan, two replays: every stat -- fault counters included --
+    must match bit for bit."""
+    _, _, s1 = _replay(wl, plan=plan, resilience=res)
+    _, _, s2 = _replay(wl, plan=plan, resilience=res)
+    assert s1.timings == s2.timings
+    assert s1.summary() == s2.summary()
+    assert s1.faults.recovery_times_us == s2.faults.recovery_times_us
+    assert s1.faults.retry_attempt_histogram == s2.faults.retry_attempt_histogram
+
+
+@settings(max_examples=6, deadline=None)
+@given(wl=workload_strategy, seed=st.integers(0, 10_000))
+def test_empty_plan_equals_no_injector(wl, seed):
+    """Injecting nothing must not move a single float: the perturbed
+    pricing paths short-circuit to the unperturbed memos."""
+    _, srv0, s0 = _replay(wl, plan=None)
+    _, srv1, s1 = _replay(wl, plan=FaultPlan.empty(seed=seed))
+    assert s0.timings == s1.timings
+    assert srv0.timeline.points == srv1.timeline.points
+    assert srv0.cache_timeline.points == srv1.cache_timeline.points
+    base, injected = s0.summary(), s1.summary()
+    assert base == {k: v for k, v in injected.items()
+                    if not k.startswith("fault_")}
+    # And the fault channel saw nothing at all.
+    assert all(v == 0.0 for k, v in injected.items()
+               if k.startswith("fault_"))
+
+
+@settings(max_examples=8, deadline=None)
+@given(wl=workload_strategy, plan=plan_strategy, res=resilience_strategy)
+def test_conservation_under_any_plan(wl, plan, res):
+    """No time travel, no leaked pages, every request accounted for."""
+    workload, server, stats = _replay(wl, plan=plan, resilience=res)
+    # Clock monotone: iteration records strictly advance.
+    points = server.timeline.points
+    assert all(b.t_us > a.t_us for a, b in zip(points, points[1:]))
+    # Every request completed (possibly cut off) or was explicitly shed.
+    assert stats.n_requests + stats.faults.shed_requests == len(workload)
+    timed_out = sum(1 for t in stats.timings if t.timed_out)
+    assert timed_out == stats.faults.timed_out_requests
+    # Timestamps stay ordered even under perturbation.
+    for t in stats.timings:
+        assert t.arrival_us <= t.start_us <= t.first_token_us <= t.finish_us
+    # All KV pages and reservations released.
+    assert server.pool.n_slots == 0
+    assert server.pool.used_tokens == 0
+    assert server._reserved_pages == 0
+    # Fault counters are internally consistent.
+    f = stats.faults
+    assert f.retries_attempted == sum(f.retry_attempt_histogram.values())
+    assert f.retries_succeeded <= f.retries_attempted
+    assert f.fault_stall_us >= 0.0
+    assert np.isfinite(stats.summary()["tokens_per_s"])

@@ -115,3 +115,66 @@ def test_golden_intro_fiddler_decode():
     simulated Fiddler is in the same few-tokens-per-second regime."""
     r = run_decode(FIDDLER, DS3, MACHINE, BF16, n_tokens=6)
     assert 1.0 <= r.tokens_per_s <= 6.0
+
+
+# --- Canonical chaos scenario (repro.faults) -------------------------------
+# One pinned fault storm through the full serving stack.  The stochastic
+# draws are seeded, so the fault *counters* are exact integers; the times
+# carry the usual calibration tolerance.  A change to any fault-window
+# constant, retry stream, or perturbed pricing path moves these.
+
+def test_golden_perturbed_decode_step(batch_costs):
+    """Mid-storm perturbation reprices the (8, 64) decode step ~1.44x."""
+    from repro.faults import StepPerturbation
+    pert = StepPerturbation(cpu_scale=1.3, pcie_scale=0.02, numa_scale=1.2)
+    assert batch_costs.perturbed_decode_step_us([64] * 8, pert) == \
+        pytest.approx(1_153_919.0, rel=TOL)
+    # Identity perturbation must be the *same float*, not merely close.
+    assert (batch_costs.perturbed_decode_step_us([64] * 8, StepPerturbation())
+            == batch_costs.decode_step_us([64] * 8))
+
+
+def _chaos_replay(resilience=None):
+    from repro.faults import FaultInjector, canonical_chaos_plan
+    from repro.serving import (
+        BatchSchedulerConfig, ContinuousBatchingServer, poisson_workload,
+        serving_expert_cache,
+    )
+    session = InferenceSession(MoETransformer(tiny_config("tiny-qw")), DS3)
+    cache = serving_expert_cache(
+        session, vram_budget_bytes=12 * DS3.expert_bytes(BF16))
+    server = ContinuousBatchingServer(
+        session, BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4),
+        expert_cache=cache,
+        fault_injector=FaultInjector(canonical_chaos_plan()),
+        resilience=resilience)
+    return server.replay(poisson_workload(
+        n_requests=8, mean_interarrival_us=1e6, prompt_len=16,
+        max_new_tokens=8, vocab_size=64, seed=11)).summary()
+
+
+def test_golden_chaos_naive_arm():
+    s = _chaos_replay()
+    assert s["fault_upload_failures"] == 26.0
+    assert s["fault_retries_attempted"] == 123.0
+    assert s["fault_retries_succeeded"] == 18.0
+    assert s["fault_shed_requests"] == 0.0      # the naive arm never sheds
+    assert s["fault_degraded_entries"] == 0.0   # ... and never degrades
+    assert s["fault_stall_ms"] == pytest.approx(16928.9, rel=TOL)
+    assert s["tpot_p50_ms"] == pytest.approx(2202.6, rel=TOL)
+    assert s["ttft_p95_ms"] == pytest.approx(32407.5, rel=TOL)
+
+
+def test_golden_chaos_hardened_arm():
+    from repro.serving import ResilienceConfig
+    s = _chaos_replay(ResilienceConfig(queue_timeout_us=8e6,
+                                       decode_timeout_us=30e6))
+    assert s["fault_upload_failures"] == 16.0
+    assert s["fault_shed_requests"] == 3.0
+    assert s["fault_degraded_entries"] == 1.0
+    assert s["fault_degraded_iterations"] == 11.0
+    # Async retries ride the prefetch window: ~0.1s of stall vs. the
+    # naive arm's ~17s of blocking re-uploads.
+    assert s["fault_stall_ms"] == pytest.approx(96.7, rel=TOL)
+    assert s["requests"] == 5.0                 # completed = submitted - shed
+    assert s["ttft_p95_ms"] == pytest.approx(10624.8, rel=TOL)
