@@ -19,6 +19,7 @@ class Experiment:
     paper_ref: str            # where in the paper the claim lives
     bench_file: str           # file under benchmarks/ that regenerates it
     claim: str                # one-line statement of what must hold
+    artifact: str | None = None   # BENCH_*.json the bench emits, if any
 
 
 EXPERIMENTS: tuple[Experiment, ...] = (
@@ -86,16 +87,26 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("serving-cb", "extension (continuous batching)",
                "test_serving_continuous_batching.py",
                "iteration-level batching: >=2x request throughput at "
-               "saturation; aggregated ARI shifts experts onto AMX"),
+               "saturation; aggregated ARI shifts experts onto AMX",
+               artifact="BENCH_serving.json"),
     Experiment("expert-cache", "extension (dynamic expert placement)",
                "test_expert_cache.py",
                "online residency cache recovers >=80% of oracle hit rate "
-               "after a hot-set shift and beats stale static placement"),
+               "after a hot-set shift and beats stale static placement",
+               artifact="BENCH_expert_cache.json"),
     Experiment("chaos", "extension (fault injection)",
                "test_chaos_serving.py",
                "hardened serving holds >=70% of fault-free goodput under "
                "the canonical fault storm, naive <40%; both arms "
-               "bit-reproducible per seed"),
+               "bit-reproducible per seed",
+               artifact="BENCH_chaos.json"),
+    Experiment("chunked-prefill", "extension (hybrid iteration scheduling)",
+               "test_chunked_prefill.py",
+               "chunked prefill piggybacked on the decode batch's expert "
+               "streaming cuts TPOT p95 to <=0.5x the monolithic pass at "
+               "saturation at equal-or-better throughput; chunk size "
+               "sweeps the TTFT/TPOT frontier",
+               artifact="BENCH_chunked_prefill.json"),
 )
 
 
@@ -110,3 +121,13 @@ def experiment(exp_id: str) -> Experiment:
 def bench_files() -> set[str]:
     """Every benchmark file referenced by the registry."""
     return {e.bench_file for e in EXPERIMENTS}
+
+
+def artifact_files() -> set[str]:
+    """Every ``BENCH_*.json`` artifact the registry knows how to regenerate.
+
+    Tests and CI assert that every artifact on disk under ``benchmarks/``
+    appears here, so a benchmark cannot emit JSON the registry (and thus
+    EXPERIMENTS.md) does not account for.
+    """
+    return {e.artifact for e in EXPERIMENTS if e.artifact is not None}

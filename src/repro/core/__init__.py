@@ -17,6 +17,7 @@ from .engine import (
     ThroughputResult,
     batched_decode_works,
     decode_works,
+    hybrid_chunk_works,
     run_batched_decode,
     run_decode,
     run_prefill,
@@ -29,6 +30,7 @@ __all__ = [
     "MIN_IMMEDIATE_EXPERTS", "DeferralConfig", "DeferralEngine",
     "split_routing",
     "KTRANSFORMERS", "ThroughputResult", "batched_decode_works",
-    "decode_works", "run_batched_decode", "run_decode", "run_prefill",
+    "decode_works", "hybrid_chunk_works", "run_batched_decode",
+    "run_decode", "run_prefill",
     "SkippingConfig", "SkippingEngine",
 ]

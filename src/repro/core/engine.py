@@ -28,9 +28,11 @@ from ..sched.prefill import simulate_prefill
 from ..sched.workload import (
     BatchedDispatchSummary,
     DecodeLayerWork,
+    HybridChunkWork,
     PrefillLayerWork,
     batched_decode_layer_work,
     decode_layer_work,
+    hybrid_chunk_layer_work,
     prefill_layer_work,
 )
 from ..tensor.dtypes import BF16, DType
@@ -167,6 +169,47 @@ def batched_decode_works(
         **kwargs,
     )
     dense = _dense_decode_work(moe)
+    works = [dense] * preset.n_dense_layers + [moe] * preset.n_moe_layers
+    return works, summary
+
+
+def hybrid_chunk_works(
+    system: SystemProfile,
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    chunk_tokens: int,
+    batch_size: int,
+    ari_threshold: int | None = None,
+    seed: int = 0,
+) -> tuple[list[HybridChunkWork], BatchedDispatchSummary]:
+    """Per-layer marginal work of piggybacking a prefill chunk on decode.
+
+    Lowers :func:`repro.sched.workload.hybrid_chunk_layer_work` across the
+    preset's layer stack: dense layers carry only the chunk's attention
+    (no routed experts), MoE layers carry the chunk's marginal
+    routed-expert time over a ``batch_size``-request decode batch.  Merge
+    the result with :func:`batched_decode_works` output via
+    :func:`repro.sched.workload.merge_hybrid_work` to price a mixed
+    iteration; ``batch_size == 0`` prices a chunk-only iteration.
+    """
+    kwargs = {} if ari_threshold is None else {"ari_threshold": ari_threshold}
+    moe, summary = hybrid_chunk_layer_work(
+        preset, machine, dtype, chunk_tokens, batch_size,
+        avx512_profile=system.decode_kernel,
+        amx_profile=_supported_kernel(system.prefill_kernel, system, machine),
+        numa_strategy=system.numa_strategy,
+        kernels_per_layer=system.decode_kernels_per_layer,
+        seed=seed,
+        **kwargs,
+    )
+    dense = HybridChunkWork(
+        gpu_attn_us=moe.gpu_attn_us,
+        gpu_shared_us=0.0,
+        cpu_routed_us=0.0,
+        transfer_bytes=0.0,
+        n_gpu_kernels=moe.n_gpu_kernels,
+    )
     works = [dense] * preset.n_dense_layers + [moe] * preset.n_moe_layers
     return works, summary
 

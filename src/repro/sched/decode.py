@@ -25,7 +25,8 @@ from ..hw.event_sim import Simulator, Task
 from ..hw.roofline import pcie_transfer_time_us
 from ..hw.spec import MachineSpec
 from .cuda_graph import GpuExecutor, LaunchMode
-from .workload import DecodeLayerWork
+from .workload import (DecodeLayerWork, HybridChunkWork, chunk_only_work,
+                       merge_hybrid_work)
 
 MERGE_KERNEL_US = 2.0  # elementwise merge of CPU and GPU activations
 
@@ -221,6 +222,41 @@ def batched_step_time_us(
     warm = simulate_decode(works, config, machine, warmup_steps,
                            perturb=perturb).now
     return (total - warm) / n_steps
+
+
+def hybrid_step_time_us(
+    decode_works: list[DecodeLayerWork],
+    chunk_works: list[HybridChunkWork],
+    config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    n_steps: int = 4,
+    warmup_steps: int = 2,
+    perturb: PerturbHook = None,
+) -> float:
+    """Steady-state cost of one mixed (decode + prefill-chunk) iteration.
+
+    Merges each layer's decode work with the chunk's *marginal* work
+    (:func:`repro.sched.workload.merge_hybrid_work`) and prices the merged
+    iteration through the same task-graph builder as a pure decode step,
+    so CUDA-graph launch amortization, CPU/GPU overlap, and fault
+    perturbation all apply to the combined work.  ``decode_works`` may be
+    empty (chunk-only iteration: nothing decodable yet); ``decode_works``
+    may also be cache-repriced (:func:`cache_aware_step_time_us` inputs)
+    since the chunk's marginal rides on top of the decode batch's bill.
+    """
+    if not chunk_works:
+        raise SchedulingError("chunk_works must not be empty")
+    if decode_works:
+        if len(decode_works) != len(chunk_works):
+            raise SchedulingError(
+                f"decode/chunk layer mismatch: {len(decode_works)} != "
+                f"{len(chunk_works)}")
+        works = [merge_hybrid_work(d, c)
+                 for d, c in zip(decode_works, chunk_works)]
+    else:
+        works = [chunk_only_work(c) for c in chunk_works]
+    return batched_step_time_us(works, config, machine, n_steps=n_steps,
+                                warmup_steps=warmup_steps, perturb=perturb)
 
 
 def cache_aware_step_time_us(

@@ -313,6 +313,160 @@ def apply_expert_cache(
     )
 
 
+@dataclass(frozen=True)
+class HybridChunkWork:
+    """Marginal per-layer work a prefill chunk adds to one decode iteration.
+
+    A *hybrid* (chunked-prefill + decode) iteration runs the in-flight
+    decode batch's tokens and a prompt chunk's tokens through every layer
+    together.  The CPU expert bill is dominated by streaming each active
+    expert's weights from DRAM once per step, so chunk tokens that route
+    to experts the decode batch already activates are nearly free: their
+    GEMMs coalesce onto weights that are streaming anyway.
+    ``cpu_routed_us`` is therefore the *marginal* routed-expert time of
+    the combined iteration over the decode batch alone -- the decode
+    batch's own :class:`DecodeLayerWork` stays priced exactly as before
+    (so expert-cache repricing composes unchanged) and the chunk rides on
+    top via :func:`merge_hybrid_work`.
+    """
+
+    gpu_attn_us: float          # the chunk's prefill-style attention
+    gpu_shared_us: float        # shared experts over the chunk's tokens
+    cpu_routed_us: float        # marginal routed-expert time (coalesced)
+    transfer_bytes: float       # chunk activations each way over PCIe
+    n_gpu_kernels: int
+
+
+def hybrid_chunk_layer_work(
+    preset: ModelPreset,
+    machine: MachineSpec,
+    dtype: DType,
+    chunk_tokens: int,
+    batch_size: int,
+    avx512_profile: CPUKernelProfile,
+    amx_profile: CPUKernelProfile,
+    numa_strategy: NumaStrategy,
+    kernels_per_layer: int,
+    ari_threshold: int = DEFAULT_ARI_THRESHOLD,
+    seed: int = 0,
+) -> tuple[HybridChunkWork, BatchedDispatchSummary]:
+    """Price one MoE layer's share of a prefill chunk piggybacked on decode.
+
+    The chunk's per-expert token counts (an actual routing pass, like
+    :func:`prefill_layer_work`) are *summed with* the decode batch's
+    counts before pricing, and kernel dispatch is ARI-per-expert over the
+    combined counts -- chunk tokens can push a decode-warm expert past
+    the AVX-512/AMX crossover exactly like extra batch would.  The
+    returned work carries the combined cost *minus* the decode batch's
+    own cost (clamped at zero: per-expert kernel switches can make the
+    coalesced GEMM marginally cheaper), so
+    ``merge_hybrid_work(decode_work, chunk_work)`` reproduces the
+    combined iteration while leaving the decode-side pricing -- and any
+    expert-cache repricing of it -- untouched.
+
+    ``batch_size == 0`` prices a chunk-only iteration (nothing decodable
+    yet): the marginal equals the chunk's full routed-expert time.
+
+    Returns the chunk work plus the *combined* dispatch summary
+    (``batch_size`` in the summary is the decode batch; token counts and
+    kernel names reflect decode + chunk together).
+    """
+    if chunk_tokens <= 0:
+        raise ValueError("chunk_tokens must be positive")
+    if batch_size < 0:
+        raise ValueError("batch_size must be >= 0")
+    if not machine.cpu.has_amx:
+        amx_profile = avx512_profile
+    gpu = machine.gpu
+    layer_bytes = preset.gpu_layer_bytes(dtype)
+    shared_bytes = preset.shared_expert_bytes(dtype)
+    attn_bytes = max(layer_bytes - shared_bytes, layer_bytes * 0.3)
+    weights_per_elem = dtype.bytes_per_element
+    # Chunk attention is prefill-style compute-bound: O(chunk) GEMMs plus
+    # O(chunk^2) scores (the decode batch's attention is priced in its own
+    # DecodeLayerWork; weights stream once for the merged kernel).
+    attn_flops = (
+        2.0 * chunk_tokens * (attn_bytes / weights_per_elem)
+        + 2.0 * chunk_tokens * chunk_tokens * preset.hidden
+    )
+    gpu_attn_us = gpu_kernel_time_us(attn_flops, attn_bytes, gpu)
+    gpu_shared_us = gpu_kernel_time_us(
+        2.0 * chunk_tokens * (shared_bytes / weights_per_elem),
+        shared_bytes, gpu,
+    ) if shared_bytes > 0 else 0.0
+
+    decode_counts = (batched_expert_counts(preset, batch_size, seed=seed)
+                     if batch_size > 0
+                     else np.zeros(preset.n_experts, dtype=int))
+    rng = np.random.default_rng(seed)
+    cfg = RouterConfig(n_experts=preset.n_experts, top_k=preset.top_k)
+    routing = route(balanced_synthetic_logits(chunk_tokens, cfg, rng), cfg)
+    chunk_counts = routing.expert_token_counts(preset.n_experts)
+    combined = decode_counts + chunk_counts
+
+    def select(tokens: int) -> CPUKernelProfile:
+        return avx512_profile if tokens <= ari_threshold else amx_profile
+
+    dims = MoELayerDims(preset.hidden, preset.moe_intermediate, dtype)
+    combined_us = moe_layer_time_us(
+        combined, dims, avx512_profile, machine, numa_strategy,
+        select_profile=select,
+    )
+    decode_us = moe_layer_time_us(
+        decode_counts, dims, avx512_profile, machine, numa_strategy,
+        select_profile=select,
+    ) if batch_size > 0 else 0.0
+
+    kernel_names = tuple(
+        "idle" if t == 0 else ("avx512" if t <= ari_threshold else "amx")
+        for t in combined
+    )
+    summary = BatchedDispatchSummary(
+        batch_size=batch_size,
+        ari_threshold=ari_threshold,
+        expert_token_counts=tuple(int(t) for t in combined),
+        kernel_names=kernel_names,
+    )
+    work = HybridChunkWork(
+        gpu_attn_us=gpu_attn_us,
+        gpu_shared_us=gpu_shared_us,
+        cpu_routed_us=max(combined_us - decode_us, 0.0),
+        transfer_bytes=float(chunk_tokens * preset.hidden * ACTIVATION_BYTES),
+        n_gpu_kernels=kernels_per_layer,
+    )
+    return work, summary
+
+
+def merge_hybrid_work(decode: DecodeLayerWork,
+                      chunk: HybridChunkWork) -> DecodeLayerWork:
+    """One layer of a mixed iteration: decode batch plus a prefill chunk.
+
+    Durations add (the chunk's ``cpu_routed_us`` is already marginal over
+    the decode batch, so the sum reproduces the combined coalesced
+    pricing); the kernel count stays the decode step's -- the chunk's
+    work rides the same single CUDA graph rather than launching its own
+    stream.
+    """
+    return DecodeLayerWork(
+        gpu_attn_us=decode.gpu_attn_us + chunk.gpu_attn_us,
+        gpu_shared_us=decode.gpu_shared_us + chunk.gpu_shared_us,
+        cpu_routed_us=decode.cpu_routed_us + chunk.cpu_routed_us,
+        transfer_bytes=decode.transfer_bytes + chunk.transfer_bytes,
+        n_gpu_kernels=decode.n_gpu_kernels,
+    )
+
+
+def chunk_only_work(chunk: HybridChunkWork) -> DecodeLayerWork:
+    """A chunk-only iteration's layer work (no decodable requests yet)."""
+    return DecodeLayerWork(
+        gpu_attn_us=chunk.gpu_attn_us,
+        gpu_shared_us=chunk.gpu_shared_us,
+        cpu_routed_us=chunk.cpu_routed_us,
+        transfer_bytes=chunk.transfer_bytes,
+        n_gpu_kernels=chunk.n_gpu_kernels,
+    )
+
+
 def prefill_layer_work(
     preset: ModelPreset,
     machine: MachineSpec,

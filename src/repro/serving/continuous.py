@@ -21,22 +21,35 @@ every decode iteration (Orca-style):
 - finished requests free their KV pages immediately, unblocking the next
   admission.
 
-Prefill runs as its own pass at the iteration boundary and stalls
-in-flight decodes for its duration (chunked prefill is future work); this
-is the classic continuous-batching trade reflected in the TPOT tail.
-Token *values* stay real: each request's tokens come from the functional
-model via the session, exactly as in the batch-1 server.
+Prefill is scheduled two ways.  By default it runs as its own batched
+pass at the iteration boundary, stalling in-flight decodes for its
+duration -- the classic continuous-batching trade reflected in the TPOT
+tail.  With ``BatchSchedulerConfig(prefill_chunk_tokens=...)`` the
+scheduler instead splits each admitted prompt into fixed token-budget
+chunks and co-schedules one chunk per iteration *alongside* the decode
+batch (Sarathi-style hybrid iterations), so decodes never stall for a
+full prompt.  Mixed iterations are priced at the per-expert token-count
+level (:func:`~repro.sched.workload.hybrid_chunk_layer_work`): the
+decode batch already streams its active experts' weights from DRAM every
+step, so chunk tokens routed to those experts coalesce onto GEMMs that
+are running anyway and only the *marginal* expert work is billed --
+that piggybacking is what makes chunking affordable under the paper's
+weight-streaming-dominated CPU cost model.  A chunk budget at least as
+large as every co-admitted fresh prompt degenerates to the monolithic
+pass bit-for-bit.  Token *values* stay real: each request's tokens come
+from the functional model via the session, exactly as in the batch-1
+server.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..errors import ConfigError, KVCacheError
-from ..core.engine import batched_decode_works, run_prefill
+from ..core.engine import batched_decode_works, hybrid_chunk_works, run_prefill
 from ..faults.injector import (
     IDENTITY_PERTURBATION,
     FaultInjector,
@@ -58,7 +71,10 @@ from ..sched.decode import (
 from ..sched.workload import (
     BatchedDispatchSummary,
     DecodeLayerWork,
+    HybridChunkWork,
     apply_expert_cache,
+    chunk_only_work,
+    merge_hybrid_work,
 )
 from .metrics import (
     BatchTimeline,
@@ -90,12 +106,25 @@ class BatchSchedulerConfig:
     worth of pages up front so an admitted request can never be evicted
     mid-flight.  ``max_batch_size`` caps the decode batch regardless of
     budget.
+
+    ``prefill_chunk_tokens`` enables chunked prefill: each iteration
+    co-schedules at most that many prompt tokens alongside the decode
+    batch (``None`` keeps the monolithic boundary pass).  A fresh
+    admission wave whose total prompt tokens fit the budget still runs
+    as one monolithic pass, so a budget of ``kv_budget_tokens`` is
+    guaranteed to reproduce the un-chunked scheduler exactly.
+    ``chunk_policy`` arbitrates the shared iteration token budget:
+    ``"decode-priority"`` charges each decoding request's token against
+    the chunk budget first (prefill gets the remainder, possibly zero);
+    ``"prefill-priority"`` always grants prefill the full budget.
     """
 
     kv_budget_tokens: int = 8192
     max_batch_size: int = 32
     page_tokens: int = DEFAULT_PAGE_TOKENS
     ari_threshold: int | None = None   # None -> kernels' DEFAULT_ARI_THRESHOLD
+    prefill_chunk_tokens: int | None = None   # None -> monolithic prefill
+    chunk_policy: str = "decode-priority"
 
     def __post_init__(self) -> None:
         if self.kv_budget_tokens <= 0:
@@ -104,6 +133,13 @@ class BatchSchedulerConfig:
             raise ConfigError("max_batch_size must be positive")
         if self.page_tokens <= 0:
             raise ConfigError("page_tokens must be positive")
+        if (self.prefill_chunk_tokens is not None
+                and self.prefill_chunk_tokens <= 0):
+            raise ConfigError("prefill_chunk_tokens must be positive")
+        if self.chunk_policy not in ("decode-priority", "prefill-priority"):
+            raise ConfigError(
+                f"unknown chunk_policy {self.chunk_policy!r}; expected "
+                "'decode-priority' or 'prefill-priority'")
 
 
 class BatchCostModel:
@@ -122,6 +158,7 @@ class BatchCostModel:
 
     CTX_BUCKETS = (64, 256, 1024, 4096)
     PREFILL_BUCKETS = (32, 128, 512, 2048, 8192)
+    CHUNK_BUCKETS = (16, 32, 64, 128, 256, 512, 1024, 2048)
 
     HIT_RATE_BUCKETS = 20        # cached-step pricing quantizes hit rate
 
@@ -140,6 +177,18 @@ class BatchCostModel:
         # perturbation's price_key (piecewise-constant per fault window).
         self._perturbed: dict[tuple, float] = {}
         self._cached_pert: dict[tuple, float] = {}
+        # Hybrid (decode + prefill-chunk) iteration pricing: chunk layer
+        # works keyed by (batch size, chunk bucket); merged steps by the
+        # decode key plus the chunk bucket; cached/perturbed variants
+        # compose the existing cache and fault keys on top.
+        self._chunk_works: dict[tuple[int, int], list[HybridChunkWork]] = {}
+        self._chunk_summaries: dict[
+            tuple[int, int], BatchedDispatchSummary] = {}
+        self._hybrid_works: dict[tuple, list[DecodeLayerWork]] = {}
+        self._hybrid: dict[tuple, float] = {}
+        self._hybrid_pert: dict[tuple, float] = {}
+        self._cached_hybrid: dict[tuple, float] = {}
+        self._cached_hybrid_pert: dict[tuple, float] = {}
 
     @staticmethod
     def _bucket(value: int, buckets: tuple[int, ...]) -> int:
@@ -287,6 +336,176 @@ class BatchCostModel:
         self.decode_step_us(context_lens)
         return self._summaries[self._key(context_lens)]
 
+    # -- hybrid (decode + prefill-chunk) iterations --------------------------
+
+    def _hybrid_schedule_config(self) -> DecodeScheduleConfig:
+        """Mixed iterations run with Expert Deferral disabled.
+
+        A prefill chunk keeps nearly every expert active (Section 4.1), so
+        deferring "inactive" experts against the next step has nothing to
+        defer to; the rest of the schedule (launch mode, overlap) is the
+        decode config's.
+        """
+        return replace(self._schedule_config(), n_deferred=0)
+
+    def _chunk_key(self, batch_size: int, chunk_tokens: int
+                   ) -> tuple[int, int]:
+        if chunk_tokens <= 0:
+            raise ConfigError("chunk_tokens must be positive")
+        return (batch_size, self._bucket(chunk_tokens, self.CHUNK_BUCKETS))
+
+    def _chunk_layer_works(self, batch_size: int,
+                           chunk_tokens: int) -> list[HybridChunkWork]:
+        """Per-layer marginal chunk works, memoized on (batch, chunk bucket).
+
+        Chunk sizes are bucketed like context lengths; the largest bucket
+        prices every bigger chunk (serving configs should keep
+        ``prefill_chunk_tokens`` at or below it).
+        """
+        ck = self._chunk_key(batch_size, chunk_tokens)
+        if ck not in self._chunk_works:
+            costs = self.session.costs
+            works, summary = hybrid_chunk_works(
+                costs.system, costs.preset, costs.machine, costs.dtype,
+                chunk_tokens=ck[1], batch_size=ck[0],
+                ari_threshold=self.ari_threshold,
+            )
+            self._chunk_works[ck] = works
+            self._chunk_summaries[ck] = summary
+        return self._chunk_works[ck]
+
+    def _hybrid_key_works(
+        self, context_lens: list[int], chunk_tokens: int,
+    ) -> tuple[tuple, list[DecodeLayerWork]]:
+        """Memo key and merged layer works for one mixed iteration.
+
+        Merges the decode batch's (unmodified) layer works with the
+        chunk's marginal works; an empty batch yields the chunk-only
+        iteration.  Shared by the clean and fault-perturbed hybrid
+        pricing paths.
+        """
+        bsz = len(context_lens)
+        chunk_works = self._chunk_layer_works(bsz, chunk_tokens)
+        if bsz:
+            dkey = self._key(context_lens)
+            self.decode_step_us(context_lens)      # populate works cache
+            hk = (dkey, self._chunk_key(bsz, chunk_tokens)[1])
+            if hk not in self._hybrid_works:
+                self._hybrid_works[hk] = [
+                    merge_hybrid_work(d, c)
+                    for d, c in zip(self._works[dkey], chunk_works)
+                ]
+        else:
+            hk = (0, self._chunk_key(bsz, chunk_tokens)[1])
+            if hk not in self._hybrid_works:
+                self._hybrid_works[hk] = [
+                    chunk_only_work(c) for c in chunk_works
+                ]
+        return hk, self._hybrid_works[hk]
+
+    def hybrid_step_us(self, context_lens: list[int],
+                       chunk_tokens: int) -> float:
+        """Steady-state cost of one decode iteration carrying a chunk.
+
+        ``context_lens`` may be empty (chunk-only iteration: nothing is
+        decodable yet).  Bit-identical to
+        :func:`repro.sched.decode.hybrid_step_time_us` over the same
+        works; memoized on (batch size, context bucket, chunk bucket).
+        """
+        hk, works = self._hybrid_key_works(context_lens, chunk_tokens)
+        if hk not in self._hybrid:
+            self._hybrid[hk] = batched_step_time_us(
+                works, self._hybrid_schedule_config(),
+                self.session.costs.machine,
+            )
+        return self._hybrid[hk]
+
+    def hybrid_attn_window_us(self, context_lens: list[int],
+                              chunk_tokens: int) -> float:
+        """GPU attention time of a mixed iteration -- the prefetch window.
+
+        The chunk's prefill-style attention extends the window behind
+        which expert-cache uploads can hide.
+        """
+        _, works = self._hybrid_key_works(context_lens, chunk_tokens)
+        return sum(w.gpu_attn_us for w in works)
+
+    def hybrid_dispatch_summary(self, context_lens: list[int],
+                                chunk_tokens: int) -> BatchedDispatchSummary:
+        """Combined (decode + chunk) ARI dispatch of a mixed iteration."""
+        bsz = len(context_lens)
+        self._chunk_layer_works(bsz, chunk_tokens)
+        return self._chunk_summaries[self._chunk_key(bsz, chunk_tokens)]
+
+    def cached_hybrid_step_us(self, context_lens: list[int],
+                              chunk_tokens: int,
+                              cache_step: CacheStepResult) -> float:
+        """Mixed-iteration cost under the expert cache's latest outcome.
+
+        The decode batch's layers are cache-repriced exactly as in
+        :meth:`cached_decode_step_us`; the chunk's marginal expert work
+        stays on the CPU (prefill streams every active expert from DRAM
+        regardless of GPU residency), so it rides on top unchanged.
+        """
+        if cache_step.total_tokens == 0:
+            return (self.hybrid_step_us(context_lens, chunk_tokens)
+                    + cache_step.stall_us)
+        ck, cached_works = self._cached_key_works(context_lens, cache_step)
+        chunk_works = self._chunk_layer_works(len(context_lens), chunk_tokens)
+        hk = (ck, self._chunk_key(len(context_lens), chunk_tokens)[1])
+        if hk not in self._cached_hybrid:
+            merged = [merge_hybrid_work(d, c)
+                      for d, c in zip(cached_works, chunk_works)]
+            self._cached_hybrid[hk] = cache_aware_step_time_us(
+                merged, self._hybrid_schedule_config(),
+                self.session.costs.machine,
+            )
+        return self._cached_hybrid[hk] + cache_step.stall_us
+
+    def perturbed_hybrid_step_us(self, context_lens: list[int],
+                                 chunk_tokens: int,
+                                 pert: StepPerturbation) -> float:
+        """Mixed-iteration cost under an active fault perturbation.
+
+        Identity perturbations short-circuit to the clean memo (same
+        bit-identity guarantee as :meth:`perturbed_decode_step_us`).
+        """
+        if pert.prices_identity:
+            return self.hybrid_step_us(context_lens, chunk_tokens)
+        hk, works = self._hybrid_key_works(context_lens, chunk_tokens)
+        pk = (hk, pert.price_key())
+        if pk not in self._hybrid_pert:
+            self._hybrid_pert[pk] = batched_step_time_us(
+                works, self._hybrid_schedule_config(),
+                self.session.costs.machine, perturb=pert.sim_hook(),
+            )
+        return self._hybrid_pert[pk]
+
+    def perturbed_cached_hybrid_step_us(self, context_lens: list[int],
+                                        chunk_tokens: int,
+                                        cache_step: CacheStepResult,
+                                        pert: StepPerturbation) -> float:
+        """Cache-aware mixed-iteration cost under a fault perturbation."""
+        if pert.prices_identity:
+            return self.cached_hybrid_step_us(context_lens, chunk_tokens,
+                                              cache_step)
+        if cache_step.total_tokens == 0:
+            return (self.perturbed_hybrid_step_us(context_lens, chunk_tokens,
+                                                  pert)
+                    + cache_step.stall_us)
+        ck, cached_works = self._cached_key_works(context_lens, cache_step)
+        chunk_works = self._chunk_layer_works(len(context_lens), chunk_tokens)
+        hk = (ck, self._chunk_key(len(context_lens), chunk_tokens)[1])
+        pk = (hk, pert.price_key())
+        if pk not in self._cached_hybrid_pert:
+            merged = [merge_hybrid_work(d, c)
+                      for d, c in zip(cached_works, chunk_works)]
+            self._cached_hybrid_pert[pk] = cache_aware_step_time_us(
+                merged, self._hybrid_schedule_config(),
+                self.session.costs.machine, perturb=pert.sim_hook(),
+            )
+        return self._cached_hybrid_pert[pk] + cache_step.stall_us
+
     def batched_prefill_us(self, total_prompt_tokens: int) -> float:
         """One prefill pass over all co-admitted prompts' tokens."""
         if total_prompt_tokens <= 0:
@@ -328,16 +547,30 @@ def serving_expert_cache(
 
 @dataclass
 class _InFlight:
-    """Bookkeeping of one admitted request."""
+    """Bookkeeping of one admitted request.
+
+    The chunk state machine lives in ``prefilled``: a request holds its
+    full KV-page reservation from admission but is only *decodable* once
+    every prompt token has been prefilled (monolithic mode covers the
+    whole prompt in the admission iteration; chunked mode advances
+    ``prefilled`` one chunk share at a time).
+    """
 
     timed: TimedRequest
     slot: int
     reserved_pages: int
     tokens: np.ndarray          # real token values, generated at admission
-    start_us: float             # when its admission's prefill pass began
-    context_len: int            # prompt + emitted so far
+    start_us: float             # admission time (first prefill work)
+    context_len: int            # prefilled + emitted so far
+    prompt_len: int
+    prefilled: int = 0
     emitted: int = 0
     first_token_us: float = field(default=0.0)
+
+    @property
+    def decodable(self) -> bool:
+        """Whether the whole prompt is in KV (request can emit tokens)."""
+        return self.prefilled >= self.prompt_len
 
 
 class ContinuousBatchingServer:
@@ -345,8 +578,15 @@ class ContinuousBatchingServer:
 
     ``replay(workload)`` serves the same :class:`TimedRequest` workloads and
     returns the same :class:`~repro.serving.metrics.ServingStats`; the
-    per-iteration batch size and KV occupancy are additionally recorded on
-    :attr:`timeline`.
+    per-iteration batch size, KV occupancy, mid-prefill count and
+    co-scheduled chunk size are additionally recorded on :attr:`timeline`.
+
+    With ``BatchSchedulerConfig(prefill_chunk_tokens=...)`` prompts
+    prefill in per-iteration chunks co-scheduled with the decode batch
+    (hybrid iterations priced via ``BatchCostModel.hybrid_step_us``);
+    partially-prefilled requests hold their full KV reservation but emit
+    nothing until the last chunk lands, and the decode timeout sheds
+    them like runaway decodes.
 
     With a ``fault_injector`` attached, every decode iteration is priced
     under the perturbation active on the serving clock and planned expert
@@ -427,12 +667,14 @@ class ContinuousBatchingServer:
             prompt = np.atleast_1d(np.asarray(timed.request.prompt))
             result = self.session.generate(timed.request)  # real tokens
             slot = self.pool.allocate()
-            self.pool.append_placeholder(slot, len(prompt))
             self._reserved_pages += need
+            # KV pages fill as prefill progresses: the monolithic pass
+            # appends the whole prompt in the admission iteration, the
+            # chunked scheduler one chunk share at a time.
             admitted.append(_InFlight(
                 timed=timed, slot=slot, reserved_pages=need,
                 tokens=result.tokens, start_us=clock,
-                context_len=len(prompt),
+                context_len=0, prompt_len=len(prompt),
             ))
         return admitted
 
@@ -453,27 +695,41 @@ class ContinuousBatchingServer:
             self._shed_stale(pending, clock)
             if not pending and not active:
                 break
-            admitted = self._admit(pending, clock, len(active))
-            if admitted:
-                total_prompt = sum(
-                    len(np.atleast_1d(a.timed.request.prompt))
-                    for a in admitted
-                )
-                clock += self.costs.batched_prefill_us(total_prompt)
-                active.extend(admitted)
+            active.extend(self._admit(pending, clock, len(active)))
             if not active:
                 # Nothing in flight and nothing admissible: jump to the
                 # next arrival (the budget check above guarantees any
                 # single request fits an empty pool).
                 clock = pending[-1].arrival_us
                 continue
+            if decode_timeout is not None:
+                # Load shedding for requests stuck mid-prefill: they hold
+                # KV pages without emitting, so a stalled prefill can
+                # starve admission exactly like a runaway decode.
+                active = self._shed_stalled_prefills(active, clock,
+                                                     decode_timeout)
+                if not active:
+                    continue
 
-            # One decode iteration: every in-flight request emits a token.
-            clock += self._decode_step_us([a.context_len for a in active],
-                                          clock)
+            prefill_us, chunk_tokens, assignments = self._plan_prefill(active)
+            clock += prefill_us
+            decoding = [a for a in active if a.decodable]
+
+            # One iteration: every decodable request emits a token, and
+            # (in chunked mode) up to chunk_tokens prompt tokens prefill
+            # alongside.  Requests completing prefill via a chunk become
+            # decodable next iteration; the monolithic pass above already
+            # marked its requests decodable this iteration.
+            clock += self._decode_step_us(
+                [a.context_len for a in decoding], clock,
+                chunk_tokens=chunk_tokens)
             self._iteration += 1
-            still_running: list[_InFlight] = []
-            for a in active:
+            for a, share in assignments:
+                self.pool.append_placeholder(a.slot, share)
+                a.prefilled += share
+                a.context_len += share
+            finished: set[int] = set()
+            for a in decoding:
                 a.emitted += 1
                 a.context_len += 1
                 self.pool.append_placeholder(a.slot, 1)
@@ -481,18 +737,89 @@ class ContinuousBatchingServer:
                     a.first_token_us = clock
                 if a.emitted >= len(a.tokens):
                     self._finish(a, clock)
+                    finished.add(id(a))
                 elif (decode_timeout is not None
                       and clock - a.start_us > decode_timeout):
                     # Load shedding: cut off a request decoding past its
                     # deadline; its pages free immediately for admission.
                     self.fault_stats.timed_out_requests += 1
                     self._finish(a, clock, timed_out=True)
-                else:
-                    still_running.append(a)
-            self.timeline.record(clock, batch_size=len(active),
-                                 kv_used_tokens=self.pool.used_tokens)
-            active = still_running
+                    finished.add(id(a))
+            self.timeline.record(
+                clock, batch_size=len(active),
+                kv_used_tokens=self.pool.used_tokens,
+                n_prefilling=sum(1 for a in active if not a.decodable),
+                chunk_tokens=chunk_tokens)
+            if finished:
+                active = [a for a in active if id(a) not in finished]
         return self.stats
+
+    def _chunk_budget(self, n_decoding: int) -> float:
+        """This iteration's prefill token budget under the chunk policy."""
+        budget = self.config.prefill_chunk_tokens
+        if budget is None:
+            return float("inf")     # monolithic: always fully covered
+        if self.config.chunk_policy == "decode-priority":
+            # Each decoding request's token counts against the shared
+            # iteration budget first; prefill gets the remainder.  When
+            # nothing is decodable the full budget applies, so prefill
+            # always makes progress.
+            return max(budget - n_decoding, 0)
+        return budget
+
+    def _plan_prefill(
+        self, active: list[_InFlight],
+    ) -> tuple[float, int, list[tuple[_InFlight, int]]]:
+        """Plan this iteration's prefill work over the active requests.
+
+        Returns ``(monolithic_pass_us, chunk_tokens, assignments)``.  A
+        *fresh* prefill queue (no request mid-prefill) whose total
+        remaining tokens fit the chunk budget runs as one monolithic
+        batched pass -- the un-chunked scheduler's exact path, requests
+        decodable this same iteration.  Otherwise prompt tokens are
+        assigned FIFO (oldest admission first) up to the budget and the
+        chunk is co-scheduled with the decode batch.
+        """
+        prefilling = [a for a in active if not a.decodable]
+        if not prefilling:
+            return 0.0, 0, []
+        budget = self._chunk_budget(len(active) - len(prefilling))
+        remaining = sum(a.prompt_len - a.prefilled for a in prefilling)
+        if budget >= remaining and all(a.prefilled == 0 for a in prefilling):
+            for a in prefilling:
+                self.pool.append_placeholder(a.slot, a.prompt_len)
+                a.prefilled = a.prompt_len
+                a.context_len = a.prompt_len
+            return self.costs.batched_prefill_us(remaining), 0, []
+        assignments: list[tuple[_InFlight, int]] = []
+        left = budget
+        for a in prefilling:
+            if left <= 0:
+                break
+            share = int(min(a.prompt_len - a.prefilled, left))
+            assignments.append((a, share))
+            left -= share
+        return 0.0, sum(share for _, share in assignments), assignments
+
+    def _shed_stalled_prefills(self, active: list[_InFlight], clock: float,
+                               timeout: float) -> list[_InFlight]:
+        """Shed mid-prefill requests older than the decode timeout.
+
+        A shed request emitted nothing: its timing records zero generated
+        tokens with ``first_token_us`` pinned to the shed time, and its
+        KV pages (including already-prefilled chunks) free immediately.
+        Never fires under the monolithic scheduler -- prefill completes
+        in the admission iteration there.
+        """
+        kept: list[_InFlight] = []
+        for a in active:
+            if not a.decodable and clock - a.start_us > timeout:
+                self.fault_stats.timed_out_requests += 1
+                a.first_token_us = clock
+                self._finish(a, clock, timed_out=True)
+            else:
+                kept.append(a)
+        return kept
 
     def _shed_stale(self, pending: list[TimedRequest], clock: float) -> None:
         """Shed queued requests whose wait exceeds the queue timeout."""
@@ -503,8 +830,18 @@ class ContinuousBatchingServer:
             pending.pop()
             self.fault_stats.shed_requests += 1
 
-    def _decode_step_us(self, context_lens: list[int], clock: float) -> float:
-        """Price one decode iteration, consulting the expert cache if any.
+    def _decode_step_us(self, context_lens: list[int], clock: float,
+                        chunk_tokens: int = 0) -> float:
+        """Price one iteration, consulting the expert cache if any.
+
+        ``chunk_tokens > 0`` marks a hybrid iteration: the decode batch's
+        pricing flows exactly as below but through the ``hybrid_*``
+        variants, which add the chunk's marginal expert work on top.  An
+        empty ``context_lens`` (chunk-only iteration: nothing decodable
+        yet) skips every cache interaction -- prefill streams each active
+        expert from DRAM regardless of GPU residency, so the cache
+        neither observes routing nor uploads -- and records a
+        zero-activity cache point to keep the timelines aligned.
 
         With a cache attached, the iteration's per-expert token counts
         (from the injected routing stream, or the cost model's dispatch
@@ -522,11 +859,26 @@ class ContinuousBatchingServer:
         """
         pert = (self.fault_injector.perturbation_at(clock, self._iteration)
                 if self.fault_injector is not None else IDENTITY_PERTURBATION)
+        if not context_lens:
+            cost = (self.costs.perturbed_hybrid_step_us([], chunk_tokens,
+                                                        pert)
+                    * pert.jitter_scale)
+            if self.cache_timeline is not None:
+                self.cache_timeline.record(
+                    clock + cost, hit_tokens=0, miss_tokens=0, uploads=0,
+                    evictions=0, bytes_transferred=0.0, stall_us=0.0,
+                )
+            return cost
         if self.expert_cache is None:
+            if chunk_tokens:
+                return (self.costs.perturbed_hybrid_step_us(
+                            context_lens, chunk_tokens, pert)
+                        * pert.jitter_scale)
             return (self.costs.perturbed_decode_step_us(context_lens, pert)
                     * pert.jitter_scale)
         if self._degradation is not None and self._degradation.bypassing:
-            return self._degraded_step_us(context_lens, clock, pert)
+            return self._degraded_step_us(context_lens, clock, pert,
+                                          chunk_tokens)
 
         if self._routing_stream is not None:
             counts = np.asarray(
@@ -534,7 +886,9 @@ class ContinuousBatchingServer:
         else:
             counts = np.asarray(
                 self.costs.dispatch_summary(context_lens).expert_token_counts)
-        window = self.costs.attn_window_us(context_lens)
+        window = (self.costs.hybrid_attn_window_us(context_lens, chunk_tokens)
+                  if chunk_tokens
+                  else self.costs.attn_window_us(context_lens))
         link = pert.degrade_link(self.expert_cache.interconnect)
         result = self.expert_cache.step(counts, overlap_window_us=window,
                                         link=link)
@@ -563,7 +917,12 @@ class ContinuousBatchingServer:
                         1, key=(self._iteration, layer, expert))
                     self._retries.append(RetryState(layer, expert, 1, due))
 
-        cost = self.costs.perturbed_cached_step_us(context_lens, result, pert)
+        if chunk_tokens:
+            cost = self.costs.perturbed_cached_hybrid_step_us(
+                context_lens, chunk_tokens, result, pert)
+        else:
+            cost = self.costs.perturbed_cached_step_us(context_lens, result,
+                                                       pert)
         cost += extra_stall
         if extra_stall:
             self.fault_stats.fault_stall_us += extra_stall
@@ -585,18 +944,23 @@ class ContinuousBatchingServer:
         return cost
 
     def _degraded_step_us(self, context_lens: list[int], clock: float,
-                          pert: StepPerturbation) -> float:
+                          pert: StepPerturbation,
+                          chunk_tokens: int = 0) -> float:
         """One cache-bypassed iteration: all routed experts priced on CPU.
 
         Graceful degradation under a persistently failing cache: no
         residency update, no uploads attempted (so no upload faults), the
-        plain CPU-expert pricing applies.  Ticks the degradation cooldown
-        and records a zero-activity cache timeline point.
+        plain CPU-expert pricing applies (hybrid-priced when a chunk is
+        co-scheduled).  Ticks the degradation cooldown and records a
+        zero-activity cache timeline point.
         """
         self._degradation.tick_bypass()
         self.fault_stats.degraded_iterations += 1
-        cost = (self.costs.perturbed_decode_step_us(context_lens, pert)
-                * pert.jitter_scale)
+        base = (self.costs.perturbed_hybrid_step_us(context_lens,
+                                                    chunk_tokens, pert)
+                if chunk_tokens
+                else self.costs.perturbed_decode_step_us(context_lens, pert))
+        cost = base * pert.jitter_scale
         self.cache_timeline.record(
             clock + cost, hit_tokens=0, miss_tokens=0, uploads=0,
             evictions=0, bytes_transferred=0.0, stall_us=0.0,

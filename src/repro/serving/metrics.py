@@ -91,11 +91,19 @@ class ServingSLO:
 
 @dataclass(frozen=True)
 class TimelinePoint:
-    """One decode-iteration sample of the serving engine's state."""
+    """One decode-iteration sample of the serving engine's state.
+
+    ``n_prefilling`` counts active requests still mid-prefill (holding KV
+    pages but not yet decodable) and ``chunk_tokens`` is the prefill
+    budget co-scheduled with this iteration's decode batch; both stay 0
+    under the monolithic (un-chunked) scheduler.
+    """
 
     t_us: float
     batch_size: int
     kv_used_tokens: int
+    n_prefilling: int = 0
+    chunk_tokens: int = 0
 
 
 @dataclass
@@ -110,9 +118,10 @@ class BatchTimeline:
     kv_budget_tokens: int
     points: list[TimelinePoint] = field(default_factory=list)
 
-    def record(self, t_us: float, batch_size: int,
-               kv_used_tokens: int) -> None:
-        self.points.append(TimelinePoint(t_us, batch_size, kv_used_tokens))
+    def record(self, t_us: float, batch_size: int, kv_used_tokens: int,
+               n_prefilling: int = 0, chunk_tokens: int = 0) -> None:
+        self.points.append(TimelinePoint(t_us, batch_size, kv_used_tokens,
+                                         n_prefilling, chunk_tokens))
 
     @property
     def n_iterations(self) -> int:
@@ -134,13 +143,26 @@ class BatchTimeline:
         peak = max((p.kv_used_tokens for p in self.points), default=0)
         return peak / self.kv_budget_tokens
 
+    @property
+    def n_chunked_iterations(self) -> int:
+        """Iterations that co-scheduled a prefill chunk (hybrid or chunk-only)."""
+        return sum(1 for p in self.points if p.chunk_tokens > 0)
+
+    @property
+    def n_hybrid_iterations(self) -> int:
+        """Iterations that ran a prefill chunk alongside a decode batch."""
+        return sum(1 for p in self.points
+                   if p.chunk_tokens > 0 and p.batch_size > p.n_prefilling)
+
     def as_dict(self) -> dict:
         """JSON-ready trajectory (times in ms)."""
         return {
             "kv_budget_tokens": self.kv_budget_tokens,
             "iterations": [
                 {"t_ms": p.t_us / 1e3, "batch_size": p.batch_size,
-                 "kv_used_tokens": p.kv_used_tokens}
+                 "kv_used_tokens": p.kv_used_tokens,
+                 "n_prefilling": p.n_prefilling,
+                 "chunk_tokens": p.chunk_tokens}
                 for p in self.points
             ],
         }

@@ -12,6 +12,12 @@ iteration-level scheduler must uphold its contracts:
   being overtaken), so start times are monotone in arrival order;
 - per-request timestamps are monotone
   (arrival <= start <= first token <= finish).
+
+Configs randomly enable chunked prefill (small chunk budgets force
+multi-chunk prompts and hybrid iterations), so every property above also
+holds for the chunked scheduler, including under fault plans; a separate
+property checks chunked replays conserve tokens and emit exactly what
+the monolithic scheduler emits.
 """
 
 import numpy as np
@@ -57,6 +63,10 @@ workload_strategy = st.fixed_dictionaries({
 config_strategy = st.fixed_dictionaries({
     "kv_budget_tokens": st.sampled_from([64, 128, 256, 512]),
     "max_batch_size": st.integers(1, 8),
+    # None = monolithic boundary passes; small chunks force multi-chunk
+    # prefills and hybrid iterations through every property below.
+    "prefill_chunk_tokens": st.none() | st.sampled_from([4, 8, 16, 32, 64]),
+    "chunk_policy": st.sampled_from(["decode-priority", "prefill-priority"]),
 })
 
 
@@ -173,3 +183,40 @@ def test_replay_invariants_under_fault_plan(wl, cfg, plan, capacity):
     _, _, again = run()
     assert stats.timings == again.timings
     assert stats.summary() == again.summary()
+
+
+@settings(max_examples=6, deadline=None)
+@given(wl=workload_strategy,
+       kv=st.sampled_from([128, 256, 512]),
+       batch=st.integers(1, 8),
+       chunk=st.sampled_from([4, 8, 16, 32]),
+       policy=st.sampled_from(["decode-priority", "prefill-priority"]))
+def test_chunked_conserves_tokens(wl, kv, batch, chunk, policy):
+    """Chunking changes *when* prompts prefill, never *what* is emitted:
+    per-request token counts match the monolithic replay exactly, and
+    both conserve the functional model's generated token values."""
+    def run(chunk_tokens, chunk_policy="decode-priority"):
+        workload = poisson_workload(vocab_size=64, **wl)
+        server = ContinuousBatchingServer(
+            get_session(),
+            BatchSchedulerConfig(kv_budget_tokens=kv, max_batch_size=batch,
+                                 prefill_chunk_tokens=chunk_tokens,
+                                 chunk_policy=chunk_policy))
+        return workload, server.replay(list(workload))
+
+    workload, mono = run(None)
+    _, chunked = run(chunk, policy)
+
+    def counts(stats):
+        return [(t.arrival_us, t.prompt_tokens, t.generated_tokens,
+                 t.timed_out)
+                for t in sorted(stats.timings, key=lambda t: t.arrival_us)]
+
+    assert counts(chunked) == counts(mono)
+    # Token conservation: every replay emits exactly the token sequence
+    # the functional model generates for each prompt -- the scheduler
+    # cannot drop, duplicate, or invent tokens.
+    expected = sum(len(get_session().generate(t.request).tokens)
+                   for t in workload)
+    assert sum(t.generated_tokens for t in chunked.timings) == expected
+    assert sum(t.generated_tokens for t in mono.timings) == expected

@@ -110,6 +110,31 @@ def test_golden_batched_prefill(batch_costs, tokens):
         expected, rel=TOL)
 
 
+# Hybrid (chunked prefill + decode) iteration pricing pins.  DS-3 costs:
+# the chunk pays nearly the full expert-streaming bill here because a
+# 256-expert pool is far from saturated at batch 8/16 -- which is exactly
+# why BENCH_chunked_prefill uses QW2 costs for its headline claim.
+GOLDEN_HYBRID_STEP_US = {
+    (8, 64, 128): 3_976_719.0,
+    (16, 256, 512): 4_078_125.0,
+    (0, 0, 256): 4_191_587.0,     # chunk-only iteration, no decodes
+}
+
+
+@pytest.mark.parametrize("batch,ctx,chunk", sorted(GOLDEN_HYBRID_STEP_US))
+def test_golden_hybrid_step(batch_costs, batch, ctx, chunk):
+    expected = GOLDEN_HYBRID_STEP_US[(batch, ctx, chunk)]
+    assert batch_costs.hybrid_step_us([ctx] * batch, chunk) == pytest.approx(
+        expected, rel=TOL)
+    # A hybrid step must cost strictly more than the pure decode step it
+    # extends, and strictly less than decode + a standalone chunk pass.
+    if batch:
+        decode = batch_costs.decode_step_us([ctx] * batch)
+        alone = batch_costs.hybrid_step_us([], chunk)
+        hybrid = batch_costs.hybrid_step_us([ctx] * batch, chunk)
+        assert decode < hybrid < decode + alone
+
+
 def test_golden_intro_fiddler_decode():
     """Intro: 4.68 tokens/s decode for the Fiddler-style baseline; our
     simulated Fiddler is in the same few-tokens-per-second regime."""
@@ -178,3 +203,55 @@ def test_golden_chaos_hardened_arm():
     assert s["fault_stall_ms"] == pytest.approx(96.7, rel=TOL)
     assert s["requests"] == 5.0                 # completed = submitted - shed
     assert s["ttft_p95_ms"] == pytest.approx(10624.8, rel=TOL)
+
+
+# --- Chunked-prefill equivalence goldens -----------------------------------
+# Monolithic is the chunked scheduler's special case: a chunk budget that
+# covers every co-admitted fresh prompt must reproduce the un-chunked
+# replay *bit for bit* -- same floats, not merely within tolerance.
+
+def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
+                        chaos=False):
+    from repro.serving import (
+        BatchSchedulerConfig, ContinuousBatchingServer, poisson_workload,
+        serving_expert_cache,
+    )
+    session = InferenceSession(MoETransformer(tiny_config("tiny-qw")), DS3)
+    kwargs = {}
+    if chaos:
+        from repro.faults import FaultInjector, canonical_chaos_plan
+        from repro.serving import ResilienceConfig
+        kwargs = {
+            "expert_cache": serving_expert_cache(
+                session, vram_budget_bytes=12 * DS3.expert_bytes(BF16)),
+            "fault_injector": FaultInjector(canonical_chaos_plan()),
+            "resilience": ResilienceConfig(queue_timeout_us=60e6,
+                                           decode_timeout_us=150e6),
+        }
+    server = ContinuousBatchingServer(
+        session,
+        BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4,
+                             prefill_chunk_tokens=chunk_tokens,
+                             chunk_policy=chunk_policy),
+        **kwargs)
+    stats = server.replay(poisson_workload(
+        n_requests=8, mean_interarrival_us=1e6, prompt_len=16,
+        max_new_tokens=8, vocab_size=64, seed=11))
+    return [(t.arrival_us, t.start_us, t.first_token_us, t.finish_us,
+             t.generated_tokens, t.timed_out) for t in stats.timings]
+
+
+@pytest.mark.parametrize("policy", ["decode-priority", "prefill-priority"])
+def test_golden_chunked_reproduces_monolithic(policy):
+    """chunk budget >= kv budget: per-request timings are bit-identical
+    to the monolithic scheduler under either chunk policy."""
+    assert (_equivalence_replay(512, policy)
+            == _equivalence_replay(None))
+
+
+def test_golden_chunked_chaos_bit_reproducible():
+    """Chunked replay under the canonical fault storm is deterministic,
+    and a covering chunk budget still matches monolithic exactly."""
+    chunked = _equivalence_replay(512, chaos=True)
+    assert chunked == _equivalence_replay(512, chaos=True)
+    assert chunked == _equivalence_replay(None, chaos=True)

@@ -154,3 +154,78 @@ class TestGatherCorrectness:
         with pytest.raises(ConfigError):
             pool.append(s, np.zeros((3, 1, 4), np.float32),
                         np.zeros((3, 1, 4), np.float32))
+
+
+class TestPartialPrefillOccupancy:
+    """Pool behavior for requests prefilled a chunk at a time.
+
+    Under chunked prefill the serving engine appends a prompt across
+    several iterations; the slot must keep accumulating pages (never
+    releasing mid-prefill), and shedding the request mid-prefill must
+    free everything exactly once.
+    """
+
+    def test_chunk_appends_accumulate_pages(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=64,
+                           page_tokens=8)
+        s = pool.allocate()
+        used = []
+        for _ in range(4):       # 16-token prompt in 4-token chunks
+            pool.append_placeholder(s, 4)
+            used.append(pool.used_tokens)
+        assert used == [4, 8, 12, 16]
+        assert pool.tokens(s) == 16
+        # 16 tokens at 8/page: exactly 2 pages in use, monotone growth.
+        assert pool.budget_pages - pool.free_pages == 2
+
+    def test_mid_prefill_free_returns_all_pages(self):
+        """Shedding a half-prefilled request releases every page it
+        accumulated, and the pages are immediately reusable."""
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=32,
+                           page_tokens=8)
+        s = pool.allocate()
+        pool.append_placeholder(s, 8)
+        pool.append_placeholder(s, 5)    # mid-prefill: 13 of 24 tokens
+        assert pool.used_tokens == 13
+        pool.free(s)
+        assert pool.n_slots == 0
+        assert pool.used_tokens == 0
+        assert pool.free_pages == pool.budget_pages
+        other = pool.allocate()
+        pool.append_placeholder(other, 32)   # whole budget fits again
+
+    def test_double_free_rejected(self):
+        pool = PagedKVPool(n_heads=1, head_dim=1, budget_tokens=32,
+                           page_tokens=8)
+        s = pool.allocate()
+        pool.append_placeholder(s, 5)
+        pool.free(s)
+        with pytest.raises(KVCacheError):
+            pool.free(s)
+        assert pool.free_pages == pool.budget_pages
+
+    def test_served_chunked_request_holds_then_frees(self):
+        """End to end through the server: a chunk-prefilled request holds
+        KV across iterations and the pool drains fully at the end."""
+        from repro.model import DS3, MoETransformer, tiny_config
+        from repro.serving import (
+            BatchSchedulerConfig,
+            ContinuousBatchingServer,
+            InferenceSession,
+            poisson_workload,
+        )
+        session = InferenceSession(MoETransformer(tiny_config("tiny-qw")),
+                                   DS3)
+        server = ContinuousBatchingServer(session, BatchSchedulerConfig(
+            kv_budget_tokens=128, max_batch_size=2, page_tokens=8,
+            prefill_chunk_tokens=4))
+        stats = server.replay(poisson_workload(
+            n_requests=2, mean_interarrival_us=1e3, prompt_len=20,
+            max_new_tokens=3, vocab_size=64, seed=5))
+        # Mid-prefill iterations held pages for not-yet-decodable slots.
+        mid = [p for p in server.timeline.points if p.n_prefilling > 0]
+        assert mid and all(p.kv_used_tokens > 0 for p in mid)
+        assert all(t.generated_tokens == 3 for t in stats.timings)
+        assert server.pool.n_slots == 0
+        assert server.pool.used_tokens == 0
+        assert server._reserved_pages == 0

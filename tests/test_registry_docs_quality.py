@@ -8,7 +8,8 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.bench.registry import EXPERIMENTS, bench_files, experiment
+from repro.bench.registry import (EXPERIMENTS, artifact_files, bench_files,
+                                 experiment)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
@@ -43,6 +44,19 @@ class TestExperimentRegistry:
         missing = [e.bench_file for e in EXPERIMENTS
                    if e.bench_file not in text]
         assert not missing, f"EXPERIMENTS.md does not mention: {missing}"
+
+    def test_every_artifact_on_disk_registered(self):
+        # A benchmark must not emit a BENCH_*.json the registry cannot
+        # account for (CI runs the same check against fresh artifacts).
+        on_disk = {p.name for p in BENCH_DIR.glob("BENCH_*.json")}
+        unregistered = on_disk - artifact_files()
+        assert not unregistered, f"unregistered artifacts: {unregistered}"
+
+    def test_registered_artifacts_unique_and_well_formed(self):
+        artifacts = [e.artifact for e in EXPERIMENTS if e.artifact]
+        assert len(artifacts) == len(set(artifacts))
+        for name in artifacts:
+            assert name.startswith("BENCH_") and name.endswith(".json")
 
 
 def _public_modules():
