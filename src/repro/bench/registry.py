@@ -107,6 +107,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "saturation at equal-or-better throughput; chunk size "
                "sweeps the TTFT/TPOT frontier",
                artifact="BENCH_chunked_prefill.json"),
+    Experiment("priority", "extension (priority-aware preemption)",
+               "test_priority_preemption.py",
+               "priority scheduling with swap/recompute preemption beats "
+               "FIFO on INTERACTIVE TTFT p95 and SLO attainment at >=2x "
+               "overload within 10% aggregate tokens/s; single-class "
+               "config is bit-identical to FIFO",
+               artifact="BENCH_priority.json"),
 )
 
 

@@ -35,10 +35,17 @@ class Trace:
 
     @classmethod
     def from_simulator(cls, sim: Simulator) -> "Trace":
+        """Every completed task as an interval -- zero-width ones included.
+
+        Zero-duration tasks (graph-mode sync points, zero-cost markers)
+        are kept as zero-width intervals so ``count()`` and
+        ``total_duration()`` see every task that ran; interval-merging
+        queries filter them where positive width is required.
+        """
         ivs = [
             Interval(t.resource.name, t.name, t.start_time, t.end_time)
             for t in sim.all_tasks
-            if t.state is TaskState.DONE and t.duration > 0
+            if t.state is TaskState.DONE
         ]
         return cls(ivs)
 
@@ -57,8 +64,13 @@ class Trace:
         return [iv for iv in self.intervals if iv.resource == resource]
 
     def busy_segments(self, resource: str) -> list[tuple[float, float]]:
-        """Merged (union) busy segments for one resource."""
-        return _merge([(iv.start, iv.end) for iv in self.for_resource(resource)])
+        """Merged (union) busy segments for one resource.
+
+        Zero-width intervals occupy no time, so they are filtered here
+        rather than at trace construction (where they still count).
+        """
+        return _merge([(iv.start, iv.end) for iv in self.for_resource(resource)
+                       if iv.end > iv.start])
 
     def busy_time(self, resource: str) -> float:
         """Wall-clock time during which ``resource`` runs >= 1 task."""

@@ -143,6 +143,9 @@ class PagedKVPool:
         self.budget_tokens = self.budget_pages * page_tokens
         self._free: list[Page] = []
         self._slots: dict[int, list[Page]] = {}
+        # Host-side stash of preempted slots: slot id -> (keys, values)
+        # contiguous arrays captured at swap-out time.
+        self._swapped: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._allocated_pages = 0
         self._next_slot = 0
 
@@ -195,6 +198,69 @@ class PagedKVPool:
         if slot not in self._slots:
             raise KVCacheError(f"slot {slot} is not allocated")
         return slot
+
+    # -- preemption: swap-out / swap-in lifecycle ----------------------------
+
+    @property
+    def swapped_tokens(self) -> int:
+        """Tokens currently stashed in host memory across swapped slots."""
+        return sum(k.shape[0] for k, _ in self._swapped.values())
+
+    @property
+    def n_swapped(self) -> int:
+        return len(self._swapped)
+
+    def swap_out(self, slot: int) -> int:
+        """Offload ``slot``'s KV to host memory, freeing its GPU pages.
+
+        The slot id survives as a *swapped* handle: the contiguous K/V
+        contents are stashed host-side, every page returns to the free
+        list, and the slot leaves the live set (``free`` on it raises --
+        pages can only ever be released once).  Returns the number of
+        tokens offloaded.  The serving scheduler prices the transfer
+        separately (see ``BatchCostModel.swap_transfer_us``); the pool
+        only tracks placement.
+        """
+        self._checked(slot)
+        if slot in self._swapped:
+            raise KVCacheError(f"slot {slot} is already swapped out")
+        keys = self._gather(slot, "keys")
+        values = self._gather(slot, "values")
+        self.free(slot)
+        self._swapped[slot] = (keys, values)
+        return keys.shape[0]
+
+    def _checked_swapped(self, slot: int) -> int:
+        if slot not in self._swapped:
+            raise KVCacheError(f"slot {slot} is not swapped out")
+        return slot
+
+    def swap_in(self, slot: int) -> int:
+        """Re-upload a swapped slot's KV into fresh pages; returns new slot.
+
+        Raises :class:`~repro.errors.KVCacheError` if the pool cannot hold
+        the stashed tokens (the caller must re-check capacity before
+        resuming, exactly like a fresh admission).  The old slot id is
+        retired; attention state is bit-identical to before the swap
+        (tested against :meth:`keys`/:meth:`values` round-trips).
+        """
+        self._checked_swapped(slot)
+        keys, values = self._swapped[slot]
+        if not self.can_fit(keys.shape[0]):
+            raise KVCacheError(
+                f"cannot swap in slot {slot}: needs "
+                f"{self.pages_needed(keys.shape[0])} pages, "
+                f"{self.free_pages} free"
+            )
+        del self._swapped[slot]
+        new_slot = self.allocate()
+        if keys.shape[0]:
+            self.append(new_slot, keys, values)
+        return new_slot
+
+    def discard_swapped(self, slot: int) -> None:
+        """Drop a swapped slot's host stash (the request was shed)."""
+        del self._swapped[self._checked_swapped(slot)]
 
     def _grow(self, slot: int) -> Page:
         if self._allocated_pages >= self.budget_pages:

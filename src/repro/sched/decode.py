@@ -259,6 +259,28 @@ def hybrid_step_time_us(
                                 warmup_steps=warmup_steps, perturb=perturb)
 
 
+def kv_swap_transfer_us(n_tokens: int, token_bytes: float, n_layers: int,
+                        link) -> float:
+    """One-way PCIe cost of moving a request's KV cache between GPU and host.
+
+    The preemption **swap** mechanism offloads a victim's KV pages to
+    host memory and re-uploads them on resume; each direction moves
+    ``n_tokens * token_bytes * n_layers`` bytes
+    (:func:`repro.sched.workload.kv_token_bytes` gives the per-layer unit)
+    over ``link`` -- which may be a fault-degraded
+    :class:`~repro.hw.spec.InterconnectSpec`, so chaos windows make
+    swapping dearer exactly when the bus is the bottleneck.  Zero tokens
+    cost nothing (no transfer is issued at all, not even link latency).
+    """
+    if n_tokens < 0:
+        raise SchedulingError("n_tokens must be >= 0")
+    if token_bytes <= 0 or n_layers <= 0:
+        raise SchedulingError("token_bytes and n_layers must be positive")
+    if n_tokens == 0:
+        return 0.0
+    return pcie_transfer_time_us(n_tokens * token_bytes * n_layers, link)
+
+
 def cache_aware_step_time_us(
     works: list[DecodeLayerWork],
     config: DecodeScheduleConfig,

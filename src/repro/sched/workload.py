@@ -25,6 +25,20 @@ from ..tensor.dtypes import DType
 ACTIVATION_BYTES = 2  # BF16 activations cross PCIe
 
 
+def kv_token_bytes(preset: ModelPreset) -> float:
+    """KV-cache bytes one token occupies in one layer under ``preset``.
+
+    MLA presets (``kv_rank > 0``) store the compressed latent; MHA-style
+    presets store full K and V.  This is the unit behind both the decode
+    attention traffic model below and the serving engine's preemption
+    swap pricing (KV pages moved over PCIe are
+    ``tokens * kv_token_bytes * n_layers``).
+    """
+    if preset.kv_rank > 0:
+        return float(preset.kv_rank * ACTIVATION_BYTES)
+    return float(2 * preset.hidden * ACTIVATION_BYTES)
+
+
 @dataclass(frozen=True)
 class DecodeLayerWork:
     """Simulated durations for one layer's single-token decode step."""
@@ -81,10 +95,7 @@ def decode_layer_work(
     shared_bytes = preset.shared_expert_bytes(dtype)
     attn_bytes = max(layer_bytes - shared_bytes, layer_bytes * 0.3)
     # KV cache traffic: MLA reads the latent, MHA full K/V (per sequence).
-    if preset.kv_rank > 0:
-        kv_bytes = context_len * preset.kv_rank * ACTIVATION_BYTES
-    else:
-        kv_bytes = 2.0 * context_len * preset.hidden * ACTIVATION_BYTES
+    kv_bytes = context_len * kv_token_bytes(preset)
     # Decode is memory-bound on GPU: flops ~ 2 * bytes/elem per sequence.
     gpu_attn_us = gpu_kernel_time_us(
         flops=2.0 * batch_size * (attn_bytes / dtype.bytes_per_element),
@@ -214,12 +225,8 @@ def batched_decode_layer_work(
     layer_bytes = preset.gpu_layer_bytes(dtype)
     shared_bytes = preset.shared_expert_bytes(dtype)
     attn_bytes = max(layer_bytes - shared_bytes, layer_bytes * 0.3)
-    kv_bytes = 0.0
-    for context_len in context_lens:
-        if preset.kv_rank > 0:
-            kv_bytes += context_len * preset.kv_rank * ACTIVATION_BYTES
-        else:
-            kv_bytes += 2.0 * context_len * preset.hidden * ACTIVATION_BYTES
+    kv_bytes = sum(context_len * kv_token_bytes(preset)
+                   for context_len in context_lens)
     gpu_attn_us = gpu_kernel_time_us(
         flops=2.0 * batch_size * (attn_bytes / dtype.bytes_per_element),
         bytes_moved=attn_bytes + kv_bytes,

@@ -1,7 +1,8 @@
 """Serving layer: sessions (real tokens, simulated clocks) and servers.
 
 Two servers share the same workload/stats types: the paper's batch-1
-``LocalServer`` and the iteration-level ``ContinuousBatchingServer``.
+``LocalServer`` and the iteration-level ``ContinuousBatchingServer``
+(optionally priority-aware with swap/recompute preemption).
 """
 
 from .continuous import (
@@ -15,13 +16,16 @@ from .metrics import (
     CachePoint,
     ExpertCacheTimeline,
     FaultStats,
+    PreemptionStats,
     RequestTiming,
     ServingSLO,
     ServingStats,
+    ShedRecord,
     TimelinePoint,
     percentile,
     percentiles,
 )
+from .priority import Priority, PriorityConfig
 from .resilience import DegradationTracker, ResilienceConfig, RetryState
 from .server import LocalServer, TimedRequest, poisson_workload
 from .session import (
@@ -35,8 +39,9 @@ __all__ = [
     "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
     "serving_expert_cache",
     "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "FaultStats",
-    "RequestTiming", "ServingSLO", "ServingStats", "TimelinePoint",
-    "percentile", "percentiles",
+    "PreemptionStats", "RequestTiming", "ServingSLO", "ServingStats",
+    "ShedRecord", "TimelinePoint", "percentile", "percentiles",
+    "Priority", "PriorityConfig",
     "DegradationTracker", "ResilienceConfig", "RetryState",
     "LocalServer", "TimedRequest", "poisson_workload",
     "GenerationRequest", "GenerationResult", "InferenceSession",

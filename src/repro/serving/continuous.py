@@ -39,6 +39,25 @@ large as every co-admitted fresh prompt degenerates to the monolithic
 pass bit-for-bit.  Token *values* stay real: each request's tokens come
 from the functional model via the session, exactly as in the batch-1
 server.
+
+With a :class:`~repro.serving.priority.PriorityConfig` attached, the
+admission queue becomes priority-aware: candidates (arrived requests plus
+previously preempted ones awaiting resume) are ranked by *effective*
+priority -- the request's class improved one step per ``aging_us`` of
+waiting, so BATCH work can never be starved permanently -- and when a
+higher-class candidate is blocked by the batch cap (the SLO-risk signal)
+or by KV-pool pressure, the scheduler may **preempt** the
+lowest-effective-priority in-flight victim.  Eviction uses one of two
+mechanisms, chosen per victim by a cost model: **swap** moves the
+victim's KV pages to host memory over PCIe (priced via
+:func:`~repro.sched.decode.kv_swap_transfer_us` on the possibly
+fault-degraded link) and re-uploads them on resume; **recompute** frees
+the pages outright and re-prefills the victim's context (prompt plus
+every token already emitted) through the ordinary chunked-prefill path
+when it resumes.  A single-priority workload under a priority config --
+or no config at all -- reproduces the FIFO scheduler bit-for-bit:
+candidate ranking degenerates to arrival order and no preemption trigger
+can fire.
 """
 
 from __future__ import annotations
@@ -67,6 +86,7 @@ from ..sched.decode import (
     DecodeScheduleConfig,
     batched_step_time_us,
     cache_aware_step_time_us,
+    kv_swap_transfer_us,
 )
 from ..sched.workload import (
     BatchedDispatchSummary,
@@ -74,15 +94,18 @@ from ..sched.workload import (
     HybridChunkWork,
     apply_expert_cache,
     chunk_only_work,
+    kv_token_bytes,
     merge_hybrid_work,
 )
 from .metrics import (
     BatchTimeline,
     ExpertCacheTimeline,
     FaultStats,
+    PreemptionStats,
     RequestTiming,
     ServingStats,
 )
+from .priority import PriorityConfig
 from .resilience import DegradationTracker, ResilienceConfig, RetryState
 from .server import TimedRequest
 from .session import InferenceSession
@@ -521,6 +544,46 @@ class BatchCostModel:
             cost *= total_prompt_tokens / self.PREFILL_BUCKETS[-1]
         return cost
 
+    # -- preemption pricing --------------------------------------------------
+
+    def kv_swap_bytes(self, n_tokens: int) -> float:
+        """Bytes one swap direction moves for ``n_tokens`` of KV context.
+
+        The per-token unit comes from
+        :func:`repro.sched.workload.kv_token_bytes` (MLA latent for
+        ``kv_rank > 0`` presets, full K/V otherwise) scaled by the
+        preset's layer count -- every layer's cache pages travel.
+        """
+        preset = self.session.costs.preset
+        return n_tokens * kv_token_bytes(preset) * preset.n_layers
+
+    def swap_transfer_us(self, n_tokens: int, link=None) -> float:
+        """One-way PCIe time to move ``n_tokens`` of KV context.
+
+        ``link`` defaults to the machine's interconnect; the serving loop
+        passes the fault-degraded link active on the serving clock, so a
+        chaos window makes swap-preemption dearer exactly when the bus is
+        congested (and the auto mechanism shifts toward recompute).
+        """
+        costs = self.session.costs
+        if link is None:
+            link = costs.machine.interconnect
+        return kv_swap_transfer_us(
+            n_tokens, kv_token_bytes(costs.preset),
+            costs.preset.n_layers, link)
+
+    def recompute_resume_us(self, n_tokens: int) -> float:
+        """Estimated cost of re-prefilling ``n_tokens`` of context.
+
+        Recompute-preempted requests resume through the ordinary
+        (chunked) prefill scheduler, so the estimate reuses the memoized
+        :meth:`batched_prefill_us` -- the same pricing the resumed
+        request's monolithic re-prefill would actually pay.
+        """
+        if n_tokens <= 0:
+            return 0.0
+        return self.batched_prefill_us(n_tokens)
+
 
 def serving_expert_cache(
     session: InferenceSession,
@@ -551,9 +614,19 @@ class _InFlight:
 
     The chunk state machine lives in ``prefilled``: a request holds its
     full KV-page reservation from admission but is only *decodable* once
-    every prompt token has been prefilled (monolithic mode covers the
+    ``prefill_target`` tokens are in KV (monolithic mode covers the
     whole prompt in the admission iteration; chunked mode advances
     ``prefilled`` one chunk share at a time).
+
+    Preemption extends the state machine: a preempted request leaves the
+    active batch with its page reservation released.  ``swapped`` marks
+    the swap mechanism (KV stashed host-side under the old slot id,
+    restored on resume); the recompute mechanism instead zeroes
+    ``prefilled``/``context_len`` and raises ``prefill_target`` to
+    ``prompt_len + emitted`` so the ordinary prefill scheduler rebuilds
+    the full context -- prompt plus already-emitted tokens -- on resume.
+    ``prefill_target`` equals ``prompt_len`` until a recompute
+    preemption, so un-preempted scheduling is bit-identical to before.
     """
 
     timed: TimedRequest
@@ -563,14 +636,17 @@ class _InFlight:
     start_us: float             # admission time (first prefill work)
     context_len: int            # prefilled + emitted so far
     prompt_len: int
+    prefill_target: int = 0     # tokens that must be in KV to decode
     prefilled: int = 0
     emitted: int = 0
     first_token_us: float = field(default=0.0)
+    preempt_count: int = 0
+    swapped: bool = False       # True while preempted via the swap mechanism
 
     @property
     def decodable(self) -> bool:
-        """Whether the whole prompt is in KV (request can emit tokens)."""
-        return self.prefilled >= self.prompt_len
+        """Whether the full context is in KV (request can emit tokens)."""
+        return self.prefilled >= self.prefill_target
 
 
 class ContinuousBatchingServer:
@@ -598,6 +674,16 @@ class ContinuousBatchingServer:
     queue/decode-timeout violators, and degrades to cache-bypass (all
     experts priced on the CPU) when failures persist; everything is
     surfaced on ``stats.faults``.
+
+    With a ``priorities`` :class:`~repro.serving.priority.PriorityConfig`
+    the admission queue is ranked by aged effective priority and blocked
+    high-class candidates may preempt the worst in-flight victim via
+    swap or recompute (see the module docstring); preemption counters
+    land on ``stats.preemptions`` and per-class latency breakdowns in
+    ``stats.summary()``.  Preempted requests remain subject to the
+    resilience policy's decode timeout while parked, so preemption and
+    shedding compose: a victim that cannot resume in time is shed with
+    its pages already released (freed exactly once).
     """
 
     def __init__(self, session: InferenceSession,
@@ -605,9 +691,11 @@ class ContinuousBatchingServer:
                  expert_cache: ExpertCacheManager | None = None,
                  routing_stream: Optional[RoutingStream] = None,
                  fault_injector: FaultInjector | None = None,
-                 resilience: ResilienceConfig | None = None) -> None:
+                 resilience: ResilienceConfig | None = None,
+                 priorities: PriorityConfig | None = None) -> None:
         self.session = session
         self.config = config or BatchSchedulerConfig()
+        self.priorities = priorities
         self.costs = BatchCostModel(session,
                                     ari_threshold=self.config.ari_threshold)
         # The pool tracks token occupancy only; K/V payloads stay tiny.
@@ -639,6 +727,11 @@ class ContinuousBatchingServer:
         self._retries: list[RetryState] = []
         self._reserved_pages = 0
         self._iteration = 0
+        self.preempt_stats = PreemptionStats()
+        if priorities is not None:
+            self.stats.preemptions = self.preempt_stats
+        self._preempted: list[_InFlight] = []
+        self._preempt_stall_us = 0.0
 
     # -- admission ----------------------------------------------------------
 
@@ -647,23 +740,199 @@ class ContinuousBatchingServer:
         return self.pool.pages_needed(
             prompt_len + timed.request.max_new_tokens)
 
-    def _admit(self, pending: list[TimedRequest], clock: float,
-               n_active: int) -> list[_InFlight]:
-        """Admit arrived requests that fit the budget and batch cap."""
-        admitted: list[_InFlight] = []
-        while pending and pending[-1].arrival_us <= clock:
-            if n_active + len(admitted) >= self.config.max_batch_size:
+    def _effective(self, timed: TimedRequest, clock: float) -> int:
+        """The candidate's aged priority class (0 when priorities are off)."""
+        if self.priorities is None:
+            return 0
+        return self.priorities.effective_priority(
+            int(timed.priority), timed.arrival_us, clock)
+
+    def _next_candidate(self, pending: list[TimedRequest], clock: float):
+        """Highest-ranked admission candidate, or ``None``.
+
+        Candidates are previously preempted requests awaiting resume plus
+        arrived queue entries, ranked by
+        ``(effective priority, arrival, resume-before-new)``; ties keep
+        the FIFO pop order, so a single priority class degenerates to
+        strict arrival order.  Returns ``("resume", _InFlight)`` or
+        ``("new", index into pending)``.
+        """
+        best = None
+        best_key = None
+        for a in self._preempted:
+            key = (self._effective(a.timed, clock), a.timed.arrival_us, 0)
+            if best_key is None or key < best_key:
+                best_key, best = key, ("resume", a)
+        for idx in range(len(pending) - 1, -1, -1):
+            timed = pending[idx]
+            if timed.arrival_us > clock:
                 break
-            timed = pending[-1]
-            need = self._request_pages(timed)
-            if need > self.pool.budget_pages:
+            key = (self._effective(timed, clock), timed.arrival_us, 1)
+            if best_key is None or key < best_key:
+                best_key, best = key, ("new", idx)
+            if self.priorities is None:
+                break           # FIFO: only the queue head is a candidate
+        return best
+
+    def _make_room(self, active: list[_InFlight], timed: TimedRequest,
+                   clock: float, pages_needed: int) -> bool:
+        """Try to free capacity for a blocked candidate by preempting.
+
+        The victim is the in-flight request with the *worst* effective
+        priority -- strictly worse than the candidate's, so same-class
+        traffic never preempts itself (the bit-identity guarantee) and an
+        aged BATCH request stops being evictable by fresh INTERACTIVE
+        arrivals.  Victims below ``max_preemptions`` evictions only;
+        latest-started wins ties (least work in flight to redo).  When
+        the candidate is blocked on KV pages (``pages_needed > 0``) a
+        feasibility precheck ensures the eligible victims can actually
+        cover the deficit before any eviction happens, so preemptions are
+        never wasted.  Returns whether a victim was evicted.
+        """
+        if self.priorities is None or not self.priorities.preemption:
+            return False
+        cand_eff = self._effective(timed, clock)
+        eligible = [
+            a for a in active
+            if a.preempt_count < self.priorities.max_preemptions
+            and self._effective(a.timed, clock) > cand_eff
+        ]
+        if not eligible:
+            return False
+        if pages_needed:
+            freeable = sum(a.reserved_pages for a in eligible)
+            if (self._reserved_pages - freeable + pages_needed
+                    > self.pool.budget_pages):
+                return False
+        victim = max(eligible, key=lambda a: (
+            self._effective(a.timed, clock), a.start_us, a.slot))
+        self._preempt(victim, clock)
+        active[:] = [a for a in active if a is not victim]
+        return True
+
+    def _choose_mechanism(self, victim: _InFlight, clock: float) -> str:
+        """Swap vs recompute for this victim, per config and cost model.
+
+        ``auto`` compares the round-trip PCIe cost of moving the victim's
+        KV context out and back (on the link active *now* -- degraded
+        links tilt toward recompute) against the estimated cost of
+        re-prefilling the full context on resume, and picks the cheaper.
+        """
+        mech = self.priorities.mechanism
+        if mech != "auto":
+            return mech
+        if victim.context_len == 0:
+            return "recompute"      # nothing in KV: freeing is free
+        swap_us = 2.0 * self.costs.swap_transfer_us(
+            victim.context_len, self._link_at(clock))
+        rec_us = self.costs.recompute_resume_us(
+            victim.prompt_len + victim.emitted)
+        return "swap" if swap_us <= rec_us else "recompute"
+
+    def _link_at(self, clock: float) -> InterconnectSpec:
+        """The (possibly fault-degraded) PCIe link on the serving clock."""
+        link = self.session.costs.machine.interconnect
+        if self.fault_injector is None:
+            return link
+        pert = self.fault_injector.perturbation_at(clock, self._iteration)
+        return pert.degrade_link(link)
+
+    def _preempt(self, victim: _InFlight, clock: float) -> None:
+        """Evict one in-flight request, releasing its KV reservation.
+
+        Swap stashes the victim's pages host-side (both transfer legs
+        stall the serving clock via ``_preempt_stall_us``); recompute
+        frees them and rewinds the prefill state machine so the full
+        context re-prefills on resume.  Either way the reservation
+        returns to the admission budget immediately.
+        """
+        self.preempt_stats.preemptions += 1
+        victim.preempt_count += 1
+        mechanism = self._choose_mechanism(victim, clock)
+        if mechanism == "swap":
+            n_tokens = self.pool.swap_out(victim.slot)
+            victim.swapped = True
+            stall = self.costs.swap_transfer_us(n_tokens,
+                                                self._link_at(clock))
+            self.preempt_stats.swaps += 1
+            self.preempt_stats.swap_out_bytes += self.costs.kv_swap_bytes(
+                n_tokens)
+            self.preempt_stats.swap_stall_us += stall
+            self._preempt_stall_us += stall
+        else:
+            self.pool.free(victim.slot)
+            victim.swapped = False
+            self.preempt_stats.recomputes += 1
+            self.preempt_stats.recompute_tokens += victim.context_len
+            victim.prefill_target = victim.prompt_len + victim.emitted
+            victim.prefilled = 0
+            victim.context_len = 0
+        self._reserved_pages -= victim.reserved_pages
+        self._preempted.append(victim)
+
+    def _resume(self, a: _InFlight, clock: float) -> None:
+        """Bring a preempted request back into the active batch.
+
+        Swapped victims re-upload their stashed KV into fresh pages (the
+        second transfer leg, priced on the link active now); recompute
+        victims just reopen an empty slot -- their context rebuilds
+        through the ordinary prefill scheduler.  The page reservation is
+        re-taken in full, so mid-flight growth stays safe exactly as for
+        a fresh admission.
+        """
+        self._preempted = [p for p in self._preempted if p is not a]
+        if a.swapped:
+            n_tokens = a.context_len
+            a.slot = self.pool.swap_in(a.slot)
+            a.swapped = False
+            stall = self.costs.swap_transfer_us(n_tokens,
+                                                self._link_at(clock))
+            self.preempt_stats.swap_in_bytes += self.costs.kv_swap_bytes(
+                n_tokens)
+            self.preempt_stats.swap_stall_us += stall
+            self._preempt_stall_us += stall
+        else:
+            a.slot = self.pool.allocate()
+        self._reserved_pages += a.reserved_pages
+        self.preempt_stats.resumes += 1
+
+    def _admit(self, pending: list[TimedRequest], active: list[_InFlight],
+               clock: float) -> None:
+        """Admit/resume candidates that fit the budget and batch cap.
+
+        Candidates are taken in effective-priority order (strict arrival
+        order without a priority config) with head-of-line blocking: the
+        first candidate that cannot be placed -- even after any permitted
+        preemptions -- stops admission, which combined with aging
+        guarantees no class waits forever.  Admission appends to
+        ``active`` in candidate order, preserving the FIFO scheduler's
+        exact behaviour for single-class traffic.
+        """
+        while True:
+            cand = self._next_candidate(pending, clock)
+            if cand is None:
+                return
+            kind, ref = cand
+            timed = ref.timed if kind == "resume" else pending[ref]
+            while len(active) >= self.config.max_batch_size:
+                if not self._make_room(active, timed, clock, pages_needed=0):
+                    return
+            need = (ref.reserved_pages if kind == "resume"
+                    else self._request_pages(timed))
+            if kind == "new" and need > self.pool.budget_pages:
                 raise KVCacheError(
                     f"request needs {need} KV pages but the pool budget is "
                     f"{self.pool.budget_pages}; raise kv_budget_tokens"
                 )
-            if self._reserved_pages + need > self.pool.budget_pages:
-                break
-            pending.pop()
+            while self._reserved_pages + need > self.pool.budget_pages:
+                if not self._make_room(active, timed, clock,
+                                       pages_needed=need):
+                    return
+            if kind == "resume":
+                self._resume(ref, clock)
+                active.append(ref)
+                continue
+            del pending[ref]
             prompt = np.atleast_1d(np.asarray(timed.request.prompt))
             result = self.session.generate(timed.request)  # real tokens
             slot = self.pool.allocate()
@@ -671,12 +940,12 @@ class ContinuousBatchingServer:
             # KV pages fill as prefill progresses: the monolithic pass
             # appends the whole prompt in the admission iteration, the
             # chunked scheduler one chunk share at a time.
-            admitted.append(_InFlight(
+            active.append(_InFlight(
                 timed=timed, slot=slot, reserved_pages=need,
                 tokens=result.tokens, start_us=clock,
                 context_len=0, prompt_len=len(prompt),
+                prefill_target=len(prompt),
             ))
-        return admitted
 
     # -- serving loop -------------------------------------------------------
 
@@ -691,12 +960,24 @@ class ContinuousBatchingServer:
 
         decode_timeout = (self.resilience.decode_timeout_us
                           if self.resilience is not None else None)
-        while pending or active:
+        while pending or active or self._preempted:
             self._shed_stale(pending, clock)
-            if not pending and not active:
+            if decode_timeout is not None and self._preempted:
+                # Preempted requests age against the same decode deadline
+                # as running ones (measured from first admission): a
+                # victim parked past the timeout is shed, not resumed.
+                self._shed_stalled_preempted(clock, decode_timeout)
+            if not pending and not active and not self._preempted:
                 break
-            active.extend(self._admit(pending, clock, len(active)))
+            self._admit(pending, active, clock)
+            # Swap-out/swap-in PCIe traffic from this admission round
+            # stalls the serving clock before any prefill/decode work.
+            if self._preempt_stall_us:
+                clock += self._preempt_stall_us
+                self._preempt_stall_us = 0.0
             if not active:
+                if not pending:
+                    break
                 # Nothing in flight and nothing admissible: jump to the
                 # next arrival (the budget check above guarantees any
                 # single request fits an empty pool).
@@ -749,7 +1030,8 @@ class ContinuousBatchingServer:
                 clock, batch_size=len(active),
                 kv_used_tokens=self.pool.used_tokens,
                 n_prefilling=sum(1 for a in active if not a.decodable),
-                chunk_tokens=chunk_tokens)
+                chunk_tokens=chunk_tokens,
+                n_preempted=len(self._preempted))
             if finished:
                 active = [a for a in active if id(a) not in finished]
         return self.stats
@@ -784,19 +1066,19 @@ class ContinuousBatchingServer:
         if not prefilling:
             return 0.0, 0, []
         budget = self._chunk_budget(len(active) - len(prefilling))
-        remaining = sum(a.prompt_len - a.prefilled for a in prefilling)
+        remaining = sum(a.prefill_target - a.prefilled for a in prefilling)
         if budget >= remaining and all(a.prefilled == 0 for a in prefilling):
             for a in prefilling:
-                self.pool.append_placeholder(a.slot, a.prompt_len)
-                a.prefilled = a.prompt_len
-                a.context_len = a.prompt_len
+                self.pool.append_placeholder(a.slot, a.prefill_target)
+                a.prefilled = a.prefill_target
+                a.context_len = a.prefill_target
             return self.costs.batched_prefill_us(remaining), 0, []
         assignments: list[tuple[_InFlight, int]] = []
         left = budget
         for a in prefilling:
             if left <= 0:
                 break
-            share = int(min(a.prompt_len - a.prefilled, left))
+            share = int(min(a.prefill_target - a.prefilled, left))
             assignments.append((a, share))
             left -= share
         return 0.0, sum(share for _, share in assignments), assignments
@@ -822,13 +1104,43 @@ class ContinuousBatchingServer:
         return kept
 
     def _shed_stale(self, pending: list[TimedRequest], clock: float) -> None:
-        """Shed queued requests whose wait exceeds the queue timeout."""
+        """Shed queued requests whose wait exceeds the queue timeout.
+
+        The timeout applies in arrival order regardless of priority
+        class; each shed arrival is recorded on the stats so the goodput
+        accounting window still covers it.
+        """
         if self.resilience is None or self.resilience.queue_timeout_us is None:
             return
         timeout = self.resilience.queue_timeout_us
         while pending and clock - pending[-1].arrival_us > timeout:
-            pending.pop()
+            timed = pending.pop()
             self.fault_stats.shed_requests += 1
+            self.stats.record_shed(timed.arrival_us, int(timed.priority))
+
+    def _shed_stalled_preempted(self, clock: float, timeout: float) -> None:
+        """Shed preempted requests parked past the decode timeout.
+
+        A preempted request holds no KV pages, but its host-side swap
+        stash (if any) is discarded and its timing recorded as timed out
+        -- tokens emitted before the preemption stay counted, and
+        ``first_token_us`` pins to the shed time when nothing was ever
+        emitted.  Pages were already released at preemption, so nothing
+        is freed here (freed-exactly-once).
+        """
+        kept: list[_InFlight] = []
+        for a in self._preempted:
+            if clock - a.start_us > timeout:
+                self.fault_stats.timed_out_requests += 1
+                self.preempt_stats.shed_while_preempted += 1
+                if a.swapped:
+                    self.pool.discard_swapped(a.slot)
+                if a.emitted == 0:
+                    a.first_token_us = clock
+                self._record_timing(a, clock, timed_out=True)
+            else:
+                kept.append(a)
+        self._preempted = kept
 
     def _decode_step_us(self, context_lens: list[int], clock: float,
                         chunk_tokens: int = 0) -> float:
@@ -1037,8 +1349,14 @@ class ContinuousBatchingServer:
 
     def _finish(self, a: _InFlight, clock: float,
                 timed_out: bool = False) -> None:
+        """Release an active request's pages and record its timing."""
         self.pool.free(a.slot)
         self._reserved_pages -= a.reserved_pages
+        self._record_timing(a, clock, timed_out)
+
+    def _record_timing(self, a: _InFlight, clock: float,
+                       timed_out: bool = False) -> None:
+        """Record one request's lifecycle timing (no page bookkeeping)."""
         self.stats.add(RequestTiming(
             arrival_us=a.timed.arrival_us,
             start_us=a.start_us,
@@ -1047,4 +1365,5 @@ class ContinuousBatchingServer:
             prompt_tokens=len(np.atleast_1d(a.timed.request.prompt)),
             generated_tokens=a.emitted,
             timed_out=timed_out,
+            priority=int(a.timed.priority),
         ))

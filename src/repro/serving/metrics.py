@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConfigError
+from .priority import PRIORITY_NAMES, Priority
 
 
 @dataclass(frozen=True)
@@ -16,6 +17,8 @@ class RequestTiming:
     ``timed_out`` marks a request the resilient server cut off at its
     decode deadline: its timing is still recorded (with the tokens it
     did emit), but goodput accounting never counts it as SLO-attaining.
+    ``priority`` carries the request's :class:`~repro.serving.priority.
+    Priority` class so summaries can break latency out per class.
     """
 
     arrival_us: float
@@ -25,6 +28,7 @@ class RequestTiming:
     prompt_tokens: int
     generated_tokens: int
     timed_out: bool = False
+    priority: int = int(Priority.STANDARD)
 
     def __post_init__(self) -> None:
         if not (self.arrival_us <= self.start_us <= self.first_token_us
@@ -96,7 +100,9 @@ class TimelinePoint:
     ``n_prefilling`` counts active requests still mid-prefill (holding KV
     pages but not yet decodable) and ``chunk_tokens`` is the prefill
     budget co-scheduled with this iteration's decode batch; both stay 0
-    under the monolithic (un-chunked) scheduler.
+    under the monolithic (un-chunked) scheduler.  ``n_preempted`` counts
+    requests currently evicted (swapped out or awaiting recompute) --
+    always 0 without a priority config.
     """
 
     t_us: float
@@ -104,6 +110,7 @@ class TimelinePoint:
     kv_used_tokens: int
     n_prefilling: int = 0
     chunk_tokens: int = 0
+    n_preempted: int = 0
 
 
 @dataclass
@@ -119,9 +126,11 @@ class BatchTimeline:
     points: list[TimelinePoint] = field(default_factory=list)
 
     def record(self, t_us: float, batch_size: int, kv_used_tokens: int,
-               n_prefilling: int = 0, chunk_tokens: int = 0) -> None:
+               n_prefilling: int = 0, chunk_tokens: int = 0,
+               n_preempted: int = 0) -> None:
         self.points.append(TimelinePoint(t_us, batch_size, kv_used_tokens,
-                                         n_prefilling, chunk_tokens))
+                                         n_prefilling, chunk_tokens,
+                                         n_preempted))
 
     @property
     def n_iterations(self) -> int:
@@ -162,7 +171,8 @@ class BatchTimeline:
                 {"t_ms": p.t_us / 1e3, "batch_size": p.batch_size,
                  "kv_used_tokens": p.kv_used_tokens,
                  "n_prefilling": p.n_prefilling,
-                 "chunk_tokens": p.chunk_tokens}
+                 "chunk_tokens": p.chunk_tokens,
+                 "n_preempted": p.n_preempted}
                 for p in self.points
             ],
         }
@@ -311,19 +321,103 @@ class FaultStats:
 
 
 @dataclass
+class PreemptionStats:
+    """Preemption, swap/recompute, and resume counters of one serving run.
+
+    Attached to :class:`ServingStats` by the continuous-batching server
+    when a :class:`~repro.serving.priority.PriorityConfig` is active.
+    ``swap_stall_us`` is the total serving-clock time spent moving KV
+    pages over PCIe (swap-out plus swap-in, on the possibly degraded
+    link); ``recompute_tokens`` counts context tokens discarded by the
+    recompute mechanism (each re-enters the prefill pipeline on resume).
+    """
+
+    preemptions: int = 0
+    swaps: int = 0
+    recomputes: int = 0
+    resumes: int = 0
+    swap_out_bytes: float = 0.0
+    swap_in_bytes: float = 0.0
+    swap_stall_us: float = 0.0
+    recompute_tokens: int = 0
+    shed_while_preempted: int = 0
+
+    def summary(self) -> dict[str, float]:
+        """Flat ``preempt_*`` counters merged into ``ServingStats.summary()``.
+
+        Merged only when at least one preemption fired: an *inert*
+        priority config (single class, or preemption never triggered)
+        must leave the summary bit-identical to the FIFO scheduler's.
+        """
+        return {
+            "preempt_total": float(self.preemptions),
+            "preempt_swaps": float(self.swaps),
+            "preempt_recomputes": float(self.recomputes),
+            "preempt_resumes": float(self.resumes),
+            "preempt_swap_out_mb": self.swap_out_bytes / 1e6,
+            "preempt_swap_in_mb": self.swap_in_bytes / 1e6,
+            "preempt_swap_stall_ms": self.swap_stall_us / 1e3,
+            "preempt_recompute_tokens": float(self.recompute_tokens),
+            "preempt_shed_while_preempted": float(self.shed_while_preempted),
+        }
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One request shed from the admission queue before it ever started.
+
+    Shed requests leave no :class:`RequestTiming` (they produced no
+    tokens), but their arrivals must still anchor the wall-clock span
+    that goodput is computed over -- otherwise shedding late arrivals
+    *shrinks* the span and inflates ``goodput_requests_per_s``.
+    """
+
+    arrival_us: float
+    priority: int = int(Priority.STANDARD)
+
+
+# Summary keys zeroed out when every submission was shed (see
+# ServingStats.summary's degraded path).
+_ZERO_SUMMARY_KEYS = (
+    "ttft_p50_ms", "ttft_p95_ms", "ttft_p99_ms",
+    "tpot_p50_ms", "tpot_p95_ms", "tpot_p99_ms",
+    "queue_p95_ms", "tokens_per_s", "requests_per_s",
+)
+
+
+@dataclass
 class ServingStats:
     """Aggregate statistics over a batch of served requests."""
 
     timings: list[RequestTiming] = field(default_factory=list)
     expert_cache: ExpertCacheTimeline | None = None
     faults: FaultStats | None = None
+    preemptions: PreemptionStats | None = None
+    shed: list[ShedRecord] = field(default_factory=list)
 
     def add(self, timing: RequestTiming) -> None:
         self.timings.append(timing)
 
+    def record_shed(self, arrival_us: float,
+                    priority: int = int(Priority.STANDARD)) -> None:
+        """Record one queue-shed request (arrival only -- it never ran)."""
+        self.shed.append(ShedRecord(arrival_us, int(priority)))
+
     @property
     def n_requests(self) -> int:
         return len(self.timings)
+
+    @property
+    def n_shed(self) -> int:
+        """Shed submissions: the recorded arrivals, or the bare counter.
+
+        The serving loop records every shed arrival via
+        :meth:`record_shed`; stats assembled by hand may only carry the
+        :class:`FaultStats` counter, which is honoured as a fallback.
+        """
+        if self.shed:
+            return len(self.shed)
+        return self.faults.shed_requests if self.faults is not None else 0
 
     def _values(self, attr: str) -> list[float]:
         return [getattr(t, attr) for t in self.timings]
@@ -332,10 +426,77 @@ class ServingStats:
         return (max(t.finish_us for t in self.timings)
                 - min(t.arrival_us for t in self.timings))
 
+    def _submitted_span_us(self) -> float:
+        """Wall-clock span covering every *submitted* arrival.
+
+        Shed requests never finish, so the span is anchored on the
+        earliest arrival (completed or shed) and the latest of any
+        finish or shed arrival; a server cannot shrink its accounting
+        window by shedding the stragglers.
+        """
+        arrivals = ([t.arrival_us for t in self.timings]
+                    + [s.arrival_us for s in self.shed])
+        ends = ([t.finish_us for t in self.timings]
+                + [s.arrival_us for s in self.shed])
+        if not arrivals:
+            return 0.0
+        return max(ends) - min(arrivals)
+
+    def _attached_summaries(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        if self.expert_cache is not None:
+            out.update(self.expert_cache.summary())
+        if self.faults is not None:
+            out.update(self.faults.summary())
+        if self.preemptions is not None and self.preemptions.preemptions:
+            # Every preempt_* counter is downstream of >= 1 preemption,
+            # so an inert priority config adds no keys at all -- the
+            # summary stays bit-identical to the FIFO scheduler's.
+            out.update(self.preemptions.summary())
+        return out
+
+    def class_summary(self) -> dict[str, dict[str, float]]:
+        """Per-priority-class latency breakdown for classes present.
+
+        Keys are lower-case class names; each value carries the class's
+        request count and TTFT/TPOT p50/p95 (TPOT over multi-token
+        requests only, 0 when none).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for prio in sorted({t.priority for t in self.timings}):
+            timings = [t for t in self.timings if t.priority == prio]
+            ttft = percentiles([t.ttft_us for t in timings])
+            tpots = [t.tpot_us for t in timings if t.tpot_us > 0]
+            tpot = (percentiles(tpots) if tpots
+                    else {"p50": 0.0, "p95": 0.0, "p99": 0.0})
+            name = PRIORITY_NAMES.get(prio, f"priority{prio}")
+            out[name] = {
+                "requests": float(len(timings)),
+                "ttft_p50_ms": ttft["p50"] / 1e3,
+                "ttft_p95_ms": ttft["p95"] / 1e3,
+                "tpot_p50_ms": tpot["p50"] / 1e3,
+                "tpot_p95_ms": tpot["p95"] / 1e3,
+            }
+        return out
+
     def summary(self) -> dict[str, float]:
-        """p50/p95/p99 TTFT and per-token latency plus aggregate throughput."""
+        """p50/p95/p99 TTFT and per-token latency plus aggregate throughput.
+
+        When every submission was shed (a total chaos storm) there are no
+        timings to summarize; instead of raising, the summary comes back
+        zeroed with ``degraded_summary = 1.0`` so reporting pipelines
+        survive.  Truly empty stats (nothing submitted at all) still
+        raise :class:`~repro.errors.ConfigError`.  With more than one
+        priority class present, per-class TTFT/TPOT percentiles are
+        flattened in as ``<class>_ttft_p95_ms``-style keys.
+        """
         if not self.timings:
-            raise ConfigError("no requests recorded")
+            if self.n_shed == 0:
+                raise ConfigError("no requests recorded")
+            out = {"requests": 0.0, "degraded_summary": 1.0}
+            out.update({k: 0.0 for k in _ZERO_SUMMARY_KEYS})
+            out.update(self._attached_summaries())
+            return out
         ttft = percentiles(self._values("ttft_us"))
         tpot_values = [t for t in self._values("tpot_us") if t > 0]
         tpot = (percentiles(tpot_values) if tpot_values
@@ -355,36 +516,53 @@ class ServingStats:
             "requests_per_s": (self.n_requests / (span / 1e6)
                                if span > 0 else 0.0),
         }
-        if self.expert_cache is not None:
-            out.update(self.expert_cache.summary())
-        if self.faults is not None:
-            out.update(self.faults.summary())
+        classes = {t.priority for t in self.timings}
+        if len(classes) > 1:
+            for name, vals in self.class_summary().items():
+                for key, value in vals.items():
+                    out[f"{name}_{key}"] = value
+        out.update(self._attached_summaries())
         return out
 
-    def goodput(self, slo: ServingSLO) -> dict[str, float]:
+    def goodput(self, slo: ServingSLO,
+                priority: int | None = None) -> dict[str, float]:
         """Throughput counting only requests that met ``slo``.
 
         Returns the fraction of SLO-attaining requests and the goodput in
-        requests/s over the same wall-clock span as :meth:`summary` (so
-        goodput <= requests_per_s by construction).  When fault counters
-        are attached, attainment is computed over every *submitted*
+        requests/s.  Attainment is computed over every *submitted*
         request -- shed requests count against goodput, and timed-out
-        requests can never attain -- so a server cannot shed its way to a
-        better score.
+        requests can never attain -- so a server cannot shed its way to
+        a better score.  The wall-clock span likewise covers every
+        submitted arrival (shed ones included), not just completed work,
+        so shedding stragglers cannot shrink the accounting window.
+
+        ``priority`` restricts good/submitted counting to one priority
+        class (span stays the full submitted span, so per-class goodputs
+        are comparable and sum sensibly).  When every submission was
+        shed the result is zeroed rather than raising, flagged with
+        ``degraded_summary = 1.0``.
         """
-        if not self.timings:
+        timings = self.timings
+        shed = self.shed
+        n_shed = self.n_shed
+        if priority is not None:
+            timings = [t for t in timings if t.priority == priority]
+            shed = [s for s in shed if s.priority == priority]
+            n_shed = len(shed)
+        if not self.timings and self.n_shed == 0:
             raise ConfigError("no requests recorded")
-        good = sum(1 for t in self.timings
-                   if slo.met_by(t) and not t.timed_out)
-        shed = self.faults.shed_requests if self.faults is not None else 0
-        submitted = self.n_requests + shed
-        span = self._span_us()
-        return {
+        good = sum(1 for t in timings if slo.met_by(t) and not t.timed_out)
+        submitted = len(timings) + n_shed
+        span = self._submitted_span_us()
+        out = {
             "slo_ttft_ms": slo.ttft_ms,
             "slo_tpot_ms": slo.tpot_ms,
             "good_requests": float(good),
             "submitted_requests": float(submitted),
-            "attainment": good / submitted,
+            "attainment": good / submitted if submitted else 0.0,
             "goodput_requests_per_s": (good / (span / 1e6)
                                        if span > 0 else 0.0),
         }
+        if not self.timings:
+            out["degraded_summary"] = 1.0
+        return out

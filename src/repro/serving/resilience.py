@@ -11,6 +11,11 @@ survives injected faults with three mechanisms, all configured here:
   ``queue_timeout_us`` are shed, and in-flight requests decoding past
   ``decode_timeout_us`` are cut off, so a fault storm cannot grow the
   queue without bound (shed/timed-out requests count *against* goodput);
+  preemption (:mod:`repro.serving.priority`) composes with shedding:
+  preempted requests keep aging against ``decode_timeout_us`` while
+  parked, and one that cannot resume in time is shed with its KV pages
+  already released at eviction -- pages are freed exactly once whether a
+  request finishes, is shed mid-flight, or is shed while preempted;
 - **graceful degradation** -- :class:`DegradationTracker` runs the
   ``NORMAL -> DEGRADED -> PROBE`` state machine: after
   ``degrade_after`` consecutive failing iterations the expert cache is

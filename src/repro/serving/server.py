@@ -15,15 +15,22 @@ import numpy as np
 
 from ..errors import ConfigError
 from .metrics import RequestTiming, ServingStats
+from .priority import Priority
 from .session import GenerationRequest, InferenceSession
 
 
 @dataclass(frozen=True)
 class TimedRequest:
-    """A request plus its (simulated) arrival time."""
+    """A request plus its (simulated) arrival time and priority class.
+
+    ``priority`` only matters to schedulers configured with a
+    :class:`~repro.serving.priority.PriorityConfig`; the FIFO servers
+    ignore it (every request is effectively STANDARD).
+    """
 
     arrival_us: float
     request: GenerationRequest
+    priority: Priority = Priority.STANDARD
 
 
 class LocalServer:
@@ -63,8 +70,14 @@ def poisson_workload(
     max_new_tokens: int,
     vocab_size: int,
     seed: int = 0,
+    priority: Priority = Priority.STANDARD,
 ) -> list[TimedRequest]:
-    """Synthetic open-loop workload with Poisson arrivals."""
+    """Synthetic open-loop workload with Poisson arrivals.
+
+    ``priority`` tags every request with one class; mixed-class traffic
+    is built by merging several calls (distinct seeds keep the arrival
+    processes independent).
+    """
     if n_requests <= 0:
         raise ConfigError("n_requests must be positive")
     rng = np.random.default_rng(seed)
@@ -76,5 +89,6 @@ def poisson_workload(
             arrival_us=float(a),
             request=GenerationRequest(prompt=prompt,
                                       max_new_tokens=max_new_tokens),
+            priority=priority,
         ))
     return out

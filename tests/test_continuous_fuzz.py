@@ -20,6 +20,8 @@ property checks chunked replays conserve tokens and emit exactly what
 the monolithic scheduler emits.
 """
 
+import dataclasses
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -31,12 +33,15 @@ from repro.faults import (
     FaultPlan,
     PcieDegradation,
     UploadFailureWindow,
+    canonical_chaos_plan,
 )
 from repro.model import DS3, MoETransformer, tiny_config
 from repro.serving import (
     BatchSchedulerConfig,
     ContinuousBatchingServer,
     InferenceSession,
+    Priority,
+    PriorityConfig,
     poisson_workload,
     serving_expert_cache,
 )
@@ -220,3 +225,117 @@ def test_chunked_conserves_tokens(wl, kv, batch, chunk, policy):
                    for t in workload)
     assert sum(t.generated_tokens for t in chunked.timings) == expected
     assert sum(t.generated_tokens for t in mono.timings) == expected
+
+
+priority_config_strategy = st.builds(
+    PriorityConfig,
+    aging_us=st.none() | st.sampled_from([1e6, 10e6, 100e6]),
+    preemption=st.booleans(),
+    mechanism=st.sampled_from(["auto", "swap", "recompute"]),
+    max_preemptions=st.integers(1, 3),
+)
+
+
+def _with_priorities(workload, seed):
+    """Reassign each request's priority class pseudo-randomly."""
+    rng = np.random.default_rng(seed)
+    classes = [Priority(int(c)) for c in rng.integers(0, 3, len(workload))]
+    return [dataclasses.replace(t, priority=c)
+            for t, c in zip(workload, classes)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy,
+       prio=priority_config_strategy, prio_seed=st.integers(0, 1000))
+def test_priority_preemption_invariants(wl, cfg, prio, prio_seed):
+    """ISSUE 5 fuzz: random priorities/preemption uphold every contract.
+
+    Token conservation (preemption reorders, never drops or duplicates),
+    pages freed exactly once across swap/recompute (pool and stash fully
+    drained, reservations zeroed), budget/cap respected, and timestamps
+    monotone.
+    """
+    session = get_session()
+    workload = _with_priorities(
+        poisson_workload(vocab_size=64, **wl), prio_seed)
+    server = ContinuousBatchingServer(
+        session, BatchSchedulerConfig(**cfg), priorities=prio)
+    stats = server.replay(list(workload))
+
+    assert stats.n_requests == len(workload)
+    # Pages freed exactly once: no residual slots, stash, or reservations.
+    assert server.pool.n_slots == 0
+    assert server.pool.used_tokens == 0
+    assert server.pool.n_swapped == 0
+    assert server.pool.swapped_tokens == 0
+    assert server._reserved_pages == 0
+    assert not server._preempted
+    for p in server.timeline.points:
+        assert p.kv_used_tokens <= server.pool.budget_tokens
+        assert p.batch_size <= cfg["max_batch_size"]
+    for t in stats.timings:
+        assert t.arrival_us <= t.start_us <= t.first_token_us <= t.finish_us
+    # Token conservation against the functional model.
+    expected = sum(len(session.generate(t.request).tokens)
+                   for t in workload)
+    assert sum(t.generated_tokens for t in stats.timings) == expected
+    # Preemption ledger balances: every eviction is a swap or recompute,
+    # and every evicted request either resumed or was shed while parked.
+    p = stats.preemptions
+    assert p.swaps + p.recomputes == p.preemptions
+    assert p.resumes + p.shed_while_preempted == p.preemptions
+    assert p.swap_in_bytes <= p.swap_out_bytes
+
+
+@settings(max_examples=8, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy,
+       prio=priority_config_strategy,
+       klass=st.sampled_from(list(Priority)))
+def test_single_priority_is_fifo_bit_identical(wl, cfg, prio, klass):
+    """ISSUE 5: one priority class => the FIFO scheduler, bit for bit.
+
+    With every request in the same class there is never a strict
+    effective-priority gap, so no preemption fires and the replay --
+    timings, summary, timeline -- must equal ``priorities=None`` exactly,
+    whatever the PriorityConfig says.
+    """
+    def run(priorities):
+        workload = [dataclasses.replace(t, priority=klass)
+                    for t in poisson_workload(vocab_size=64, **wl)]
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg),
+            priorities=priorities)
+        return server, server.replay(list(workload))
+
+    server_f, fifo = run(None)
+    server_p, prio_stats = run(prio)
+    assert prio_stats.preemptions.preemptions == 0
+    assert prio_stats.timings == fifo.timings
+    assert server_p.timeline.as_dict() == server_f.timeline.as_dict()
+
+
+@settings(max_examples=4, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy,
+       prio=priority_config_strategy, seed=st.integers(0, 10_000),
+       capacity=st.integers(4, 24))
+def test_single_priority_fifo_identity_under_chaos(wl, cfg, prio, seed,
+                                                   capacity):
+    """The bit-identity guarantee survives ``canonical_chaos_plan``: the
+    fault substreams are consumed identically whether or not a (single
+    class, hence inert) PriorityConfig is installed."""
+    def run(priorities):
+        cache = serving_expert_cache(
+            get_session(), vram_budget_bytes=capacity * DS3.expert_bytes(BF16))
+        workload = poisson_workload(vocab_size=64, **wl)
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg), expert_cache=cache,
+            fault_injector=FaultInjector(canonical_chaos_plan(seed)),
+            priorities=priorities)
+        return server.replay(list(workload))
+
+    fifo = run(None)
+    prio_stats = run(prio)
+    assert prio_stats.preemptions.preemptions == 0
+    assert prio_stats.timings == fifo.timings
+    assert prio_stats.summary() == {
+        k: v for k, v in fifo.summary().items()}

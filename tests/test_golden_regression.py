@@ -135,6 +135,45 @@ def test_golden_hybrid_step(batch_costs, batch, ctx, chunk):
         assert decode < hybrid < decode + alone
 
 
+# Preemption resume-pricing pins (ISSUE 5).  Swap moves the victim's KV
+# pages over PCIe (microseconds per leg on a clean A100 link); recompute
+# re-prefills the context through the overhead-dominated prefill pass
+# (seconds) -- the ~4-orders-of-magnitude gap is why the auto mechanism
+# swaps on a healthy link and only tilts to recompute when chaos
+# degrades PCIe.
+GOLDEN_SWAP_TRANSFER_US = {
+    64: 132.9,
+    1024: 2_006.8,
+    8192: 15_998.8,
+}
+
+GOLDEN_RECOMPUTE_RESUME_US = {
+    64: 3_950_184.0,
+    1024: 4_407_961.0,
+}
+
+
+@pytest.mark.parametrize("tokens", sorted(GOLDEN_SWAP_TRANSFER_US))
+def test_golden_swap_transfer(batch_costs, tokens):
+    expected = GOLDEN_SWAP_TRANSFER_US[tokens]
+    assert batch_costs.swap_transfer_us(tokens) == pytest.approx(
+        expected, rel=TOL)
+    # Both legs move the same bytes: tokens * per-layer KV unit * layers.
+    from repro.sched.workload import kv_token_bytes
+    assert batch_costs.kv_swap_bytes(tokens) == pytest.approx(
+        tokens * kv_token_bytes(DS3) * DS3.n_layers)
+
+
+@pytest.mark.parametrize("tokens", sorted(GOLDEN_RECOMPUTE_RESUME_US))
+def test_golden_recompute_resume(batch_costs, tokens):
+    expected = GOLDEN_RECOMPUTE_RESUME_US[tokens]
+    assert batch_costs.recompute_resume_us(tokens) == pytest.approx(
+        expected, rel=TOL)
+    # Resume pricing reuses the prefill memo the actual re-prefill pays.
+    assert (batch_costs.recompute_resume_us(tokens)
+            == batch_costs.batched_prefill_us(tokens))
+
+
 def test_golden_intro_fiddler_decode():
     """Intro: 4.68 tokens/s decode for the Fiddler-style baseline; our
     simulated Fiddler is in the same few-tokens-per-second regime."""
@@ -211,7 +250,7 @@ def test_golden_chaos_hardened_arm():
 # replay *bit for bit* -- same floats, not merely within tolerance.
 
 def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
-                        chaos=False):
+                        chaos=False, priorities=None):
     from repro.serving import (
         BatchSchedulerConfig, ContinuousBatchingServer, poisson_workload,
         serving_expert_cache,
@@ -233,7 +272,7 @@ def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
         BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4,
                              prefill_chunk_tokens=chunk_tokens,
                              chunk_policy=chunk_policy),
-        **kwargs)
+        priorities=priorities, **kwargs)
     stats = server.replay(poisson_workload(
         n_requests=8, mean_interarrival_us=1e6, prompt_len=16,
         max_new_tokens=8, vocab_size=64, seed=11))
@@ -255,3 +294,19 @@ def test_golden_chunked_chaos_bit_reproducible():
     chunked = _equivalence_replay(512, chaos=True)
     assert chunked == _equivalence_replay(512, chaos=True)
     assert chunked == _equivalence_replay(None, chaos=True)
+
+
+def test_golden_single_priority_reproduces_fifo():
+    """ISSUE 5 acceptance: a priority config over single-class traffic
+    (every request defaults to STANDARD) reproduces the PR 4 FIFO
+    scheduler *bit for bit* -- same floats, clean and under the
+    canonical fault storm, preemption enabled or not."""
+    from repro.serving import PriorityConfig
+    fifo = _equivalence_replay(None)
+    for prio in (PriorityConfig(),
+                 PriorityConfig(aging_us=None, preemption=False)):
+        assert _equivalence_replay(None, priorities=prio) == fifo
+    fifo_chaos = _equivalence_replay(None, chaos=True)
+    assert (_equivalence_replay(None, chaos=True,
+                                priorities=PriorityConfig())
+            == fifo_chaos)

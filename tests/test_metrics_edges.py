@@ -14,6 +14,7 @@ from repro.serving import (
     BatchTimeline,
     CachePoint,
     ExpertCacheTimeline,
+    Priority,
     RequestTiming,
     ServingSLO,
     ServingStats,
@@ -103,6 +104,122 @@ class TestServingStatsEdges:
         assert exact["attainment"] == 1.0
         tighter = stats.goodput(ServingSLO(ttft_ms=0.999, tpot_ms=1.0))
         assert tighter["attainment"] == 0.0
+
+
+SLO = ServingSLO(ttft_ms=1.0, tpot_ms=1.0)
+
+
+class TestGoodputSpanFix:
+    """ISSUE 5 satellite: the goodput span must cover *all* submissions.
+
+    Pre-fix, the span came from completed timings only, so shed
+    submissions outside that window inflated ``goodput_requests_per_s``.
+    """
+
+    def test_shed_arrivals_extend_the_span(self):
+        # One completed request spanning [0, 1e6] us; a straggler shed at
+        # arrival 9e6 us.  Pre-fix span = 1 s -> goodput 1.0 req/s; the
+        # submitted span is 9 s -> goodput 1/9 req/s.
+        t = timing(arrival=0.0, start=0.0, first=500.0, finish=1e6,
+                   generated=2000)       # meets the 1ms/1ms SLO
+        stats = ServingStats(timings=[t])
+        stats.record_shed(arrival_us=9e6)
+        g = stats.goodput(SLO)
+        assert g["good_requests"] == 1.0
+        assert g["submitted_requests"] == 2.0
+        assert g["attainment"] == 0.5
+        assert g["goodput_requests_per_s"] == pytest.approx(1.0 / 9.0)
+
+    def test_early_shed_arrival_anchors_span_start(self):
+        t = timing(arrival=5e6, start=5e6, first=5e6 + 500.0, finish=6e6,
+                   generated=2000)
+        stats = ServingStats(timings=[t])
+        stats.record_shed(arrival_us=0.0)
+        g = stats.goodput(SLO)
+        # Span runs from the shed arrival (0) to the finish (6e6).
+        assert g["goodput_requests_per_s"] == pytest.approx(1.0 / 6.0)
+
+    def test_no_shed_matches_completed_span(self):
+        t = timing(arrival=0.0, start=0.0, first=500.0, finish=1e6,
+                   generated=2000)
+        stats = ServingStats(timings=[t])
+        assert (stats.goodput(SLO)["goodput_requests_per_s"]
+                == pytest.approx(1.0))
+
+    def test_per_class_goodput_filters_but_keeps_span(self):
+        fast = RequestTiming(arrival_us=0.0, start_us=0.0,
+                             first_token_us=500.0, finish_us=1e6,
+                             prompt_tokens=4, generated_tokens=2000,
+                             priority=int(Priority.INTERACTIVE))
+        slow = RequestTiming(arrival_us=0.0, start_us=0.0,
+                             first_token_us=5e6, finish_us=9e6,
+                             prompt_tokens=4, generated_tokens=2,
+                             priority=int(Priority.BATCH))
+        stats = ServingStats(timings=[fast, slow])
+        g_int = stats.goodput(SLO, priority=int(Priority.INTERACTIVE))
+        assert g_int["submitted_requests"] == 1.0
+        assert g_int["attainment"] == 1.0
+        # The span stays the full submitted span (9 s), so per-class
+        # goodputs are comparable across classes.
+        assert g_int["goodput_requests_per_s"] == pytest.approx(1.0 / 9.0)
+        g_bat = stats.goodput(SLO, priority=int(Priority.BATCH))
+        assert g_bat["attainment"] == 0.0
+
+
+class TestAllShedDegradedSummary:
+    """ISSUE 5 satellite: 100%-shed chaos storms must not crash reporting.
+
+    Pre-fix, ``summary()``/``goodput()`` raised ``ConfigError`` whenever
+    ``timings`` was empty -- even when shed submissions prove traffic
+    existed.  They now return zeroed results with ``degraded_summary``.
+    """
+
+    def test_summary_zeroed_with_flag(self):
+        stats = ServingStats()
+        stats.record_shed(arrival_us=1.0)
+        stats.record_shed(arrival_us=2.0)
+        s = stats.summary()                # pre-fix: raised ConfigError
+        assert_all_finite(s)
+        assert s["degraded_summary"] == 1.0
+        assert s["requests"] == 0.0
+        assert s["ttft_p95_ms"] == 0.0
+        assert s["tokens_per_s"] == 0.0
+
+    def test_goodput_zeroed_with_flag(self):
+        stats = ServingStats()
+        stats.record_shed(arrival_us=1.0)
+        g = stats.goodput(SLO)             # pre-fix: raised ConfigError
+        assert_all_finite(g)
+        assert g["degraded_summary"] == 1.0
+        assert g["good_requests"] == 0.0
+        assert g["submitted_requests"] == 1.0
+        assert g["attainment"] == 0.0
+
+    def test_truly_empty_still_raises(self):
+        stats = ServingStats()
+        with pytest.raises(ConfigError):
+            stats.summary()
+        with pytest.raises(ConfigError):
+            stats.goodput(SLO)
+
+
+class TestPerClassSummary:
+    def test_single_class_adds_no_class_keys(self):
+        stats = ServingStats(timings=[timing() for _ in range(3)])
+        assert not any(k.startswith("standard_") for k in stats.summary())
+
+    def test_mixed_classes_flatten_breakdown(self):
+        fast = RequestTiming(arrival_us=0.0, start_us=0.0,
+                             first_token_us=100.0, finish_us=1e4,
+                             prompt_tokens=4, generated_tokens=5,
+                             priority=int(Priority.INTERACTIVE))
+        stats = ServingStats(timings=[timing(), fast])
+        s = stats.summary()
+        assert s["interactive_requests"] == 1.0
+        assert s["standard_requests"] == 1.0
+        assert s["interactive_ttft_p95_ms"] == pytest.approx(0.1)
+        by_class = stats.class_summary()
+        assert set(by_class) == {"interactive", "standard"}
 
 
 class TestTimelineEdges:

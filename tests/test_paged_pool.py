@@ -229,3 +229,95 @@ class TestPartialPrefillOccupancy:
         assert server.pool.n_slots == 0
         assert server.pool.used_tokens == 0
         assert server._reserved_pages == 0
+
+
+class TestSwapLifecycle:
+    """ISSUE 5: the preemption swap-out/swap-in page lifecycle."""
+
+    def _pool(self):
+        return PagedKVPool(n_heads=2, head_dim=4, budget_tokens=64,
+                           page_tokens=8)
+
+    def test_swap_out_frees_pages_and_stashes_tokens(self):
+        pool = self._pool()
+        rng = np.random.default_rng(0)
+        s = pool.allocate()
+        pool.append(s, *_rows(rng, 20))
+        assert pool.free_pages == 8 - 3
+        n = pool.swap_out(s)
+        assert n == 20
+        assert pool.free_pages == 8
+        assert pool.n_slots == 0
+        assert pool.n_swapped == 1
+        assert pool.swapped_tokens == 20
+
+    def test_swap_round_trip_is_bit_identical(self):
+        pool = self._pool()
+        rng = np.random.default_rng(1)
+        s = pool.allocate()
+        k, v = _rows(rng, 19)
+        pool.append(s, k, v)
+        before_k, before_v = pool.keys(s), pool.values(s)
+        pool.swap_out(s)
+        new = pool.swap_in(s)
+        np.testing.assert_array_equal(pool.keys(new), before_k)
+        np.testing.assert_array_equal(pool.values(new), before_v)
+        assert pool.tokens(new) == 19
+        assert pool.n_swapped == 0
+
+    def test_swapped_slot_cannot_be_freed_twice(self):
+        # Pages are released exactly once: at swap-out.  The retired slot
+        # id is no longer allocated, so free()/append() on it raise.
+        pool = self._pool()
+        s = pool.allocate()
+        pool.append_placeholder(s, 10)
+        pool.swap_out(s)
+        with pytest.raises(KVCacheError):
+            pool.free(s)
+        with pytest.raises(KVCacheError):
+            pool.append_placeholder(s, 1)
+        with pytest.raises(KVCacheError):
+            pool.swap_out(s)
+
+    def test_swap_in_requires_capacity(self):
+        pool = self._pool()
+        rng = np.random.default_rng(2)
+        s = pool.allocate()
+        pool.append(s, *_rows(rng, 24))         # 3 pages
+        pool.swap_out(s)
+        hog = pool.allocate()
+        pool.append_placeholder(hog, 48)        # 6 of 8 pages
+        with pytest.raises(KVCacheError):
+            pool.swap_in(s)
+        # The stash survives a failed swap-in; freeing the hog unblocks it.
+        assert pool.swapped_tokens == 24
+        pool.free(hog)
+        new = pool.swap_in(s)
+        assert pool.tokens(new) == 24
+
+    def test_discard_swapped_drops_stash(self):
+        pool = self._pool()
+        s = pool.allocate()
+        pool.append_placeholder(s, 12)
+        pool.swap_out(s)
+        pool.discard_swapped(s)
+        assert pool.n_swapped == 0
+        assert pool.swapped_tokens == 0
+        with pytest.raises(KVCacheError):
+            pool.discard_swapped(s)
+        with pytest.raises(KVCacheError):
+            pool.swap_in(s)
+
+    def test_swap_unknown_slot_rejected(self):
+        pool = self._pool()
+        with pytest.raises(KVCacheError):
+            pool.swap_out(99)
+        with pytest.raises(KVCacheError):
+            pool.swap_in(99)
+
+    def test_empty_slot_swaps_cleanly(self):
+        pool = self._pool()
+        s = pool.allocate()
+        assert pool.swap_out(s) == 0
+        new = pool.swap_in(s)
+        assert pool.tokens(new) == 0

@@ -66,15 +66,25 @@ def test_count_and_total_duration_filters():
     assert tr.total_duration("gpu", name_prefix="kernel:") == pytest.approx(4.0)
 
 
-def test_from_simulator_skips_zero_duration():
+def test_from_simulator_keeps_zero_duration_markers():
+    """ISSUE 5 satellite: zero-cost DONE tasks must not vanish.
+
+    ``from_simulator`` used to filter ``duration > 0``, undercounting
+    zero-cost marker tasks (graph-mode sync points) in ``count()`` and
+    ``total_duration()``; they now survive as zero-width intervals.
+    """
     sim = Simulator()
     res = sim.resource("cpu")
     sim.submit("real", res, 3.0)
     sim.submit("barrier", res, 0.0)
     sim.drain()
     tr = Trace.from_simulator(sim)
-    assert tr.count() == 1
+    assert tr.count() == 2                   # pre-fix: 1 (barrier dropped)
+    assert tr.count("cpu", name_prefix="barrier") == 1
+    assert tr.total_duration("cpu") == pytest.approx(3.0)
+    # Width-sensitive queries still ignore the zero-width interval.
     assert tr.busy_time("cpu") == pytest.approx(3.0)
+    assert tr.utilization("cpu") == pytest.approx(1.0)
 
 
 def test_gantt_renders_all_resources():
