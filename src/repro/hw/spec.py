@@ -53,6 +53,7 @@ class GPUSpec:
     vram_capacity: float           # bytes
     kernel_launch_latency_us: float = 5.0   # host-side launch cost per kernel
     graph_replay_latency_us: float = 0.5    # per-kernel cost inside a CUDA graph
+    graph_launch_us: float = 10.0           # host-side launch of a captured graph
     min_kernel_duration_us: float = 1.5     # floor for any launched kernel
 
     def __post_init__(self) -> None:

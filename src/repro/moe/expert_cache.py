@@ -27,6 +27,7 @@ identical admission/eviction sequences (tested).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -92,6 +93,10 @@ class CacheStepResult:
     bytes_transferred: float
     transfer_us: float          # raw PCIe time of this step's uploads
     stall_us: float             # non-overlapped remainder after prefetch
+    # Fraction of this step's hit experts sitting in consecutive VRAM-arena
+    # slots (1.0 with <= 1 hit expert): feeds the grouped-GEMM dispatch's
+    # layout-aware streaming price (ExpertGemmDispatch.layout_contiguity).
+    layout_contiguity: float = 1.0
 
     @property
     def total_tokens(self) -> int:
@@ -121,6 +126,14 @@ class ExpertCacheManager:
         self._score = np.zeros(shape, dtype=np.float64)
         self._last_used = np.full(shape, -1, dtype=np.int64)
         self._resident = np.zeros(shape, dtype=bool)
+        # VRAM arena: each resident expert occupies one weight-sized slot.
+        # Uploads take the lowest free slot, so a stable working set packs
+        # toward the arena's base and streams contiguously; churn strands
+        # holes that fragment the grouped-GEMM weight stream.
+        self._n_slots = min(config.capacity_experts,
+                            config.n_layers * config.n_experts)
+        self._slot = np.full(shape, -1, dtype=np.int64)
+        self._free_slots: list[int] = list(range(self._n_slots))
         self._step_idx = 0
         self.eviction_log: list[tuple[int, int, int]] = []  # (step, layer, expert)
         self.upload_log: list[tuple[int, int, int]] = []
@@ -146,14 +159,17 @@ class ExpertCacheManager:
                 f"{self.config.n_layers}"
             )
         self._resident[:] = False
+        self._slot[:] = -1
+        self._free_slots = list(range(self._n_slots))
         n = 0
         for layer, experts in enumerate(resident_sets):
-            for e in experts:
+            for e in sorted(experts):
                 if not 0 <= e < self.config.n_experts:
                     raise ConfigError(f"expert {e} out of range")
                 if n >= self.config.capacity_experts:
                     raise ConfigError("plan exceeds the cache's VRAM budget")
                 self._resident[layer, e] = True
+                self._take_slot(layer, e)
                 n += 1
         # A mild uniform prior over the seeded experts keeps them from
         # being evicted by the very first observation.
@@ -197,6 +213,7 @@ class ExpertCacheManager:
         hit_tokens = int(counts[self._resident].sum())
         miss_tokens = int(counts.sum()) - hit_tokens
         n_hit_experts = int(np.count_nonzero(counts[self._resident]))
+        layout_contiguity = self._hit_layout_contiguity(counts)
 
         # 2. EWMA update over per-layer token shares (scale-invariant).
         totals = counts.sum(axis=1, keepdims=True)
@@ -218,9 +235,11 @@ class ExpertCacheManager:
 
         for layer, expert in evictions:
             self._resident[layer, expert] = False
+            self._release_slot(layer, expert)
             self.eviction_log.append((self._step_idx, layer, expert))
         for layer, expert in uploads:
             self._resident[layer, expert] = True
+            self._take_slot(layer, expert)
             self.upload_log.append((self._step_idx, layer, expert))
         self.total_evictions += len(evictions)
         self.total_uploads += len(uploads)
@@ -236,6 +255,7 @@ class ExpertCacheManager:
             bytes_transferred=bytes_moved,
             transfer_us=transfer_us,
             stall_us=stall_us,
+            layout_contiguity=layout_contiguity,
         )
         self._step_idx += 1
         return result
@@ -285,6 +305,42 @@ class ExpertCacheManager:
         layer, expert = divmod(int(flat), self.config.n_experts)
         return layer, expert
 
+    # -- VRAM arena layout ---------------------------------------------------
+
+    def _take_slot(self, layer: int, expert: int) -> None:
+        """Place an expert's weights in the lowest free arena slot."""
+        if not self._free_slots:
+            raise ConfigError("arena full: residency exceeded slot count")
+        self._slot[layer, expert] = heapq.heappop(self._free_slots)
+
+    def _release_slot(self, layer: int, expert: int) -> None:
+        """Return an expert's arena slot to the free pool."""
+        slot = int(self._slot[layer, expert])
+        if slot >= 0:
+            heapq.heappush(self._free_slots, slot)
+            self._slot[layer, expert] = -1
+
+    def _hit_layout_contiguity(self, counts: np.ndarray) -> float:
+        """Contiguity of this step's hit experts in the weight arena.
+
+        The grouped-GEMM kernel streams every hit expert's weights in one
+        pass; the fraction of sorted-slot neighbours that are adjacent
+        (slot delta == 1) measures how much of that stream is sequential.
+        0 or 1 hit experts trivially stream contiguously.
+        """
+        hit_mask = self._resident & (counts > 0)
+        slots = np.sort(self._slot[hit_mask])
+        if slots.size <= 1:
+            return 1.0
+        return float(np.count_nonzero(np.diff(slots) == 1)) / (slots.size - 1)
+
+    def arena_slots(self) -> dict[tuple[int, int], int]:
+        """Current ``(layer, expert) -> arena slot`` placement map."""
+        out: dict[tuple[int, int], int] = {}
+        for layer, expert in zip(*np.nonzero(self._slot >= 0)):
+            out[(int(layer), int(expert))] = int(self._slot[layer, expert])
+        return out
+
     # -- fault channel -------------------------------------------------------
 
     def fail_upload(self, layer: int, expert: int) -> None:
@@ -301,6 +357,7 @@ class ExpertCacheManager:
                 f"expert ({layer}, {expert}) is not resident; no upload to fail"
             )
         self._resident[layer, expert] = False
+        self._release_slot(layer, expert)
         self.failure_log.append((max(0, self._step_idx - 1), layer, expert))
         self.total_failed_uploads += 1
 
@@ -320,6 +377,7 @@ class ExpertCacheManager:
         if self.n_resident >= self.config.capacity_experts:
             return False
         self._resident[layer, expert] = True
+        self._take_slot(layer, expert)
         self.upload_log.append((max(0, self._step_idx - 1), layer, expert))
         self.total_uploads += 1
         self.total_bytes_transferred += self.config.expert_bytes

@@ -1,9 +1,18 @@
 """CPU-GPU coordination: launch modes, decode/prefill task-graph builders."""
 
-from .cuda_graph import GRAPH_LAUNCH_US, GpuExecutor, LaunchMode
+from .cuda_graph import (
+    GRAPH_LAUNCH_US,
+    GpuExecutor,
+    GraphCache,
+    GraphCacheConfig,
+    GraphLookup,
+    LaunchMode,
+)
 from .decode import (
     DecodeScheduleConfig,
+    batched_step_time_us,
     build_decode_step,
+    hybrid_step_time_us,
     simulate_decode,
 )
 from .kv_offload import (
@@ -22,6 +31,7 @@ from .multi_gpu import (
 from .prefill import build_prefill_chunk, simulate_prefill
 from .workload import (
     DecodeLayerWork,
+    ExpertGemmDispatch,
     PrefillLayerWork,
     decode_layer_work,
     prefill_layer_work,
@@ -29,13 +39,15 @@ from .workload import (
 )
 
 __all__ = [
-    "GRAPH_LAUNCH_US", "GpuExecutor", "LaunchMode",
-    "DecodeScheduleConfig", "build_decode_step", "simulate_decode",
+    "GRAPH_LAUNCH_US", "GpuExecutor", "GraphCache", "GraphCacheConfig",
+    "GraphLookup", "LaunchMode",
+    "DecodeScheduleConfig", "batched_step_time_us", "build_decode_step",
+    "hybrid_step_time_us", "simulate_decode",
     "build_prefill_chunk", "simulate_prefill",
     "KVOffloadCost", "gpu_kv_budget_tokens", "kv_bytes_per_token_layer",
     "kv_cache_total_bytes", "kv_offload_step_cost",
     "PipelineConfig", "simulate_pipelined_decode",
     "simulate_pipelined_prefill", "vram_per_stage_bytes",
-    "DecodeLayerWork", "PrefillLayerWork", "decode_layer_work",
-    "prefill_layer_work", "scheduling_penalty",
+    "DecodeLayerWork", "ExpertGemmDispatch", "PrefillLayerWork",
+    "decode_layer_work", "prefill_layer_work", "scheduling_penalty",
 ]

@@ -157,6 +157,34 @@ def build_decode_step(
     return head, prev_deferred_xfer
 
 
+def _chain_decode_steps(
+    sim: Simulator,
+    works: list[DecodeLayerWork],
+    config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    n_steps: int,
+) -> list[Task]:
+    """Chain ``n_steps`` decode steps into ``sim``; returns each step's head.
+
+    Every task of step t+1 depends (directly or transitively) on step t's
+    head, so the event ordering of a prefix of steps is identical whether
+    or not later steps exist -- which is what lets callers read a warmup
+    boundary out of one simulation instead of running the prefix twice.
+    """
+    ex = GpuExecutor(sim, machine, config.launch_mode)
+    deps: list[Task] = []
+    carried: Task | None = None
+    heads: list[Task] = []
+    for t in range(n_steps):
+        end, carried = build_decode_step(
+            sim, ex, works, config, machine, step_deps=deps,
+            step_idx=t, carried_deferred=carried,
+        )
+        deps = [end]
+        heads.append(end)
+    return heads
+
+
 def simulate_decode(
     works: list[DecodeLayerWork],
     config: DecodeScheduleConfig,
@@ -176,15 +204,7 @@ def simulate_decode(
     if n_tokens <= 0:
         raise SchedulingError("n_tokens must be positive")
     sim = Simulator(perturb=perturb)
-    ex = GpuExecutor(sim, machine, config.launch_mode)
-    deps: list[Task] = []
-    carried: Task | None = None
-    for t in range(n_tokens):
-        end, carried = build_decode_step(
-            sim, ex, works, config, machine, step_deps=deps,
-            step_idx=t, carried_deferred=carried,
-        )
-        deps = [end]
+    _chain_decode_steps(sim, works, config, machine, n_tokens)
     sim.drain()
     return sim
 
@@ -203,24 +223,31 @@ def batched_step_time_us(
     iteration at a given batch size, not the cold-start cost: the first
     step pays pipeline fill (deferral has nothing in flight, the CUDA graph
     has no overlap to hide behind).  This chains ``warmup_steps + n_steps``
-    full task graphs through the simulator and averages only the
-    post-warmup steps.
+    full task graphs through one simulation, reads the warmup boundary off
+    the last warmup step's head task, and averages only the post-warmup
+    steps.  (A step's head is the sink of everything before it, so the
+    boundary timestamp equals what a standalone ``warmup_steps`` run would
+    report -- priced once instead of simulating the prefix twice.)
 
     ``works`` is typically the output of
     :func:`repro.sched.workload.batched_decode_layer_work` expanded over
-    the model's layers, so the returned cost reflects coalesced per-expert
-    GEMMs and aggregated-ARI kernel dispatch.
+    the model's layers.  When cache-hit expert work has been repriced with
+    a grouped dispatch (:class:`repro.sched.workload.ExpertGemmDispatch`),
+    the returned cost reflects coalesced per-expert GEMMs and
+    aggregated-ARI kernel dispatch; under the per-expert dispatch it
+    reflects one streamed GEMM launch per resident expert instead.
     """
     if n_steps <= 0:
         raise SchedulingError("n_steps must be positive")
     if warmup_steps < 0:
         raise SchedulingError("warmup_steps must be >= 0")
-    total = simulate_decode(works, config, machine,
-                            warmup_steps + n_steps, perturb=perturb).now
+    sim = Simulator(perturb=perturb)
+    heads = _chain_decode_steps(sim, works, config, machine,
+                                warmup_steps + n_steps)
+    total = sim.drain()
     if warmup_steps == 0:
         return total / n_steps
-    warm = simulate_decode(works, config, machine, warmup_steps,
-                           perturb=perturb).now
+    warm = heads[warmup_steps - 1].end_time
     return (total - warm) / n_steps
 
 

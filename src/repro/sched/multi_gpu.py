@@ -25,7 +25,6 @@ from ..errors import SchedulingError
 from ..hw.event_sim import Simulator, Task
 from ..hw.roofline import pcie_transfer_time_us
 from ..hw.spec import MachineSpec
-from .cuda_graph import GRAPH_LAUNCH_US
 from .workload import DecodeLayerWork, PrefillLayerWork
 
 
@@ -66,7 +65,7 @@ def simulate_pipelined_prefill(
     prev_chunk_layer: list[Task | None] = [None] * n_layers
 
     for c, works in enumerate(works_per_chunk):
-        launch = sim.submit(f"launch:{c}", host, GRAPH_LAUNCH_US)
+        launch = sim.submit(f"launch:{c}", host, machine.gpu.graph_launch_us)
         prev: list[Task] = [launch]
         prev_stage = 0
         for k, w in enumerate(works):
@@ -134,7 +133,8 @@ def simulate_pipelined_decode(
     n_layers = len(works)
     prev: list[Task] = []
     for t in range(n_tokens):
-        launch = sim.submit(f"launch:{t}", host, GRAPH_LAUNCH_US, deps=prev)
+        launch = sim.submit(f"launch:{t}", host, machine.gpu.graph_launch_us,
+                            deps=prev)
         prev = [launch]
         prev_stage = 0
         for k, w in enumerate(works):

@@ -274,6 +274,39 @@ def batched_decode_layer_work(
 # to its dense (no-transfer, no-merge) shape.
 MIN_CPU_DISPATCH_US = 0.05
 
+# Grouped-GEMM dispatch calibration: per-expert cost of gathering tokens
+# into the packed (expert-major) activation layout the grouped kernel
+# wants, and the HBM-traffic penalty of streaming a fully *fragmented*
+# resident-expert layout (strided weight reads defeat coalescing; a
+# contiguous arena reads at full stream bandwidth).
+GROUPED_GATHER_US_PER_EXPERT = 0.2
+FRAGMENTED_STREAM_PENALTY = 0.35
+
+
+@dataclass(frozen=True)
+class ExpertGemmDispatch:
+    """How GPU-resident (cache-hit) expert GEMMs are dispatched.
+
+    ``mode="per-expert"`` launches one streamed GEMM per hit expert --
+    ``n_hit_experts`` kernels, each paying the launch latency and the
+    minimum-kernel-duration floor.  ``mode="grouped"`` packs every hit
+    expert into a single grouped-GEMM kernel (the CoX-MoE-style coalesced
+    dispatch): one launch, but a gather/packing overhead per expert and
+    layout-aware weight streaming -- ``layout_contiguity`` is the fraction
+    of the hit experts that sit in consecutive cache-arena slots (1.0 =
+    one contiguous stream, 0.0 = fully fragmented), reported by
+    :class:`repro.moe.expert_cache.ExpertCacheManager`.
+    """
+
+    mode: str
+    layout_contiguity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("per-expert", "grouped"):
+            raise ValueError(f"unknown dispatch mode {self.mode!r}")
+        if not 0.0 <= self.layout_contiguity <= 1.0:
+            raise ValueError("layout_contiguity must be in [0, 1]")
+
 
 def apply_expert_cache(
     work: DecodeLayerWork,
@@ -283,6 +316,7 @@ def apply_expert_cache(
     total_tokens: int,
     hit_tokens: int,
     n_hit_experts: int,
+    dispatch: ExpertGemmDispatch | None = None,
 ) -> DecodeLayerWork:
     """Reprice a batched MoE decode layer under an expert-cache outcome.
 
@@ -294,6 +328,15 @@ def apply_expert_cache(
     Transfer stall for non-overlapped prefetches is added by the
     scheduler (:func:`repro.sched.decode.cache_aware_step_time_us`), not
     here.
+
+    ``dispatch`` selects how the hit-expert GEMMs reach the GPU.  ``None``
+    (legacy) keeps the original single-blob pricing: one roofline estimate
+    for all hit work, with the layer's kernel count unchanged -- the
+    launch-blind model the pre-graph goldens pin.  An explicit
+    :class:`ExpertGemmDispatch` makes launches visible: ``"per-expert"``
+    adds ``n_hit_experts`` kernels (each floored and launch-priced by the
+    scheduler), ``"grouped"`` adds exactly one kernel plus gather overhead
+    and a fragmentation-scaled streaming penalty.
     """
     if total_tokens <= 0:
         raise ValueError("total_tokens must be positive")
@@ -304,19 +347,39 @@ def apply_expert_cache(
     miss_fraction = 1.0 - hit_tokens / total_tokens
     cpu_routed_us = max(work.cpu_routed_us * miss_fraction, MIN_CPU_DISPATCH_US)
     gpu_routed_us = 0.0
+    extra_kernels = 0
     if hit_tokens > 0:
         per_token_flops = 2.0 * 3.0 * preset.hidden * preset.moe_intermediate
-        gpu_routed_us = gpu_kernel_time_us(
-            flops=hit_tokens * per_token_flops,
-            bytes_moved=n_hit_experts * preset.expert_bytes(dtype),
-            gpu=machine.gpu,
-        )
+        flops = hit_tokens * per_token_flops
+        bytes_moved = n_hit_experts * preset.expert_bytes(dtype)
+        if dispatch is None:
+            gpu_routed_us = gpu_kernel_time_us(
+                flops=flops, bytes_moved=bytes_moved, gpu=machine.gpu,
+            )
+        elif dispatch.mode == "per-expert":
+            # One streamed GEMM per resident expert: the roofline floor
+            # and launch latency apply to every kernel individually.
+            gpu_routed_us = n_hit_experts * gpu_kernel_time_us(
+                flops=flops / n_hit_experts,
+                bytes_moved=bytes_moved / n_hit_experts,
+                gpu=machine.gpu,
+            )
+            extra_kernels = n_hit_experts
+        else:
+            fragmentation = 1.0 - dispatch.layout_contiguity
+            gpu_routed_us = gpu_kernel_time_us(
+                flops=flops,
+                bytes_moved=bytes_moved
+                * (1.0 + FRAGMENTED_STREAM_PENALTY * fragmentation),
+                gpu=machine.gpu,
+            ) + GROUPED_GATHER_US_PER_EXPERT * n_hit_experts
+            extra_kernels = 1
     return DecodeLayerWork(
         gpu_attn_us=work.gpu_attn_us,
         gpu_shared_us=work.gpu_shared_us + gpu_routed_us,
         cpu_routed_us=cpu_routed_us,
         transfer_bytes=work.transfer_bytes,
-        n_gpu_kernels=work.n_gpu_kernels,
+        n_gpu_kernels=work.n_gpu_kernels + extra_kernels,
     )
 
 

@@ -16,6 +16,7 @@ from .metrics import (
     CachePoint,
     ExpertCacheTimeline,
     FaultStats,
+    GraphStats,
     PreemptionStats,
     RequestTiming,
     ServingSLO,
@@ -39,7 +40,8 @@ __all__ = [
     "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
     "serving_expert_cache",
     "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "FaultStats",
-    "PreemptionStats", "RequestTiming", "ServingSLO", "ServingStats",
+    "GraphStats", "PreemptionStats", "RequestTiming", "ServingSLO",
+    "ServingStats",
     "ShedRecord", "TimelinePoint", "percentile", "percentiles",
     "Priority", "PriorityConfig",
     "DegradationTracker", "ResilienceConfig", "RetryState",

@@ -82,6 +82,7 @@ from ..moe.expert_cache import (
     ExpertCacheConfig,
     ExpertCacheManager,
 )
+from ..sched.cuda_graph import GraphCache, GraphCacheConfig
 from ..sched.decode import (
     DecodeScheduleConfig,
     batched_step_time_us,
@@ -91,6 +92,7 @@ from ..sched.decode import (
 from ..sched.workload import (
     BatchedDispatchSummary,
     DecodeLayerWork,
+    ExpertGemmDispatch,
     HybridChunkWork,
     apply_expert_cache,
     chunk_only_work,
@@ -101,6 +103,7 @@ from .metrics import (
     BatchTimeline,
     ExpertCacheTimeline,
     FaultStats,
+    GraphStats,
     PreemptionStats,
     RequestTiming,
     ServingStats,
@@ -140,6 +143,17 @@ class BatchSchedulerConfig:
     ``"decode-priority"`` charges each decoding request's token against
     the chunk budget first (prefill gets the remainder, possibly zero);
     ``"prefill-priority"`` always grants prefill the full budget.
+
+    ``graph_cache`` attaches a CUDA-graph capture cache
+    (:class:`~repro.sched.cuda_graph.GraphCacheConfig`): decode batches
+    pad up to capture buckets, first use of a step shape pays a capture
+    stall, and ``graph_*`` counters land in the stats.  ``None`` keeps the
+    legacy free-replay pricing bit-for-bit.  ``gemm_dispatch`` selects
+    how GPU-resident (expert-cache-hit) expert GEMMs are priced:
+    ``"legacy"`` (single undifferentiated blob, the pre-graph goldens),
+    ``"per-expert"`` (one launch per hit expert), ``"grouped"`` (single
+    grouped kernel with layout-aware streaming), or ``"auto"`` (the cost
+    model prices both arms and picks the cheaper per cache outcome).
     """
 
     kv_budget_tokens: int = 8192
@@ -148,6 +162,8 @@ class BatchSchedulerConfig:
     ari_threshold: int | None = None   # None -> kernels' DEFAULT_ARI_THRESHOLD
     prefill_chunk_tokens: int | None = None   # None -> monolithic prefill
     chunk_policy: str = "decode-priority"
+    graph_cache: GraphCacheConfig | None = None   # None -> free replay
+    gemm_dispatch: str = "legacy"
 
     def __post_init__(self) -> None:
         if self.kv_budget_tokens <= 0:
@@ -163,6 +179,11 @@ class BatchSchedulerConfig:
             raise ConfigError(
                 f"unknown chunk_policy {self.chunk_policy!r}; expected "
                 "'decode-priority' or 'prefill-priority'")
+        if self.gemm_dispatch not in ("legacy", "per-expert", "grouped",
+                                      "auto"):
+            raise ConfigError(
+                f"unknown gemm_dispatch {self.gemm_dispatch!r}; expected "
+                "'legacy', 'per-expert', 'grouped' or 'auto'")
 
 
 class BatchCostModel:
@@ -184,17 +205,25 @@ class BatchCostModel:
     CHUNK_BUCKETS = (16, 32, 64, 128, 256, 512, 1024, 2048)
 
     HIT_RATE_BUCKETS = 20        # cached-step pricing quantizes hit rate
+    CONTIG_BUCKETS = 8           # dispatch pricing quantizes layout contiguity
 
     def __init__(self, session: InferenceSession,
-                 ari_threshold: int | None = None) -> None:
+                 ari_threshold: int | None = None,
+                 gemm_dispatch: str = "legacy") -> None:
+        if gemm_dispatch not in ("legacy", "per-expert", "grouped", "auto"):
+            raise ConfigError(
+                f"unknown gemm_dispatch {gemm_dispatch!r}")
         self.session = session
         self.ari_threshold = ari_threshold
+        self.gemm_dispatch = gemm_dispatch
         self._step: dict[tuple[int, int], float] = {}
         self._summaries: dict[tuple[int, int], BatchedDispatchSummary] = {}
         self._works: dict[tuple[int, int], list[DecodeLayerWork]] = {}
-        self._cached_step: dict[tuple[int, int, int, int], float] = {}
-        self._cached_works: dict[
-            tuple[int, int, int, int], list[DecodeLayerWork]] = {}
+        self._cached_step: dict[tuple, float] = {}
+        self._cached_works: dict[tuple, list[DecodeLayerWork]] = {}
+        # "auto" dispatch decisions, keyed by (shape, cache outcome,
+        # contiguity bucket) -- both arms are priced once, then reused.
+        self._dispatch_choice: dict[tuple, str] = {}
         self._prefill: dict[int, float] = {}
         # Fault-perturbed variants, additionally keyed by the
         # perturbation's price_key (piecewise-constant per fault window).
@@ -258,24 +287,31 @@ class BatchCostModel:
         self.decode_step_us(context_lens)
         return sum(w.gpu_attn_us for w in self._works[key])
 
-    def _cached_key_works(
-        self, context_lens: list[int], cache_step: CacheStepResult,
-    ) -> tuple[tuple[int, int, int, int], list[DecodeLayerWork]]:
-        """Memo key and cache-repriced layer works for one cache outcome.
+    def _hit_bucket(self, cache_step: CacheStepResult) -> int:
+        return round(self.HIT_RATE_BUCKETS * cache_step.hit_tokens
+                     / cache_step.total_tokens)
 
-        MoE layers are repriced with cache hits as GPU expert work and
-        misses on the CPU (:func:`repro.sched.workload.apply_expert_cache`,
-        hit rate quantized to 1/``HIT_RATE_BUCKETS`` for memoization).
-        Shared by the clean and fault-perturbed cached pricing paths so
-        both see the same repriced task graph.
+    def _contig_idx(self, cache_step: CacheStepResult) -> int:
+        return round(self.CONTIG_BUCKETS * cache_step.layout_contiguity)
+
+    def _cached_works_for(
+        self, key: tuple[int, int], hit_bucket: int, n_hit_experts: int,
+        dispatch: ExpertGemmDispatch | None,
+    ) -> tuple[tuple, list[DecodeLayerWork]]:
+        """Memoized cache-repriced works for one (shape, outcome, dispatch).
+
+        The legacy (``dispatch is None``) memo key is exactly the
+        pre-dispatch shape ``(*key, hit_bucket, n_hit_experts)`` so legacy
+        pricing stays bit-identical; explicit dispatch arms extend it with
+        the mode and contiguity bucket.
         """
-        costs = self.session.costs
-        key = self._key(context_lens)
-        self.decode_step_us(context_lens)          # populate works cache
-        hit_bucket = round(self.HIT_RATE_BUCKETS * cache_step.hit_tokens
-                           / cache_step.total_tokens)
-        ck = (*key, hit_bucket, cache_step.n_hit_experts)
+        if dispatch is None:
+            ck = (*key, hit_bucket, n_hit_experts)
+        else:
+            ck = (*key, hit_bucket, n_hit_experts, dispatch.mode,
+                  round(self.CONTIG_BUCKETS * dispatch.layout_contiguity))
         if ck not in self._cached_works:
+            costs = self.session.costs
             bsz = key[0]
             layer_tokens = bsz * costs.preset.top_k
             hit_tokens = round(layer_tokens * hit_bucket
@@ -284,11 +320,89 @@ class BatchCostModel:
                 w if w.cpu_routed_us <= 0.0 else apply_expert_cache(
                     w, costs.preset, costs.machine, costs.dtype,
                     total_tokens=layer_tokens, hit_tokens=hit_tokens,
-                    n_hit_experts=cache_step.n_hit_experts,
+                    n_hit_experts=n_hit_experts, dispatch=dispatch,
                 )
                 for w in self._works[key]
             ]
         return ck, self._cached_works[ck]
+
+    def _arm_step_us(self, key: tuple[int, int], hit_bucket: int,
+                     n_hit_experts: int,
+                     dispatch: ExpertGemmDispatch | None) -> float:
+        """Clean cached-step price of one dispatch arm (memoized)."""
+        ck, works = self._cached_works_for(key, hit_bucket, n_hit_experts,
+                                           dispatch)
+        if ck not in self._cached_step:
+            self._cached_step[ck] = cache_aware_step_time_us(
+                works, self._schedule_config(), self.session.costs.machine,
+            )
+        return self._cached_step[ck]
+
+    def _resolve_dispatch(self, key: tuple[int, int], hit_bucket: int,
+                          n_hit_experts: int,
+                          contig_idx: int) -> ExpertGemmDispatch | None:
+        """The dispatch arm pricing uses for one quantized cache outcome.
+
+        ``"legacy"`` (and any outcome with no hit experts) keeps the
+        blob model; ``"auto"`` prices the per-expert and grouped arms
+        through the full task-graph simulator once per quantized outcome
+        and picks the cheaper, memoizing the decision.
+        """
+        if self.gemm_dispatch == "legacy" or n_hit_experts == 0:
+            return None
+        contig = contig_idx / self.CONTIG_BUCKETS
+        if self.gemm_dispatch != "auto":
+            return ExpertGemmDispatch(self.gemm_dispatch, contig)
+        dk = (*key, hit_bucket, n_hit_experts, contig_idx)
+        if dk not in self._dispatch_choice:
+            per = self._arm_step_us(
+                key, hit_bucket, n_hit_experts,
+                ExpertGemmDispatch("per-expert", contig))
+            grp = self._arm_step_us(
+                key, hit_bucket, n_hit_experts,
+                ExpertGemmDispatch("grouped", contig))
+            self._dispatch_choice[dk] = ("grouped" if grp <= per
+                                         else "per-expert")
+        return ExpertGemmDispatch(self._dispatch_choice[dk], contig)
+
+    def gemm_dispatch_for(
+        self, context_lens: list[int], cache_step: CacheStepResult,
+    ) -> ExpertGemmDispatch | None:
+        """The dispatch arm chosen for this iteration's cache outcome.
+
+        ``None`` under legacy pricing or when nothing hit; the serving
+        engine uses this for the ``grouped_gemm_*`` counters and the
+        graph-topology key.
+        """
+        if cache_step.total_tokens == 0:
+            return None
+        key = self._key(context_lens)
+        self.decode_step_us(context_lens)          # populate works cache
+        return self._resolve_dispatch(
+            key, self._hit_bucket(cache_step), cache_step.n_hit_experts,
+            self._contig_idx(cache_step))
+
+    def _cached_key_works(
+        self, context_lens: list[int], cache_step: CacheStepResult,
+    ) -> tuple[tuple, list[DecodeLayerWork]]:
+        """Memo key and cache-repriced layer works for one cache outcome.
+
+        MoE layers are repriced with cache hits as GPU expert work and
+        misses on the CPU (:func:`repro.sched.workload.apply_expert_cache`,
+        hit rate quantized to 1/``HIT_RATE_BUCKETS`` and layout
+        contiguity to 1/``CONTIG_BUCKETS`` for memoization), under the
+        dispatch arm :meth:`_resolve_dispatch` selects.  Shared by the
+        clean and fault-perturbed cached pricing paths so both see the
+        same repriced task graph.
+        """
+        key = self._key(context_lens)
+        self.decode_step_us(context_lens)          # populate works cache
+        hit_bucket = self._hit_bucket(cache_step)
+        dispatch = self._resolve_dispatch(
+            key, hit_bucket, cache_step.n_hit_experts,
+            self._contig_idx(cache_step))
+        return self._cached_works_for(key, hit_bucket,
+                                      cache_step.n_hit_experts, dispatch)
 
     def cached_decode_step_us(self, context_lens: list[int],
                               cache_step: CacheStepResult) -> float:
@@ -529,6 +643,29 @@ class BatchCostModel:
             )
         return self._cached_hybrid_pert[pk] + cache_step.stall_us
 
+    def step_kernel_count(self, context_lens: list[int],
+                          chunk_tokens: int = 0,
+                          cache_step: CacheStepResult | None = None) -> int:
+        """Kernel count of one iteration's captured step.
+
+        What a CUDA-graph capture walks: every layer's attention +
+        shared/expert kernel groups (``n_gpu_kernels``, including any
+        dispatch-added expert GEMM launches), one merge per MoE layer,
+        and the LM head.  Works are resolved through the same memoized
+        paths as pricing, so the count matches the priced task graph.
+        """
+        if not context_lens:
+            _, works = self._hybrid_key_works([], chunk_tokens)
+        elif cache_step is not None and cache_step.total_tokens > 0:
+            _, works = self._cached_key_works(context_lens, cache_step)
+        elif chunk_tokens:
+            _, works = self._hybrid_key_works(context_lens, chunk_tokens)
+        else:
+            self.decode_step_us(context_lens)
+            works = self._works[self._key(context_lens)]
+        moe_layers = sum(1 for w in works if w.cpu_routed_us > 0)
+        return sum(w.n_gpu_kernels for w in works) + moe_layers + 1
+
     def batched_prefill_us(self, total_prompt_tokens: int) -> float:
         """One prefill pass over all co-admitted prompts' tokens."""
         if total_prompt_tokens <= 0:
@@ -697,7 +834,8 @@ class ContinuousBatchingServer:
         self.config = config or BatchSchedulerConfig()
         self.priorities = priorities
         self.costs = BatchCostModel(session,
-                                    ari_threshold=self.config.ari_threshold)
+                                    ari_threshold=self.config.ari_threshold,
+                                    gemm_dispatch=self.config.gemm_dispatch)
         # The pool tracks token occupancy only; K/V payloads stay tiny.
         self.pool = PagedKVPool(
             n_heads=1, head_dim=1,
@@ -732,6 +870,20 @@ class ContinuousBatchingServer:
             self.stats.preemptions = self.preempt_stats
         self._preempted: list[_InFlight] = []
         self._preempt_stall_us = 0.0
+        self.graph_cache: GraphCache | None = None
+        if self.config.graph_cache is not None:
+            self.graph_cache = GraphCache(self.config.graph_cache,
+                                          session.costs.machine)
+        self.graph_stats: GraphStats | None = None
+        if (self.config.graph_cache is not None
+                or self.config.gemm_dispatch != "legacy"):
+            # Attached only when a graph/dispatch feature is on, so legacy
+            # configs keep their summaries (and goldens) unchanged.
+            self.graph_stats = GraphStats()
+            self.stats.graphs = self.graph_stats
+        self._last_graph_capture_us = 0.0
+        self._last_cache_step: CacheStepResult | None = None
+        self._last_step_topology: tuple = ("plain",)
 
     # -- admission ----------------------------------------------------------
 
@@ -1031,7 +1183,8 @@ class ContinuousBatchingServer:
                 kv_used_tokens=self.pool.used_tokens,
                 n_prefilling=sum(1 for a in active if not a.decodable),
                 chunk_tokens=chunk_tokens,
-                n_preempted=len(self._preempted))
+                n_preempted=len(self._preempted),
+                graph_capture_us=self._last_graph_capture_us)
             if finished:
                 active = [a for a in active if id(a) not in finished]
         return self.stats
@@ -1144,6 +1297,67 @@ class ContinuousBatchingServer:
 
     def _decode_step_us(self, context_lens: list[int], clock: float,
                         chunk_tokens: int = 0) -> float:
+        """Price one iteration, adding graph-capture effects when enabled.
+
+        Without a graph cache this is exactly :meth:`_priced_step_us`.
+        With one, the decode batch first pads up to its capture bucket
+        (padding slots run real kernels, so the padded batch's full step
+        cost is charged -- priced honestly), the step is priced, and then
+        the graph for the step's shape key is looked up: a cold key pays
+        a capture stall on top of the step cost (visible in TTFT/TPOT),
+        a warm key replays for free.  Fault perturbations stretch task
+        *durations*, not the kernel topology, so they deliberately do not
+        enter the graph key -- a perturbed step replays the same graph.
+        """
+        self._last_graph_capture_us = 0.0
+        self._last_cache_step = None
+        if self.graph_cache is None:
+            return self._priced_step_us(context_lens, clock, chunk_tokens)
+        padded = list(context_lens)
+        if padded:
+            bucket = self.graph_cache.config.batch_bucket(len(padded))
+            pad = bucket - len(padded)
+            if pad:
+                padded.extend([max(padded)] * pad)
+                self.graph_stats.padding_tokens += pad
+        cost = self._priced_step_us(padded, clock, chunk_tokens)
+        key = self._graph_key(padded, chunk_tokens)
+        n_kernels = self.costs.step_kernel_count(
+            padded, chunk_tokens, self._last_cache_step)
+        look = self.graph_cache.lookup(key, n_kernels)
+        self.graph_stats.captures = self.graph_cache.captures
+        self.graph_stats.replays = self.graph_cache.replays
+        self.graph_stats.evictions = self.graph_cache.evictions
+        if look.captured:
+            self.graph_stats.capture_stall_us += look.capture_us
+            self._last_graph_capture_us = look.capture_us
+        return cost + look.capture_us
+
+    def _graph_key(self, context_lens: list[int],
+                   chunk_tokens: int) -> tuple:
+        """Shape key of one captured step.
+
+        ``(batch bucket, context bucket, chunk bucket, topology)`` --
+        ``context_lens`` arrives already padded, so its length *is* the
+        batch bucket.  The topology token (set by :meth:`_priced_step_us`)
+        distinguishes kernel sequences the shape alone cannot: plain vs
+        chunk-only vs cache-bypass vs each quantized cache outcome and
+        dispatch arm.
+        """
+        if context_lens:
+            batch_bucket = len(context_lens)
+            ctx_bucket = BatchCostModel._bucket(max(context_lens),
+                                               BatchCostModel.CTX_BUCKETS)
+        else:
+            batch_bucket = ctx_bucket = 0
+        chunk_bucket = (BatchCostModel._bucket(chunk_tokens,
+                                               BatchCostModel.CHUNK_BUCKETS)
+                        if chunk_tokens else 0)
+        return (batch_bucket, ctx_bucket, chunk_bucket,
+                self._last_step_topology)
+
+    def _priced_step_us(self, context_lens: list[int], clock: float,
+                        chunk_tokens: int = 0) -> float:
         """Price one iteration, consulting the expert cache if any.
 
         ``chunk_tokens > 0`` marks a hybrid iteration: the decode batch's
@@ -1172,6 +1386,7 @@ class ContinuousBatchingServer:
         pert = (self.fault_injector.perturbation_at(clock, self._iteration)
                 if self.fault_injector is not None else IDENTITY_PERTURBATION)
         if not context_lens:
+            self._last_step_topology = ("chunk-only",)
             cost = (self.costs.perturbed_hybrid_step_us([], chunk_tokens,
                                                         pert)
                     * pert.jitter_scale)
@@ -1182,6 +1397,7 @@ class ContinuousBatchingServer:
                 )
             return cost
         if self.expert_cache is None:
+            self._last_step_topology = ("plain",)
             if chunk_tokens:
                 return (self.costs.perturbed_hybrid_step_us(
                             context_lens, chunk_tokens, pert)
@@ -1189,6 +1405,7 @@ class ContinuousBatchingServer:
             return (self.costs.perturbed_decode_step_us(context_lens, pert)
                     * pert.jitter_scale)
         if self._degradation is not None and self._degradation.bypassing:
+            self._last_step_topology = ("bypass",)
             return self._degraded_step_us(context_lens, clock, pert,
                                           chunk_tokens)
 
@@ -1228,6 +1445,23 @@ class ContinuousBatchingServer:
                     due = clock + retry.delay_us(
                         1, key=(self._iteration, layer, expert))
                     self._retries.append(RetryState(layer, expert, 1, due))
+
+        self._last_cache_step = result
+        if result.total_tokens:
+            ck, _ = self.costs._cached_key_works(context_lens, result)
+            self._last_step_topology = ("cached", *ck)
+            if self.graph_stats is not None:
+                dispatch = self.costs.gemm_dispatch_for(context_lens, result)
+                if dispatch is not None:
+                    if dispatch.mode == "grouped":
+                        self.graph_stats.grouped_gemm_iterations += 1
+                        self.graph_stats.grouped_gemm_launches_saved += (
+                            max(0, result.n_hit_experts - 1)
+                            * self.session.costs.preset.n_moe_layers)
+                    else:
+                        self.graph_stats.per_expert_iterations += 1
+        else:
+            self._last_step_topology = ("cached-idle",)
 
         if chunk_tokens:
             cost = self.costs.perturbed_cached_hybrid_step_us(

@@ -102,7 +102,9 @@ class TimelinePoint:
     budget co-scheduled with this iteration's decode batch; both stay 0
     under the monolithic (un-chunked) scheduler.  ``n_preempted`` counts
     requests currently evicted (swapped out or awaiting recompute) --
-    always 0 without a priority config.
+    always 0 without a priority config.  ``graph_capture_us`` is the
+    CUDA-graph capture stall this iteration paid (0 on a replay hit, or
+    when no graph cache is configured).
     """
 
     t_us: float
@@ -111,6 +113,7 @@ class TimelinePoint:
     n_prefilling: int = 0
     chunk_tokens: int = 0
     n_preempted: int = 0
+    graph_capture_us: float = 0.0
 
 
 @dataclass
@@ -127,10 +130,10 @@ class BatchTimeline:
 
     def record(self, t_us: float, batch_size: int, kv_used_tokens: int,
                n_prefilling: int = 0, chunk_tokens: int = 0,
-               n_preempted: int = 0) -> None:
+               n_preempted: int = 0, graph_capture_us: float = 0.0) -> None:
         self.points.append(TimelinePoint(t_us, batch_size, kv_used_tokens,
                                          n_prefilling, chunk_tokens,
-                                         n_preempted))
+                                         n_preempted, graph_capture_us))
 
     @property
     def n_iterations(self) -> int:
@@ -172,7 +175,8 @@ class BatchTimeline:
                  "kv_used_tokens": p.kv_used_tokens,
                  "n_prefilling": p.n_prefilling,
                  "chunk_tokens": p.chunk_tokens,
-                 "n_preempted": p.n_preempted}
+                 "n_preempted": p.n_preempted,
+                 "graph_capture_us": p.graph_capture_us}
                 for p in self.points
             ],
         }
@@ -362,6 +366,51 @@ class PreemptionStats:
         }
 
 
+@dataclass
+class GraphStats:
+    """CUDA-graph cache and grouped-GEMM dispatch counters of one run.
+
+    Attached to :class:`ServingStats` by the continuous-batching server
+    when a :class:`~repro.sched.cuda_graph.GraphCacheConfig` or a
+    non-legacy expert-GEMM dispatch is active; the aggregate view lands
+    in :meth:`ServingStats.summary` via :meth:`summary`.
+
+    ``captures``/``replays``/``evictions`` mirror the
+    :class:`~repro.sched.cuda_graph.GraphCache` counters at run end;
+    ``capture_stall_us`` is the total serving-clock time spent inside
+    capture (the TTFT/TPOT-visible cost the free-replay model ignored).
+    ``padding_tokens`` counts decode slots added to round batches up to
+    their capture bucket.  The ``grouped_gemm_*`` counters track the
+    expert-dispatch arm: iterations priced with the grouped kernel vs the
+    per-expert fallback, and the kernel launches the grouped arm avoided
+    (``n_hit_experts - 1`` per MoE layer whenever it won).
+    """
+
+    captures: int = 0
+    replays: int = 0
+    evictions: int = 0
+    capture_stall_us: float = 0.0
+    padding_tokens: int = 0
+    grouped_gemm_iterations: int = 0
+    per_expert_iterations: int = 0
+    grouped_gemm_launches_saved: int = 0
+
+    def summary(self) -> dict[str, float]:
+        """Flat ``graph_*``/``grouped_gemm_*`` counters for the summary."""
+        return {
+            "graph_captures": float(self.captures),
+            "graph_replays": float(self.replays),
+            "graph_evictions": float(self.evictions),
+            "graph_capture_stall_ms": self.capture_stall_us / 1e3,
+            "graph_padding_tokens": float(self.padding_tokens),
+            "grouped_gemm_iterations": float(self.grouped_gemm_iterations),
+            "grouped_gemm_per_expert_iterations": float(
+                self.per_expert_iterations),
+            "grouped_gemm_launches_saved": float(
+                self.grouped_gemm_launches_saved),
+        }
+
+
 @dataclass(frozen=True)
 class ShedRecord:
     """One request shed from the admission queue before it ever started.
@@ -393,6 +442,7 @@ class ServingStats:
     expert_cache: ExpertCacheTimeline | None = None
     faults: FaultStats | None = None
     preemptions: PreemptionStats | None = None
+    graphs: GraphStats | None = None
     shed: list[ShedRecord] = field(default_factory=list)
 
     def add(self, timing: RequestTiming) -> None:
@@ -453,6 +503,10 @@ class ServingStats:
             # so an inert priority config adds no keys at all -- the
             # summary stays bit-identical to the FIFO scheduler's.
             out.update(self.preemptions.summary())
+        if self.graphs is not None:
+            # Attached only when a graph cache or a non-legacy dispatch
+            # is configured, so legacy summaries carry no graph_* keys.
+            out.update(self.graphs.summary())
         return out
 
     def class_summary(self) -> dict[str, dict[str, float]]:

@@ -250,7 +250,7 @@ def test_golden_chaos_hardened_arm():
 # replay *bit for bit* -- same floats, not merely within tolerance.
 
 def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
-                        chaos=False, priorities=None):
+                        chaos=False, priorities=None, sched_extra=None):
     from repro.serving import (
         BatchSchedulerConfig, ContinuousBatchingServer, poisson_workload,
         serving_expert_cache,
@@ -271,7 +271,8 @@ def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
         session,
         BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4,
                              prefill_chunk_tokens=chunk_tokens,
-                             chunk_policy=chunk_policy),
+                             chunk_policy=chunk_policy,
+                             **(sched_extra or {})),
         priorities=priorities, **kwargs)
     stats = server.replay(poisson_workload(
         n_requests=8, mean_interarrival_us=1e6, prompt_len=16,
@@ -294,6 +295,31 @@ def test_golden_chunked_chaos_bit_reproducible():
     chunked = _equivalence_replay(512, chaos=True)
     assert chunked == _equivalence_replay(512, chaos=True)
     assert chunked == _equivalence_replay(None, chaos=True)
+
+
+def test_golden_graph_disabled_reproduces_legacy():
+    """ISSUE 6 acceptance: explicitly disabling the graph cache and
+    keeping the legacy GEMM dispatch reproduces the pre-graph scheduler
+    *bit for bit* -- same floats, clean and under the canonical fault
+    storm (the legacy pricing path is untouched, not merely similar)."""
+    off = {"graph_cache": None, "gemm_dispatch": "legacy"}
+    assert _equivalence_replay(None, sched_extra=off) == \
+        _equivalence_replay(None)
+    assert _equivalence_replay(None, chaos=True, sched_extra=off) == \
+        _equivalence_replay(None, chaos=True)
+
+
+def test_golden_legacy_dispatch_cost_model(batch_costs):
+    """A cost model built with the default (legacy) dispatch prices the
+    golden decode steps with the exact same floats as one passed
+    ``gemm_dispatch="legacy"`` explicitly."""
+    from repro.serving import BatchCostModel, InferenceSession
+    explicit = BatchCostModel(
+        InferenceSession(MoETransformer(tiny_config("tiny-qw")), DS3),
+        gemm_dispatch="legacy")
+    for (batch, ctx) in GOLDEN_DECODE_STEP_US:
+        assert explicit.decode_step_us([ctx] * batch) == \
+            batch_costs.decode_step_us([ctx] * batch)
 
 
 def test_golden_single_priority_reproduces_fifo():
