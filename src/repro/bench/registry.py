@@ -122,6 +122,16 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "below iterations under admission churn and disabled "
                "configs reproduce the legacy scheduler bit-for-bit",
                artifact="BENCH_graph_decode.json"),
+    Experiment("session-prefix",
+               "extension (multi-turn prefix reuse + KV tiering)",
+               "test_session_prefix.py",
+               "radix prefix-KV reuse avoids >=40% of prompt prefill "
+               "tokens on multi-turn sessions with strictly better "
+               "follow-up TTFT p95 than no-reuse; the host KV tier "
+               "serves the same sessions at 4x sessions-per-GB of KV "
+               "VRAM with prefetch-hidden swap-in; disabled configs "
+               "reproduce the prior engine bit-for-bit",
+               artifact="BENCH_session.json"),
 )
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..hw.roofline import gpu_kernel_time_us, pcie_transfer_time_us
-from ..hw.spec import MachineSpec
+from ..hw.spec import InterconnectSpec, MachineSpec
 from ..model.presets import ModelPreset
 from ..sched.workload import ACTIVATION_BYTES
 
@@ -29,6 +29,27 @@ def kv_bytes_per_token_layer(preset: ModelPreset) -> float:
 def kv_cache_total_bytes(preset: ModelPreset, context_len: int) -> float:
     """Whole-model KV-cache footprint at the given context length."""
     return kv_bytes_per_token_layer(preset) * context_len * preset.n_layers
+
+
+def kv_page_transfer_us(preset: ModelPreset, n_tokens: int,
+                        link: InterconnectSpec) -> float:
+    """One-way PCIe time to move ``n_tokens`` of whole-model KV pages.
+
+    The park/unpark pricing of the serving engine's host KV tier: every
+    layer's cache for the tokens travels, at the preset's per-token unit
+    (MLA latent for ``kv_rank > 0``, full K/V otherwise).  Moving zero
+    tokens is free (no transfer is issued at all -- unlike a degenerate
+    transfer, which would still pay the link's latency).  Bit-identical
+    to :func:`repro.sched.decode.kv_swap_transfer_us` over the same
+    tokens, so parked-session pricing matches preemption-swap pricing
+    exactly (pinned in ``tests/test_golden_regression.py``).
+    """
+    if n_tokens < 0:
+        raise ConfigError("n_tokens must be >= 0")
+    if n_tokens == 0:
+        return 0.0
+    return pcie_transfer_time_us(
+        kv_bytes_per_token_layer(preset) * preset.n_layers * n_tokens, link)
 
 
 def gpu_kv_budget_tokens(preset: ModelPreset, machine: MachineSpec,

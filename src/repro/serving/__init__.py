@@ -2,7 +2,9 @@
 
 Two servers share the same workload/stats types: the paper's batch-1
 ``LocalServer`` and the iteration-level ``ContinuousBatchingServer``
-(optionally priority-aware with swap/recompute preemption).
+(optionally priority-aware with swap/recompute preemption, and
+optionally session-aware via the radix prefix-KV cache and host KV
+tier in :mod:`repro.serving.prefix_cache`).
 """
 
 from .continuous import (
@@ -21,14 +23,26 @@ from .metrics import (
     RequestTiming,
     ServingSLO,
     ServingStats,
+    SessionStats,
     ShedRecord,
     TimelinePoint,
     percentile,
     percentiles,
 )
+from .prefix_cache import (
+    KVTierConfig,
+    MatchProbe,
+    PrefixCacheConfig,
+    RadixPrefixCache,
+)
 from .priority import Priority, PriorityConfig
 from .resilience import DegradationTracker, ResilienceConfig, RetryState
-from .server import LocalServer, TimedRequest, poisson_workload
+from .server import (
+    LocalServer,
+    TimedRequest,
+    multi_turn_workload,
+    poisson_workload,
+)
 from .session import (
     GenerationRequest,
     GenerationResult,
@@ -41,11 +55,12 @@ __all__ = [
     "serving_expert_cache",
     "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "FaultStats",
     "GraphStats", "PreemptionStats", "RequestTiming", "ServingSLO",
-    "ServingStats",
+    "ServingStats", "SessionStats",
     "ShedRecord", "TimelinePoint", "percentile", "percentiles",
+    "KVTierConfig", "MatchProbe", "PrefixCacheConfig", "RadixPrefixCache",
     "Priority", "PriorityConfig",
     "DegradationTracker", "ResilienceConfig", "RetryState",
-    "LocalServer", "TimedRequest", "poisson_workload",
+    "LocalServer", "TimedRequest", "multi_turn_workload", "poisson_workload",
     "GenerationRequest", "GenerationResult", "InferenceSession",
     "PhaseCostModel",
 ]

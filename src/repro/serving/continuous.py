@@ -89,6 +89,7 @@ from ..sched.decode import (
     cache_aware_step_time_us,
     kv_swap_transfer_us,
 )
+from ..sched.kv_offload import kv_page_transfer_us
 from ..sched.workload import (
     BatchedDispatchSummary,
     DecodeLayerWork,
@@ -107,6 +108,13 @@ from .metrics import (
     PreemptionStats,
     RequestTiming,
     ServingStats,
+    SessionStats,
+)
+from .prefix_cache import (
+    KVTierConfig,
+    MatchProbe,
+    PrefixCacheConfig,
+    RadixPrefixCache,
 )
 from .priority import PriorityConfig
 from .resilience import DegradationTracker, ResilienceConfig, RetryState
@@ -764,6 +772,13 @@ class _InFlight:
     the full context -- prompt plus already-emitted tokens -- on resume.
     ``prefill_target`` equals ``prompt_len`` until a recompute
     preemption, so un-preempted scheduling is bit-identical to before.
+
+    ``shared_tokens`` is the page-aligned prompt prefix served from the
+    radix prefix cache at admission: those tokens never enter this
+    request's own slot (they live in refcounted cache pages), so the
+    slot holds ``context_len - shared_tokens`` tokens and preemption
+    swap/recompute sizing works on that difference.  Always 0 without a
+    prefix-cache config, keeping the sessionless engine bit-identical.
     """
 
     timed: TimedRequest
@@ -779,6 +794,7 @@ class _InFlight:
     first_token_us: float = field(default=0.0)
     preempt_count: int = 0
     swapped: bool = False       # True while preempted via the swap mechanism
+    shared_tokens: int = 0      # prompt tokens pinned in the prefix cache
 
     @property
     def decodable(self) -> bool:
@@ -821,6 +837,23 @@ class ContinuousBatchingServer:
     resilience policy's decode timeout while parked, so preemption and
     shedding compose: a victim that cannot resume in time is shed with
     its pages already released (freed exactly once).
+
+    With a ``prefix_cache`` :class:`~repro.serving.prefix_cache.
+    PrefixCacheConfig` the server becomes session-aware: admission
+    probes a page-granular radix tree of previously served prompts,
+    pins the longest cached prefix by reference, and reserves/prefills
+    only the fresh suffix -- multi-turn conversations skip re-prefilling
+    their history, composing with chunked prefill (the suffix chunks
+    like any prompt), priorities (preemption sizes swap/recompute on
+    the slot-resident suffix; the pinned prefix survives eviction), and
+    faults (tier transfers price on the degraded link).  A ``kv_tier``
+    :class:`~repro.serving.prefix_cache.KVTierConfig` adds the host-DRAM
+    layer: idle sessions' cached pages park off-GPU (off the critical
+    path) and swap back in on -- or, with prefetch, *ahead of* -- the
+    session's next turn, with the think-time EWMA predicting when.
+    Reuse/tier counters land on ``stats.sessions`` and the timeline;
+    ``prefix_cache=None`` (the default) is bit-identical to the
+    sessionless engine.
     """
 
     def __init__(self, session: InferenceSession,
@@ -829,7 +862,9 @@ class ContinuousBatchingServer:
                  routing_stream: Optional[RoutingStream] = None,
                  fault_injector: FaultInjector | None = None,
                  resilience: ResilienceConfig | None = None,
-                 priorities: PriorityConfig | None = None) -> None:
+                 priorities: PriorityConfig | None = None,
+                 prefix_cache: PrefixCacheConfig | None = None,
+                 kv_tier: KVTierConfig | None = None) -> None:
         self.session = session
         self.config = config or BatchSchedulerConfig()
         self.priorities = priorities
@@ -884,6 +919,23 @@ class ContinuousBatchingServer:
         self._last_graph_capture_us = 0.0
         self._last_cache_step: CacheStepResult | None = None
         self._last_step_topology: tuple = ("plain",)
+        if kv_tier is not None and prefix_cache is None:
+            raise ConfigError("kv_tier requires a prefix_cache config")
+        self.kv_tier = kv_tier
+        self.prefix_cache: RadixPrefixCache | None = None
+        self.session_stats: SessionStats | None = None
+        if prefix_cache is not None:
+            self.prefix_cache = RadixPrefixCache(self.pool, prefix_cache,
+                                                 kv_tier)
+            # Attached only when the prefix cache is on, so sessionless
+            # configs keep their summaries (and goldens) unchanged.
+            self.session_stats = SessionStats()
+            self.stats.sessions = self.session_stats
+        self._tier_stall_us = 0.0
+        # Per-session think-time EWMA state for ahead-of-turn swap-in.
+        self._session_last_finish: dict[str, float] = {}
+        self._session_think: dict[str, float] = {}
+        self._predicted_next: dict[str, float] = {}
 
     # -- admission ----------------------------------------------------------
 
@@ -891,6 +943,22 @@ class ContinuousBatchingServer:
         prompt_len = len(np.atleast_1d(timed.request.prompt))
         return self.pool.pages_needed(
             prompt_len + timed.request.max_new_tokens)
+
+    def _pages_in_use(self) -> int:
+        """Pages committed right now: request reservations + cache pages.
+
+        Admission must leave room for both -- the radix cache's
+        GPU-resident pages live in the same pool as request slots.
+        Zero cache term without a prefix cache, so the sessionless
+        budget check is unchanged.
+        """
+        cached = (self.prefix_cache.gpu_pages
+                  if self.prefix_cache is not None else 0)
+        return self._reserved_pages + cached
+
+    def _prompt_tuple(self, timed: TimedRequest) -> tuple:
+        """The request's prompt as the radix cache's token-tuple key."""
+        return tuple(int(t) for t in np.atleast_1d(timed.request.prompt))
 
     def _effective(self, timed: TimedRequest, clock: float) -> int:
         """The candidate's aged priority class (0 when priorities are off)."""
@@ -953,7 +1021,7 @@ class ContinuousBatchingServer:
             return False
         if pages_needed:
             freeable = sum(a.reserved_pages for a in eligible)
-            if (self._reserved_pages - freeable + pages_needed
+            if (self._pages_in_use() - freeable + pages_needed
                     > self.pool.budget_pages):
                 return False
         victim = max(eligible, key=lambda a: (
@@ -973,12 +1041,13 @@ class ContinuousBatchingServer:
         mech = self.priorities.mechanism
         if mech != "auto":
             return mech
-        if victim.context_len == 0:
-            return "recompute"      # nothing in KV: freeing is free
+        slot_tokens = victim.context_len - victim.shared_tokens
+        if slot_tokens == 0:
+            return "recompute"      # nothing in this slot: freeing is free
         swap_us = 2.0 * self.costs.swap_transfer_us(
-            victim.context_len, self._link_at(clock))
+            slot_tokens, self._link_at(clock))
         rec_us = self.costs.recompute_resume_us(
-            victim.prompt_len + victim.emitted)
+            victim.prompt_len + victim.emitted - victim.shared_tokens)
         return "swap" if swap_us <= rec_us else "recompute"
 
     def _link_at(self, clock: float) -> InterconnectSpec:
@@ -1015,10 +1084,14 @@ class ContinuousBatchingServer:
             self.pool.free(victim.slot)
             victim.swapped = False
             self.preempt_stats.recomputes += 1
-            self.preempt_stats.recompute_tokens += victim.context_len
+            # Only the slot-resident suffix is discarded: the shared
+            # prefix stays pinned in the cache across the preemption,
+            # so resume re-prefills from shared_tokens, not zero.
+            self.preempt_stats.recompute_tokens += (
+                victim.context_len - victim.shared_tokens)
             victim.prefill_target = victim.prompt_len + victim.emitted
-            victim.prefilled = 0
-            victim.context_len = 0
+            victim.prefilled = victim.shared_tokens
+            victim.context_len = victim.shared_tokens
         self._reserved_pages -= victim.reserved_pages
         self._preempted.append(victim)
 
@@ -1034,7 +1107,7 @@ class ContinuousBatchingServer:
         """
         self._preempted = [p for p in self._preempted if p is not a]
         if a.swapped:
-            n_tokens = a.context_len
+            n_tokens = a.context_len - a.shared_tokens
             a.slot = self.pool.swap_in(a.slot)
             a.swapped = False
             stall = self.costs.swap_transfer_us(n_tokens,
@@ -1076,10 +1149,36 @@ class ContinuousBatchingServer:
                     f"request needs {need} KV pages but the pool budget is "
                     f"{self.pool.budget_pages}; raise kv_budget_tokens"
                 )
-            while self._reserved_pages + need > self.pool.budget_pages:
-                if not self._make_room(active, timed, clock,
-                                       pages_needed=need):
-                    return
+            # Longest-prefix probe: cached pages shrink the reservation
+            # to the fresh suffix, host-parked pages add unpark pages.
+            probe = MatchProbe(0, 0)
+            if kind == "new" and self.prefix_cache is not None:
+                probe = self.prefix_cache.probe(self._prompt_tuple(timed))
+                if probe.matched_tokens:
+                    need = self.pool.pages_needed(
+                        len(np.atleast_1d(timed.request.prompt))
+                        + timed.request.max_new_tokens
+                        - probe.matched_tokens)
+            extra = self.pool.pages_needed(probe.unpark_tokens)
+            while self._pages_in_use() + need + extra > self.pool.budget_pages:
+                deficit = (self._pages_in_use() + need + extra
+                           - self.pool.budget_pages)
+                if (self.prefix_cache is not None
+                        and self.prefix_cache.evict_pages(
+                            deficit, clock, protect=probe.nodes) > 0):
+                    continue
+                if self._make_room(active, timed, clock,
+                                   pages_needed=need + extra):
+                    continue
+                if probe.matched_tokens:
+                    # Reuse itself is what blocks placement (the pinned
+                    # prefix plus the suffix exceed what preemption can
+                    # free): fall back to a no-reuse admission.
+                    probe = MatchProbe(0, 0)
+                    need = self._request_pages(timed)
+                    extra = 0
+                    continue
+                return
             if kind == "resume":
                 self._resume(ref, clock)
                 active.append(ref)
@@ -1087,17 +1186,131 @@ class ContinuousBatchingServer:
             del pending[ref]
             prompt = np.atleast_1d(np.asarray(timed.request.prompt))
             result = self.session.generate(timed.request)  # real tokens
+            matched = 0
+            if probe.matched_tokens:
+                matched, unparked = self.prefix_cache.acquire(
+                    self._prompt_tuple(timed), clock)
+                if unparked:
+                    self._tier_swap_in(timed, unparked, clock)
+            self._observe_session(timed, clock)
+            if self.session_stats is not None:
+                self.session_stats.prompt_tokens_total += len(prompt)
+                if matched:
+                    self.session_stats.prefix_hits += 1
+                    self.session_stats.prefill_tokens_avoided += matched
+                else:
+                    self.session_stats.prefix_misses += 1
             slot = self.pool.allocate()
             self._reserved_pages += need
             # KV pages fill as prefill progresses: the monolithic pass
             # appends the whole prompt in the admission iteration, the
-            # chunked scheduler one chunk share at a time.
+            # chunked scheduler one chunk share at a time.  A cached
+            # prefix counts as already prefilled -- its pages are live
+            # cache references, so only the suffix enters this slot.
             active.append(_InFlight(
                 timed=timed, slot=slot, reserved_pages=need,
                 tokens=result.tokens, start_us=clock,
-                context_len=0, prompt_len=len(prompt),
+                context_len=matched, prompt_len=len(prompt),
                 prefill_target=len(prompt),
+                prefilled=matched, shared_tokens=matched,
             ))
+
+    # -- session tier: swap-in pricing, prediction, release ------------------
+
+    def _tier_swap_in(self, timed: TimedRequest, unparked: int,
+                      clock: float) -> None:
+        """Price the swap-in of ``unparked`` host-parked prefix tokens.
+
+        The transfer crosses the (possibly fault-degraded) PCIe link at
+        :func:`~repro.sched.kv_offload.kv_page_transfer_us` pricing.
+        With prefetch on and a think-time prediction for the session,
+        the transfer is modelled as launched ahead of the predicted
+        turn (never before the session's previous turn finished), so an
+        accurate prediction hides the transfer entirely -- only the
+        non-hidden remainder stalls the serving clock, accumulated in
+        ``_tier_stall_us`` exactly like preemption swap traffic.  A turn
+        arriving *before* the scheduled prefetch launch degrades to an
+        on-demand swap-in starting now, never a wait for the schedule.
+        """
+        xfer = kv_page_transfer_us(self.session.costs.preset, unparked,
+                                   self._link_at(clock))
+        sid = timed.session_id
+        if (self.kv_tier is not None and self.kv_tier.prefetch
+                and sid is not None and sid in self._predicted_next):
+            start = max(self._session_last_finish.get(sid, 0.0),
+                        self._predicted_next[sid] - xfer)
+            start = min(start, clock)
+        else:
+            start = clock
+        stall = max(0.0, start + xfer - clock)
+        ss = self.session_stats
+        if stall == 0.0:
+            ss.prefetch_hits += 1
+        ss.swap_in_stall_us += stall
+        self._tier_stall_us += stall
+
+    def _observe_session(self, timed: TimedRequest, clock: float) -> None:
+        """Update the session's think-time EWMA from this turn's arrival."""
+        sid = timed.session_id
+        if sid is None or self.kv_tier is None:
+            return
+        last = self._session_last_finish.get(sid)
+        if last is None:
+            return
+        think = max(0.0, timed.arrival_us - last)
+        prev = self._session_think.get(sid)
+        alpha = self.kv_tier.think_ewma_alpha
+        self._session_think[sid] = (
+            think if prev is None else alpha * think + (1 - alpha) * prev)
+
+    def _predict_next_turn(self, a: _InFlight, clock: float) -> None:
+        """At turn finish, predict the session's next arrival (if any EWMA)."""
+        sid = a.timed.session_id
+        if sid is None or self.kv_tier is None:
+            return
+        self._session_last_finish[sid] = clock
+        think = self._session_think.get(sid)
+        if think is not None:
+            self._predicted_next[sid] = clock + think
+
+    def _release_prefix(self, a: _InFlight, clock: float,
+                        insert: bool) -> None:
+        """Insert the finished prompt into the cache, then drop its pins.
+
+        Insert runs first (``insert=False`` for shed/timed-out requests)
+        so the request's own references protect its shared prefix while
+        the insert makes room; the new node may claim at most the pages
+        left over after every live reservation and the cache's current
+        footprint.
+        """
+        if self.prefix_cache is None:
+            return
+        prompt = self._prompt_tuple(a.timed)
+        if insert:
+            headroom = (self.pool.budget_pages - self._reserved_pages
+                        - self.prefix_cache.gpu_pages)
+            self.prefix_cache.insert(prompt, clock,
+                                     max_new_pages=max(0, headroom))
+        if a.shared_tokens:
+            self.prefix_cache.release(prompt, a.shared_tokens, clock)
+
+    def _sync_session_stats(self) -> None:
+        """Mirror the cache's cumulative counters into the run stats."""
+        ss = self.session_stats
+        c = self.prefix_cache
+        ss.inserted_tokens = c.inserted_tokens
+        ss.evicted_tokens = c.evicted_tokens
+        ss.parked_tokens = c.parked_tokens
+        ss.unparked_tokens = c.unparked_tokens
+        ss.dropped_host_tokens = c.dropped_host_tokens
+        # Park (swap-out) runs off the critical path; only swap-in ever
+        # stalls the clock.  Bytes are priced at the preemption-swap
+        # unit, so tier and preemption traffic are directly comparable.
+        ss.swap_out_bytes = self.costs.kv_swap_bytes(c.parked_tokens)
+        ss.swap_in_bytes = self.costs.kv_swap_bytes(c.unparked_tokens)
+        ss.peak_host_tokens = max(ss.peak_host_tokens, c.host_tokens)
+        ss.peak_gpu_cached_tokens = max(ss.peak_gpu_cached_tokens,
+                                        c.gpu_tokens)
 
     # -- serving loop -------------------------------------------------------
 
@@ -1127,7 +1340,30 @@ class ContinuousBatchingServer:
             if self._preempt_stall_us:
                 clock += self._preempt_stall_us
                 self._preempt_stall_us = 0.0
+            # Host-tier swap-in traffic from this admission round stalls
+            # the clock too (only the prefetch-unhidden remainder).
+            if self._tier_stall_us:
+                clock += self._tier_stall_us
+                self._tier_stall_us = 0.0
+            if self.kv_tier is not None:
+                # Parking runs off the critical path: idle sessions'
+                # pages drain to host DRAM without stalling the clock.
+                self.prefix_cache.park_idle(clock)
             if not active:
+                blocked = ((pending and pending[-1].arrival_us <= clock)
+                           or (not pending and self._preempted))
+                if blocked:
+                    # Nothing in flight, yet the best candidate could
+                    # not be placed: only prefix-cache pages can be in
+                    # the way.  Drain the cache and retry; a candidate
+                    # blocked even then can never be placed.
+                    if (self.prefix_cache is not None
+                            and self.prefix_cache.evict_pages(
+                                self.pool.budget_pages, clock) > 0):
+                        continue
+                    raise KVCacheError(
+                        "admission deadlock: prefix pages pinned by "
+                        "preempted requests exceed the KV budget")
                 if not pending:
                     break
                 # Nothing in flight and nothing admissible: jump to the
@@ -1184,9 +1420,19 @@ class ContinuousBatchingServer:
                 n_prefilling=sum(1 for a in active if not a.decodable),
                 chunk_tokens=chunk_tokens,
                 n_preempted=len(self._preempted),
-                graph_capture_us=self._last_graph_capture_us)
+                graph_capture_us=self._last_graph_capture_us,
+                prefix_cached_tokens=(self.prefix_cache.gpu_tokens
+                                      if self.prefix_cache is not None
+                                      else 0),
+                host_parked_tokens=(self.prefix_cache.host_tokens
+                                    if self.prefix_cache is not None
+                                    else 0))
+            if self.session_stats is not None:
+                self._sync_session_stats()
             if finished:
                 active = [a for a in active if id(a) not in finished]
+        if self.session_stats is not None:
+            self._sync_session_stats()
         return self.stats
 
     def _chunk_budget(self, n_decoding: int) -> float:
@@ -1220,9 +1466,15 @@ class ContinuousBatchingServer:
             return 0.0, 0, []
         budget = self._chunk_budget(len(active) - len(prefilling))
         remaining = sum(a.prefill_target - a.prefilled for a in prefilling)
-        if budget >= remaining and all(a.prefilled == 0 for a in prefilling):
+        if (budget >= remaining
+                and all(a.prefilled == a.shared_tokens for a in prefilling)):
+            # Fresh queue (nothing mid-chunk; cached prefixes count as
+            # already prefilled): one monolithic pass over the fresh
+            # suffixes only -- reuse composes with chunked prefill by
+            # shrinking `remaining` on both paths identically.
             for a in prefilling:
-                self.pool.append_placeholder(a.slot, a.prefill_target)
+                self.pool.append_placeholder(a.slot,
+                                             a.prefill_target - a.prefilled)
                 a.prefilled = a.prefill_target
                 a.context_len = a.prefill_target
             return self.costs.batched_prefill_us(remaining), 0, []
@@ -1288,6 +1540,7 @@ class ContinuousBatchingServer:
                 self.preempt_stats.shed_while_preempted += 1
                 if a.swapped:
                     self.pool.discard_swapped(a.slot)
+                self._release_prefix(a, clock, insert=False)
                 if a.emitted == 0:
                     a.first_token_us = clock
                 self._record_timing(a, clock, timed_out=True)
@@ -1583,9 +1836,18 @@ class ContinuousBatchingServer:
 
     def _finish(self, a: _InFlight, clock: float,
                 timed_out: bool = False) -> None:
-        """Release an active request's pages and record its timing."""
+        """Release an active request's pages and record its timing.
+
+        With a prefix cache, the finished prompt is inserted (so the
+        session's next turn can reuse it) before the request's own
+        prefix pins are released; timed-out requests release without
+        inserting.  The session's next-turn prediction updates here --
+        finish time is when the user starts thinking.
+        """
         self.pool.free(a.slot)
         self._reserved_pages -= a.reserved_pages
+        self._release_prefix(a, clock, insert=not timed_out)
+        self._predict_next_turn(a, clock)
         self._record_timing(a, clock, timed_out)
 
     def _record_timing(self, a: _InFlight, clock: float,

@@ -104,7 +104,10 @@ class TimelinePoint:
     requests currently evicted (swapped out or awaiting recompute) --
     always 0 without a priority config.  ``graph_capture_us`` is the
     CUDA-graph capture stall this iteration paid (0 on a replay hit, or
-    when no graph cache is configured).
+    when no graph cache is configured).  ``prefix_cached_tokens`` /
+    ``host_parked_tokens`` are the radix prefix cache's GPU-resident and
+    host-tier occupancy after the iteration -- both stay 0 without a
+    prefix-cache config.
     """
 
     t_us: float
@@ -114,6 +117,8 @@ class TimelinePoint:
     chunk_tokens: int = 0
     n_preempted: int = 0
     graph_capture_us: float = 0.0
+    prefix_cached_tokens: int = 0
+    host_parked_tokens: int = 0
 
 
 @dataclass
@@ -130,10 +135,14 @@ class BatchTimeline:
 
     def record(self, t_us: float, batch_size: int, kv_used_tokens: int,
                n_prefilling: int = 0, chunk_tokens: int = 0,
-               n_preempted: int = 0, graph_capture_us: float = 0.0) -> None:
+               n_preempted: int = 0, graph_capture_us: float = 0.0,
+               prefix_cached_tokens: int = 0,
+               host_parked_tokens: int = 0) -> None:
         self.points.append(TimelinePoint(t_us, batch_size, kv_used_tokens,
                                          n_prefilling, chunk_tokens,
-                                         n_preempted, graph_capture_us))
+                                         n_preempted, graph_capture_us,
+                                         prefix_cached_tokens,
+                                         host_parked_tokens))
 
     @property
     def n_iterations(self) -> int:
@@ -176,7 +185,9 @@ class BatchTimeline:
                  "n_prefilling": p.n_prefilling,
                  "chunk_tokens": p.chunk_tokens,
                  "n_preempted": p.n_preempted,
-                 "graph_capture_us": p.graph_capture_us}
+                 "graph_capture_us": p.graph_capture_us,
+                 "prefix_cached_tokens": p.prefix_cached_tokens,
+                 "host_parked_tokens": p.host_parked_tokens}
                 for p in self.points
             ],
         }
@@ -411,6 +422,69 @@ class GraphStats:
         }
 
 
+@dataclass
+class SessionStats:
+    """Prefix-cache and KV-tier counters of one serving run.
+
+    Attached to :class:`ServingStats` by the continuous-batching server
+    when a :class:`~repro.serving.prefix_cache.PrefixCacheConfig` is
+    active; the flat view lands in :meth:`ServingStats.summary` via
+    :meth:`summary` (``prefix_*`` keys for radix-cache reuse,
+    ``tier_*`` keys for the host-DRAM layer).
+
+    ``prefill_tokens_avoided`` counts prompt tokens served as cached
+    page references instead of prefill work; ``swap_*_bytes`` price the
+    park/unpark traffic (swap-out runs off the critical path, so only
+    ``tier_swap_in_stall_ms`` ever reaches the serving clock);
+    ``prefetch_hits`` counts unparks whose ahead-of-turn transfer
+    finished before the turn arrived (zero stall).
+    """
+
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prompt_tokens_total: int = 0
+    prefill_tokens_avoided: int = 0
+    inserted_tokens: int = 0
+    evicted_tokens: int = 0
+    parked_tokens: int = 0
+    unparked_tokens: int = 0
+    dropped_host_tokens: int = 0
+    swap_out_bytes: float = 0.0
+    swap_in_bytes: float = 0.0
+    swap_in_stall_us: float = 0.0
+    prefetch_hits: int = 0
+    peak_host_tokens: int = 0
+    peak_gpu_cached_tokens: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of submitted prompt tokens served from the cache."""
+        if self.prompt_tokens_total == 0:
+            return 0.0
+        return self.prefill_tokens_avoided / self.prompt_tokens_total
+
+    def summary(self) -> dict[str, float]:
+        """Flat ``prefix_*``/``tier_*`` counters for the summary."""
+        return {
+            "prefix_hits": float(self.prefix_hits),
+            "prefix_misses": float(self.prefix_misses),
+            "prefix_prompt_tokens": float(self.prompt_tokens_total),
+            "prefix_tokens_avoided": float(self.prefill_tokens_avoided),
+            "prefix_reuse_fraction": self.reuse_fraction,
+            "prefix_inserted_tokens": float(self.inserted_tokens),
+            "prefix_evicted_tokens": float(self.evicted_tokens),
+            "prefix_peak_gpu_tokens": float(self.peak_gpu_cached_tokens),
+            "tier_parked_tokens": float(self.parked_tokens),
+            "tier_unparked_tokens": float(self.unparked_tokens),
+            "tier_dropped_host_tokens": float(self.dropped_host_tokens),
+            "tier_swap_out_mb": self.swap_out_bytes / 1e6,
+            "tier_swap_in_mb": self.swap_in_bytes / 1e6,
+            "tier_swap_in_stall_ms": self.swap_in_stall_us / 1e3,
+            "tier_prefetch_hits": float(self.prefetch_hits),
+            "tier_peak_host_tokens": float(self.peak_host_tokens),
+        }
+
+
 @dataclass(frozen=True)
 class ShedRecord:
     """One request shed from the admission queue before it ever started.
@@ -443,6 +517,7 @@ class ServingStats:
     faults: FaultStats | None = None
     preemptions: PreemptionStats | None = None
     graphs: GraphStats | None = None
+    sessions: SessionStats | None = None
     shed: list[ShedRecord] = field(default_factory=list)
 
     def add(self, timing: RequestTiming) -> None:
@@ -507,6 +582,10 @@ class ServingStats:
             # Attached only when a graph cache or a non-legacy dispatch
             # is configured, so legacy summaries carry no graph_* keys.
             out.update(self.graphs.summary())
+        if self.sessions is not None:
+            # Attached only when a prefix cache is configured, so
+            # sessionless summaries carry no prefix_*/tier_* keys.
+            out.update(self.sessions.summary())
         return out
 
     def class_summary(self) -> dict[str, dict[str, float]]:

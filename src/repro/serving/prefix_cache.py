@@ -1,0 +1,538 @@
+"""Radix prefix-KV cache with a host-DRAM tier over the paged pool.
+
+Production traffic against a KTransformers-style hybrid engine is
+conversational *sessions*: every follow-up turn re-sends the system
+prompt and the whole conversation so far, and a scheduler that
+re-prefills from token zero pays for the same KV pages again and again.
+This module provides the vLLM/SGLang-style answer at simulation
+fidelity: a **page-quantized radix tree** whose nodes own page-granular
+slots in the serving engine's shared :class:`~repro.model.paged.
+PagedKVPool`.  Matching a new prompt against the tree yields the longest
+*page-aligned* cached prefix; the scheduler prices only the fresh suffix
+through (chunked) prefill and pins the shared pages by reference count
+while the request is in flight.
+
+Two placement tiers:
+
+- **GPU**: the node's pages live in the pool (placeholder tokens, so
+  tier occupancy is visible in ``pool.used_tokens`` and the serving
+  timeline).
+- **Host**: with a :class:`KVTierConfig`, idle unreferenced nodes are
+  *parked* in host DRAM -- their pool pages free up for admissions, and
+  the next turn of the session swaps them back in over PCIe (priced by
+  :func:`repro.sched.kv_offload.kv_page_transfer_us` on the possibly
+  fault-degraded link, with ahead-of-turn prefetch when the serving
+  engine predicted the turn).
+
+Structural invariants (fuzz-tested in ``tests/test_prefix_cache.py``):
+
+- every node's token span is a whole number of pages, and children are
+  keyed by their first page of tokens -- so two prompts diverging
+  mid-page branch into distinct edges;
+- nodes only ever *split* (never merge), so a page-aligned boundary,
+  once created by an acquire, persists until the node is evicted --
+  releases re-walk the tree and decrement exactly the nodes a prior
+  acquire incremented (splits copy the refcount to both halves);
+- a host (parked) node never has a GPU descendant, so evicting a GPU
+  node can only orphan host nodes (which are dropped and counted);
+- pool occupancy is conserved: the pool's used tokens always equal the
+  sum of live request slots plus :attr:`RadixPrefixCache.gpu_tokens`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, KVCacheError
+from ..model.paged import PagedKVPool
+
+
+@dataclass(frozen=True)
+class PrefixCacheConfig:
+    """Policy knobs of the radix prefix cache.
+
+    ``capacity_tokens`` caps the cache's *total* footprint (GPU-resident
+    plus host-parked tokens); ``None`` leaves the GPU side bounded only
+    by the pool budget and the host side by the tier config.  Inserts
+    that would exceed the cap first evict least-recently-used
+    unreferenced entries, then trim to whatever fits.
+    """
+
+    capacity_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_tokens is not None and self.capacity_tokens <= 0:
+            raise ConfigError("capacity_tokens must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class KVTierConfig:
+    """Host-DRAM KV tier policy for parked sessions.
+
+    ``host_budget_tokens`` bounds the host stash; parking past it drops
+    the least-recently-used host entries.  A GPU-resident cache entry is
+    *parked* (pages freed, contents host-side) once it has been
+    unreferenced for ``idle_park_us`` of serving-clock time.  With
+    ``prefetch`` on, the serving engine starts the swap-in transfer
+    ahead of a session's *predicted* next turn (EWMA over observed
+    think times with smoothing ``think_ewma_alpha``), so a well-predicted
+    turn pays no swap-in stall at all.
+    """
+
+    host_budget_tokens: int = 65536
+    idle_park_us: float = 1_000_000.0
+    prefetch: bool = True
+    think_ewma_alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.host_budget_tokens <= 0:
+            raise ConfigError("host_budget_tokens must be positive")
+        if self.idle_park_us < 0:
+            raise ConfigError("idle_park_us must be >= 0")
+        if not (0.0 < self.think_ewma_alpha <= 1.0):
+            raise ConfigError("think_ewma_alpha must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MatchProbe:
+    """Result of a read-only longest-prefix probe.
+
+    ``matched_tokens`` is the page-aligned cached prefix length (always
+    strictly shorter than the probed prompt, so at least one token
+    remains to prefill); ``unpark_tokens`` of those currently live in
+    the host tier and must swap in before reuse.  ``nodes`` is the
+    walked path -- an opaque protect set the admission path hands to
+    :meth:`RadixPrefixCache.evict_pages` so making room for the request
+    can never evict the very prefix it is about to acquire.
+    """
+
+    matched_tokens: int
+    unpark_tokens: int
+    nodes: tuple = ()
+
+
+class _Node:
+    """One radix-tree node owning a page-aligned span of prompt tokens."""
+
+    __slots__ = ("tokens", "parent", "children", "slot", "on_gpu", "refs",
+                 "last_use_us", "order")
+
+    def __init__(self, tokens: tuple, parent: "_Node | None",
+                 on_gpu: bool = True, refs: int = 0,
+                 last_use_us: float = 0.0, order: int = 0) -> None:
+        self.tokens = tokens
+        self.parent = parent
+        self.children: dict[tuple, _Node] = {}
+        self.slot: int | None = None
+        self.on_gpu = on_gpu
+        self.refs = refs
+        self.last_use_us = last_use_us
+        self.order = order
+
+
+class RadixPrefixCache:
+    """Page-granular radix tree of cached prompt prefixes over a pool.
+
+    The serving engine is the only writer; all mutation happens through
+    :meth:`acquire` / :meth:`release` / :meth:`insert` /
+    :meth:`evict_pages` / :meth:`park_idle`, each deterministic given
+    the call sequence (LRU ties break on a monotone insertion order),
+    so a replayed workload reproduces the tree bit-for-bit.
+    """
+
+    def __init__(self, pool: PagedKVPool,
+                 config: PrefixCacheConfig | None = None,
+                 tier: KVTierConfig | None = None) -> None:
+        self.pool = pool
+        self.config = config or PrefixCacheConfig()
+        self.tier = tier
+        self.page_tokens = pool.page_tokens
+        self._root = _Node(tokens=(), parent=None)
+        self._order = 0
+        self._gpu_tokens = 0
+        self._host_tokens = 0
+        self._total_refs = 0
+        # Cumulative traffic counters (monotone; the serving engine
+        # copies them into SessionStats / prices them into swap bytes).
+        self.inserted_tokens = 0
+        self.evicted_tokens = 0
+        self.parked_tokens = 0
+        self.unparked_tokens = 0
+        self.dropped_host_tokens = 0
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def gpu_tokens(self) -> int:
+        """Cached tokens whose pages are currently pool-resident."""
+        return self._gpu_tokens
+
+    @property
+    def host_tokens(self) -> int:
+        """Cached tokens currently parked in the host tier."""
+        return self._host_tokens
+
+    @property
+    def gpu_pages(self) -> int:
+        """Pool pages the cache currently occupies."""
+        return self._gpu_tokens // self.page_tokens
+
+    @property
+    def total_refs(self) -> int:
+        """Outstanding acquire references across every node."""
+        return self._total_refs
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the tree (root excluded)."""
+        return sum(1 for _ in self._iter_nodes())
+
+    def _iter_nodes(self):
+        """Depth-first iteration over every non-root node."""
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    # -- matching ------------------------------------------------------------
+
+    def _floor_page(self, n: int) -> int:
+        return (n // self.page_tokens) * self.page_tokens
+
+    def _match_cap(self, tokens: tuple) -> int:
+        """Longest prefix the cache may ever serve for this prompt.
+
+        Page-aligned and strictly shorter than the prompt: a request
+        must always prefill at least its final token, so a fully-cached
+        prompt cannot skip prefill entirely (mirroring real engines,
+        where the last token's logits must be recomputed).
+        """
+        if len(tokens) <= 1:
+            return 0
+        return self._floor_page(len(tokens) - 1)
+
+    @staticmethod
+    def _common_len(a: tuple, b: tuple) -> int:
+        n = min(len(a), len(b))
+        for i in range(n):
+            if a[i] != b[i]:
+                return i
+        return n
+
+    def probe(self, tokens) -> MatchProbe:
+        """Read-only longest-prefix match of ``tokens`` against the tree.
+
+        Returns the page-aligned match length, how many of those tokens
+        would need unparking from the host tier, and the walked path as
+        a protect set for eviction.  Mutates nothing.
+        """
+        tokens = tuple(tokens)
+        cap = self._match_cap(tokens)
+        node, pos, unpark = self._root, 0, 0
+        path: list[_Node] = []
+        while pos < cap:
+            child = node.children.get(tokens[pos:pos + self.page_tokens])
+            if child is None:
+                break
+            take = self._common_len(child.tokens, tokens[pos:])
+            usable = min(self._floor_page(take), cap - pos)
+            if usable == 0:
+                break
+            path.append(child)
+            if not child.on_gpu:
+                unpark += usable
+            pos += usable
+            if usable < len(child.tokens):
+                break
+            node = child
+        return MatchProbe(pos, unpark, tuple(path))
+
+    def acquire(self, tokens, now: float) -> tuple[int, int]:
+        """Pin the longest cached prefix of ``tokens``; returns usage.
+
+        Splits nodes at the page-aligned match boundary so the walked
+        path covers the match exactly, unparks any host-resident path
+        node back into pool pages (the caller must have reserved
+        headroom -- see :meth:`probe`'s ``unpark_tokens``), increments
+        every covering node's refcount, and returns
+        ``(matched_tokens, unparked_tokens)``.
+        """
+        tokens = tuple(tokens)
+        cap = self._match_cap(tokens)
+        node, pos, unparked = self._root, 0, 0
+        while pos < cap:
+            child = node.children.get(tokens[pos:pos + self.page_tokens])
+            if child is None:
+                break
+            take = self._common_len(child.tokens, tokens[pos:])
+            usable = min(self._floor_page(take), cap - pos)
+            if usable == 0:
+                break
+            if usable < len(child.tokens):
+                child = self._split(child, usable)
+            if not child.on_gpu:
+                self._unpark(child)
+                unparked += usable
+            child.refs += 1
+            self._total_refs += 1
+            child.last_use_us = now
+            pos += usable
+            node = child
+        return pos, unparked
+
+    def release(self, tokens, matched: int, now: float) -> None:
+        """Drop the references a prior ``acquire(tokens)`` took.
+
+        Re-walks the tree along ``tokens``: boundaries only ever get
+        finer (nodes split, never merge) and referenced nodes cannot be
+        evicted, so the walk covers exactly the acquired span -- each
+        covering node loses one reference.  Raises
+        :class:`~repro.errors.KVCacheError` on a walk mismatch or a
+        refcount underflow (both would indicate double-release).
+        """
+        if matched == 0:
+            return
+        tokens = tuple(tokens)
+        node, pos = self._root, 0
+        while pos < matched:
+            child = node.children.get(tokens[pos:pos + self.page_tokens])
+            if child is None or len(child.tokens) > matched - pos:
+                raise KVCacheError(
+                    f"release walk mismatch at token {pos} of {matched}")
+            if child.refs <= 0:
+                raise KVCacheError("prefix refcount underflow")
+            child.refs -= 1
+            self._total_refs -= 1
+            child.last_use_us = max(child.last_use_us, now)
+            pos += len(child.tokens)
+            node = child
+
+    # -- structural mutation -------------------------------------------------
+
+    def _next_order(self) -> int:
+        self._order += 1
+        return self._order
+
+    def _split(self, node: _Node, offset: int) -> _Node:
+        """Split ``node`` at page-aligned ``offset``; returns the front half.
+
+        Both halves inherit the refcount (every holder's later release
+        re-walks through both), the placement tier, and the last-use
+        stamp; GPU halves get fresh pool slots sized to their spans
+        (free-then-allocate, so the page count is conserved and the
+        transient allocation always fits).
+        """
+        if offset <= 0 or offset >= len(node.tokens):
+            raise KVCacheError(f"bad split offset {offset}")
+        front = _Node(node.tokens[:offset], node.parent, on_gpu=node.on_gpu,
+                      refs=node.refs, last_use_us=node.last_use_us,
+                      order=self._next_order())
+        node.parent.children[node.tokens[:self.page_tokens]] = front
+        node.tokens = node.tokens[offset:]
+        node.parent = front
+        node.order = self._next_order()
+        front.children = {node.tokens[:self.page_tokens]: node}
+        if node.on_gpu:
+            self.pool.free(node.slot)
+            front.slot = self.pool.allocate()
+            self.pool.append_placeholder(front.slot, len(front.tokens))
+            node.slot = self.pool.allocate()
+            self.pool.append_placeholder(node.slot, len(node.tokens))
+        self._total_refs += node.refs   # the copy on the back half
+        return front
+
+    def _unpark(self, node: _Node) -> None:
+        """Swap one host node's pages back into the pool (GPU tier)."""
+        n = len(node.tokens)
+        node.slot = self.pool.allocate()
+        self.pool.append_placeholder(node.slot, n)
+        node.on_gpu = True
+        self._host_tokens -= n
+        self._gpu_tokens += n
+        self.unparked_tokens += n
+
+    def insert(self, tokens, now: float, max_new_pages: int) -> int:
+        """Cache the page-aligned prefix of ``tokens``; returns new tokens.
+
+        Walks the existing tree (refreshing recency and splitting at a
+        divergence), then attaches the uncached remainder as one new
+        GPU node -- unless the walk ends under a host-parked node (the
+        prefix is already cached, and a GPU node must never sit below a
+        host one).  ``max_new_pages`` caps the pool pages the insert
+        may claim (the serving engine passes its admission headroom);
+        shortfalls first evict LRU unreferenced entries, then trim the
+        insert to whatever fits (possibly nothing).
+        """
+        tokens = tuple(tokens)
+        n = self._floor_page(len(tokens))
+        node, pos = self._root, 0
+        path: list[_Node] = []
+        while pos < n:
+            child = node.children.get(tokens[pos:pos + self.page_tokens])
+            if child is None:
+                break
+            take = min(self._floor_page(
+                self._common_len(child.tokens, tokens[pos:])), n - pos)
+            if take == 0:
+                break
+            if take < len(child.tokens):
+                child = self._split(child, take)
+            if not child.on_gpu:
+                return 0        # already cached (host tier); never extend below
+            child.last_use_us = max(child.last_use_us, now)
+            path.append(child)
+            pos += take
+            node = child
+        remaining = n - pos
+        if remaining <= 0:
+            return 0
+        if self.config.capacity_tokens is not None:
+            total = self._gpu_tokens + self._host_tokens
+            over = total + remaining - self.config.capacity_tokens
+            if over > 0:
+                self.evict_pages(-(-over // self.page_tokens), now,
+                                 protect=path)
+                room = max(0, self.config.capacity_tokens
+                           - self._gpu_tokens - self._host_tokens)
+                remaining = min(remaining, self._floor_page(room))
+        pages = remaining // self.page_tokens
+        grant = min(max_new_pages, self.pool.free_pages)
+        if pages > grant:
+            grant += self.evict_pages(pages - grant, now, protect=path)
+            grant = min(grant, self.pool.free_pages)
+        pages = min(pages, max(0, grant))
+        remaining = pages * self.page_tokens
+        if remaining <= 0:
+            return 0
+        child = _Node(tokens[pos:pos + remaining], node, on_gpu=True,
+                      last_use_us=now, order=self._next_order())
+        child.slot = self.pool.allocate()
+        self.pool.append_placeholder(child.slot, remaining)
+        node.children[child.tokens[:self.page_tokens]] = child
+        self._gpu_tokens += remaining
+        self.inserted_tokens += remaining
+        return remaining
+
+    # -- eviction and tiering ------------------------------------------------
+
+    def _evictable(self, node: _Node, protect_ids: set[int]) -> bool:
+        return (node.on_gpu and node.refs == 0
+                and id(node) not in protect_ids
+                and not any(c.on_gpu for c in node.children.values()))
+
+    def _drop_host_subtree(self, node: _Node) -> None:
+        """Detach and count every host descendant of ``node``."""
+        for child in list(node.children.values()):
+            self._drop_host_subtree(child)
+            self._host_tokens -= len(child.tokens)
+            self.dropped_host_tokens += len(child.tokens)
+        node.children.clear()
+
+    def _evict(self, node: _Node) -> int:
+        """Remove one node (and its host subtree); returns pages freed."""
+        self._drop_host_subtree(node)
+        n = len(node.tokens)
+        pages = 0
+        if node.on_gpu:
+            self.pool.free(node.slot)
+            self._gpu_tokens -= n
+            self.evicted_tokens += n
+            pages = n // self.page_tokens
+        else:
+            self._host_tokens -= n
+            self.dropped_host_tokens += n
+        del node.parent.children[node.tokens[:self.page_tokens]]
+        node.parent = None
+        return pages
+
+    def evict_pages(self, n_pages: int, now: float,
+                    protect=()) -> int:
+        """Free up to ``n_pages`` pool pages by evicting LRU entries.
+
+        Candidates are unreferenced GPU nodes with no GPU children
+        (deepest-first by construction) outside the ``protect`` set;
+        least-recently-used wins, ties broken by creation order so the
+        choice is deterministic.  Evicting a node drops any host-parked
+        descendants (they become unreachable).  Returns the pages
+        actually freed -- possibly fewer than asked when everything
+        left is referenced or protected.
+        """
+        protect_ids = {id(p) for p in protect}
+        freed = 0
+        while freed < n_pages:
+            victim = None
+            for node in self._iter_nodes():
+                if not self._evictable(node, protect_ids):
+                    continue
+                if victim is None or ((node.last_use_us, node.order)
+                                      < (victim.last_use_us, victim.order)):
+                    victim = node
+            if victim is None:
+                break
+            freed += self._evict(victim)
+        return freed
+
+    def _drop_lru_host_leaf(self) -> bool:
+        """Drop the least-recently-used childless host node; False if none."""
+        victim = None
+        for node in self._iter_nodes():
+            if node.on_gpu or node.children:
+                continue
+            if victim is None or ((node.last_use_us, node.order)
+                                  < (victim.last_use_us, victim.order)):
+                victim = node
+        if victim is None:
+            return False
+        self._host_tokens -= len(victim.tokens)
+        self.dropped_host_tokens += len(victim.tokens)
+        del victim.parent.children[victim.tokens[:self.page_tokens]]
+        victim.parent = None
+        return True
+
+    def _host_room(self, n: int) -> bool:
+        """Make host-budget room for ``n`` tokens; False if impossible."""
+        if self.tier is None or n > self.tier.host_budget_tokens:
+            return False
+        while self._host_tokens + n > self.tier.host_budget_tokens:
+            if not self._drop_lru_host_leaf():
+                return False
+        return True
+
+    def park_idle(self, now: float) -> int:
+        """Park idle unreferenced GPU entries into the host tier.
+
+        Leaf-first (a node parks only once no GPU child remains, so the
+        host-below-GPU invariant holds), eligibility is
+        ``idle >= tier.idle_park_us`` with zero references.  Host-budget
+        overflow drops LRU host leaves; an entry that cannot fit the
+        host budget at all is evicted outright instead of parked.
+        Returns the tokens parked by this call (the engine prices the
+        swap-out bytes off the critical path -- parking never stalls
+        the serving clock).  No-op without a tier config.
+        """
+        if self.tier is None:
+            return 0
+        parked = 0
+        progress = True
+        while progress:
+            progress = False
+            for node in self._iter_nodes():
+                if (not node.on_gpu or node.refs > 0
+                        or any(c.on_gpu for c in node.children.values())
+                        or now - node.last_use_us < self.tier.idle_park_us):
+                    continue
+                n = len(node.tokens)
+                if not self._host_room(n):
+                    self._evict(node)
+                else:
+                    self.pool.free(node.slot)
+                    node.slot = None
+                    node.on_gpu = False
+                    self._gpu_tokens -= n
+                    self._host_tokens += n
+                    self.parked_tokens += n
+                    parked += n
+                progress = True
+                break       # tree mutated: restart the scan
+        return parked

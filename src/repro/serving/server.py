@@ -25,12 +25,17 @@ class TimedRequest:
 
     ``priority`` only matters to schedulers configured with a
     :class:`~repro.serving.priority.PriorityConfig`; the FIFO servers
-    ignore it (every request is effectively STANDARD).
+    ignore it (every request is effectively STANDARD).  ``session_id``
+    tags the conversational session a turn belongs to -- ``None`` for
+    one-shot traffic; only the continuous-batching server's KV tier
+    consults it (for think-time prediction and ahead-of-turn swap-in),
+    so untagged workloads behave exactly as before.
     """
 
     arrival_us: float
     request: GenerationRequest
     priority: Priority = Priority.STANDARD
+    session_id: str | None = None
 
 
 class LocalServer:
@@ -92,3 +97,67 @@ def poisson_workload(
             priority=priority,
         ))
     return out
+
+
+def multi_turn_workload(
+    n_sessions: int,
+    n_turns: int,
+    system_tokens: int,
+    user_tokens: int,
+    assistant_tokens: int,
+    max_new_tokens: int,
+    vocab_size: int,
+    mean_think_us: float,
+    service_allowance_us: float,
+    mean_session_offset_us: float = 0.0,
+    seed: int = 0,
+    priority: Priority = Priority.STANDARD,
+) -> list[TimedRequest]:
+    """Synthetic multi-turn conversational workload (open-loop).
+
+    Every session shares one ``system_tokens``-long system prompt (the
+    cross-session prefix a radix cache can dedupe); each turn's prompt
+    is the previous turn's prompt plus ``assistant_tokens`` of filler
+    standing in for the assistant reply plus ``user_tokens`` of fresh
+    user text -- so context length grows linearly with turn count,
+    exactly the growth pattern tiered KV serving has to absorb.  Turn
+    ``k+1`` arrives ``service_allowance_us`` (time granted for serving
+    turn ``k``) plus an exponential think-time sample after turn ``k``;
+    session starts are staggered by exponential offsets of mean
+    ``mean_session_offset_us``.  Being open-loop, the assistant filler
+    is generator-drawn rather than the served model's actual output --
+    prefix reuse therefore spans the *prompt* history, which is what
+    the radix cache keys on anyway.  Requests are tagged with a
+    per-session ``session_id`` and returned sorted by arrival.
+    """
+    if n_sessions <= 0 or n_turns <= 0:
+        raise ConfigError("n_sessions and n_turns must be positive")
+    if system_tokens <= 0 or user_tokens <= 0 or assistant_tokens < 0:
+        raise ConfigError("prompt segment lengths must be positive")
+    if mean_think_us < 0 or service_allowance_us < 0:
+        raise ConfigError("think/service times must be >= 0")
+    rng = np.random.default_rng(seed)
+    system = rng.integers(1, vocab_size, size=system_tokens)
+    out: list[TimedRequest] = []
+    start = 0.0
+    for s in range(n_sessions):
+        if mean_session_offset_us > 0:
+            start += float(rng.exponential(mean_session_offset_us))
+        history = system
+        arrival = start
+        for _ in range(n_turns):
+            user = rng.integers(1, vocab_size, size=user_tokens)
+            prompt = np.concatenate([history, user])
+            out.append(TimedRequest(
+                arrival_us=arrival,
+                request=GenerationRequest(prompt=prompt,
+                                          max_new_tokens=max_new_tokens),
+                priority=priority,
+                session_id=f"session-{s:03d}",
+            ))
+            filler = rng.integers(1, vocab_size, size=assistant_tokens)
+            history = np.concatenate([prompt, filler])
+            think = (float(rng.exponential(mean_think_us))
+                     if mean_think_us > 0 else 0.0)
+            arrival = arrival + service_allowance_us + think
+    return sorted(out, key=lambda t: t.arrival_us)

@@ -7,6 +7,15 @@ An :class:`InferenceSession` couples the two halves of the reproduction:
 - the **performance** stack prices each phase on the simulated machine, so
   the session reports the TTFT/TPOT a Table-1-scale deployment would see.
 
+Despite the name, a session is *not* a standalone serving loop and holds
+no multi-turn state: it is the token/cost backend shared by both servers
+-- the batch-1 :class:`~repro.serving.server.LocalServer` and the
+iteration-level :class:`~repro.serving.continuous.
+ContinuousBatchingServer` -- and every ``generate`` call is stateless.
+Conversational KV state across turns (shared system prompts, earlier
+turns' pages) lives in the engine's radix prefix cache
+(:mod:`repro.serving.prefix_cache`), not here.
+
 Phase costs are measured once per (prompt-length bucket) via the same
 engine entry points the benchmarks use, then cached.
 """

@@ -40,8 +40,11 @@ from repro.serving import (
     BatchSchedulerConfig,
     ContinuousBatchingServer,
     InferenceSession,
+    KVTierConfig,
+    PrefixCacheConfig,
     Priority,
     PriorityConfig,
+    multi_turn_workload,
     poisson_workload,
     serving_expert_cache,
 )
@@ -339,3 +342,142 @@ def test_single_priority_fifo_identity_under_chaos(wl, cfg, prio, seed,
     assert prio_stats.timings == fifo.timings
     assert prio_stats.summary() == {
         k: v for k, v in fifo.summary().items()}
+
+
+# -- ISSUE 7: session serving (radix prefix cache + host KV tier) ------------
+
+session_workload_strategy = st.fixed_dictionaries({
+    "n_sessions": st.integers(1, 3),
+    "n_turns": st.integers(1, 4),
+    "system_tokens": st.integers(4, 40),
+    "user_tokens": st.integers(2, 12),
+    "assistant_tokens": st.integers(0, 8),
+    "max_new_tokens": st.integers(2, 6),
+    "mean_think_us": st.sampled_from([0.0, 1e5, 5e6, 20e6]),
+    "service_allowance_us": st.sampled_from([0.0, 1e6, 10e6]),
+    "seed": st.integers(0, 10_000),
+})
+tier_strategy = st.none() | st.builds(
+    KVTierConfig,
+    host_budget_tokens=st.sampled_from([64, 1024, 65536]),
+    idle_park_us=st.sampled_from([0.0, 1e6, 30e6]),
+    prefetch=st.booleans(),
+)
+
+
+def _session_cfg(wl, cfg):
+    """Raise the sampled KV budget to fit the workload's largest turn.
+
+    Multi-turn prompts grow with turn count; a budget smaller than one
+    request is a ConfigError by design (admission can never succeed),
+    which is not the property under test here.
+    """
+    worst = (wl["system_tokens"] + wl["n_turns"] * wl["user_tokens"]
+             + (wl["n_turns"] - 1) * wl["assistant_tokens"]
+             + wl["max_new_tokens"])
+    floor = -(-worst // 16) * 16
+    out = dict(cfg)
+    out["kv_budget_tokens"] = max(cfg["kv_budget_tokens"], floor)
+    return out
+
+
+@settings(max_examples=10, deadline=None)
+@given(wl=session_workload_strategy, cfg=config_strategy,
+       capacity=st.none() | st.sampled_from([64, 256]),
+       tier=tier_strategy)
+def test_session_replay_invariants(wl, cfg, capacity, tier):
+    """ISSUE 7 fuzz: prefix reuse changes *cost*, never correctness.
+
+    Across random conversational workloads, chunk configs, cache
+    capacities, and tier policies: every turn finishes, timestamps stay
+    monotone, tokens are conserved against the functional model, the
+    prefix tree drains to zero references, and pool occupancy ends at
+    exactly the cache's resident footprint (request pages freed exactly
+    once -- the pool's double-free guard would raise otherwise).
+    """
+    session = get_session()
+    cfg = _session_cfg(wl, cfg)
+    workload = multi_turn_workload(vocab_size=64, **wl)
+    server = ContinuousBatchingServer(
+        session, BatchSchedulerConfig(**cfg),
+        prefix_cache=PrefixCacheConfig(capacity_tokens=capacity),
+        kv_tier=tier)
+    stats = server.replay(list(workload))
+
+    assert stats.n_requests == len(workload)
+    for t in stats.timings:
+        assert t.arrival_us <= t.start_us <= t.first_token_us <= t.finish_us
+    # Token conservation against the functional model: skipping cached
+    # prefill never changes what is emitted.
+    expected = sum(len(session.generate(t.request).tokens)
+                   for t in workload)
+    assert sum(t.generated_tokens for t in stats.timings) == expected
+    # The tree drained: no outstanding pins, pool holds only the cache.
+    cache = server.prefix_cache
+    assert cache.total_refs == 0
+    assert server._reserved_pages == 0
+    assert server.pool.used_tokens == cache.gpu_tokens
+    # Budget respected throughout, cache occupancy included.
+    for p in server.timeline.points:
+        assert p.kv_used_tokens <= server.pool.budget_tokens
+        assert p.prefix_cached_tokens >= 0
+        assert p.host_parked_tokens >= 0
+    # Session accounting is self-consistent.
+    s = stats.sessions
+    assert s is not None
+    assert s.prefix_hits + s.prefix_misses == len(workload)
+    assert 0.0 <= s.reuse_fraction < 1.0
+    assert s.prefill_tokens_avoided <= s.prompt_tokens_total
+    if tier is None:
+        assert s.parked_tokens == 0 and s.swap_out_bytes == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(wl=session_workload_strategy, cfg=config_strategy,
+       seed=st.integers(0, 10_000))
+def test_session_disabled_is_baseline_bit_identical(wl, cfg, seed):
+    """``prefix_cache=None`` must reproduce the PR 6 engine bit-for-bit
+    on conversational traffic, clean and under ``canonical_chaos_plan``:
+    every new code path is gated on the config."""
+    cfg = _session_cfg(wl, cfg)
+
+    def run(prefix_cache, plan=None):
+        workload = multi_turn_workload(vocab_size=64, **wl)
+        injector = FaultInjector(plan) if plan is not None else None
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg),
+            fault_injector=injector, prefix_cache=prefix_cache)
+        return server, server.replay(list(workload))
+
+    server_b, base = run(None)
+    server_d, disabled = run(None)
+    assert base.timings == disabled.timings
+    assert base.summary() == disabled.summary()
+    assert server_b.timeline.as_dict() == server_d.timeline.as_dict()
+    assert disabled.sessions is None
+
+    _, base_chaos = run(None, canonical_chaos_plan(seed))
+    _, dis_chaos = run(None, canonical_chaos_plan(seed))
+    assert base_chaos.timings == dis_chaos.timings
+    assert base_chaos.summary() == dis_chaos.summary()
+
+
+@settings(max_examples=6, deadline=None)
+@given(wl=session_workload_strategy, cfg=config_strategy,
+       tier=tier_strategy)
+def test_session_replay_deterministic(wl, cfg, tier):
+    """Same workload, same configs: bit-identical stats, sessions
+    summary included (EWMA prediction and LRU tie-breaks are
+    deterministic)."""
+    cfg = _session_cfg(wl, cfg)
+
+    def run():
+        workload = multi_turn_workload(vocab_size=64, **wl)
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg),
+            prefix_cache=PrefixCacheConfig(), kv_tier=tier)
+        return server.replay(list(workload))
+
+    s1, s2 = run(), run()
+    assert s1.timings == s2.timings
+    assert s1.summary() == s2.summary()

@@ -250,23 +250,24 @@ def test_golden_chaos_hardened_arm():
 # replay *bit for bit* -- same floats, not merely within tolerance.
 
 def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
-                        chaos=False, priorities=None, sched_extra=None):
+                        chaos=False, priorities=None, sched_extra=None,
+                        server_extra=None, workload=None):
     from repro.serving import (
         BatchSchedulerConfig, ContinuousBatchingServer, poisson_workload,
         serving_expert_cache,
     )
     session = InferenceSession(MoETransformer(tiny_config("tiny-qw")), DS3)
-    kwargs = {}
+    kwargs = dict(server_extra or {})
     if chaos:
         from repro.faults import FaultInjector, canonical_chaos_plan
         from repro.serving import ResilienceConfig
-        kwargs = {
+        kwargs.update({
             "expert_cache": serving_expert_cache(
                 session, vram_budget_bytes=12 * DS3.expert_bytes(BF16)),
             "fault_injector": FaultInjector(canonical_chaos_plan()),
             "resilience": ResilienceConfig(queue_timeout_us=60e6,
                                            decode_timeout_us=150e6),
-        }
+        })
     server = ContinuousBatchingServer(
         session,
         BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4,
@@ -274,7 +275,8 @@ def _equivalence_replay(chunk_tokens, chunk_policy="decode-priority",
                              chunk_policy=chunk_policy,
                              **(sched_extra or {})),
         priorities=priorities, **kwargs)
-    stats = server.replay(poisson_workload(
+    stats = server.replay(list(workload) if workload is not None
+                          else poisson_workload(
         n_requests=8, mean_interarrival_us=1e6, prompt_len=16,
         max_new_tokens=8, vocab_size=64, seed=11))
     return [(t.arrival_us, t.start_us, t.first_token_us, t.finish_us,
@@ -320,6 +322,55 @@ def test_golden_legacy_dispatch_cost_model(batch_costs):
     for (batch, ctx) in GOLDEN_DECODE_STEP_US:
         assert explicit.decode_step_us([ctx] * batch) == \
             batch_costs.decode_step_us([ctx] * batch)
+
+
+def test_golden_prefix_disabled_reproduces_pr6():
+    """ISSUE 7 acceptance: ``prefix_cache=None`` (the default) keeps the
+    PR 6 engine bit-for-bit -- explicitly disabled equals default, clean
+    and under the canonical fault storm, and session-tagged requests are
+    inert without a cache (the tags must not leak into scheduling)."""
+    import dataclasses as _dc
+
+    from repro.serving import poisson_workload
+    off = {"prefix_cache": None, "kv_tier": None}
+    assert _equivalence_replay(None, server_extra=off) == \
+        _equivalence_replay(None)
+    assert _equivalence_replay(None, chaos=True, server_extra=off) == \
+        _equivalence_replay(None, chaos=True)
+    wl = poisson_workload(n_requests=8, mean_interarrival_us=1e6,
+                          prompt_len=16, max_new_tokens=8, vocab_size=64,
+                          seed=11)
+    tagged = [_dc.replace(t, session_id=f"s{i % 3}")
+              for i, t in enumerate(wl)]
+    assert _equivalence_replay(None, workload=tagged, server_extra=off) == \
+        _equivalence_replay(None, workload=wl)
+
+
+def test_golden_multi_turn_untagged_matches_poisson_shape():
+    """The multi-turn generator is deterministic: same seed, same
+    workload -- arrival times, prompts, and session tags included."""
+    from repro.serving import multi_turn_workload
+    kw = dict(n_sessions=2, n_turns=3, system_tokens=8, user_tokens=4,
+              assistant_tokens=4, max_new_tokens=4, vocab_size=64,
+              mean_think_us=1e6, service_allowance_us=1e6, seed=3)
+    a, b = multi_turn_workload(**kw), multi_turn_workload(**kw)
+    assert [(t.arrival_us, t.session_id, tuple(t.request.prompt))
+            for t in a] == \
+           [(t.arrival_us, t.session_id, tuple(t.request.prompt))
+            for t in b]
+
+
+# Parked-session pricing pins (ISSUE 7).  The host KV tier moves whole-
+# model pages over the same PCIe formula the preemption swap path uses,
+# so the swap goldens above pin the tier too -- asserted here both
+# against the absolute numbers and bit-for-bit against swap pricing.
+@pytest.mark.parametrize("tokens", sorted(GOLDEN_SWAP_TRANSFER_US))
+def test_golden_parked_session_transfer(batch_costs, tokens):
+    from repro.sched.kv_offload import kv_page_transfer_us
+    expected = GOLDEN_SWAP_TRANSFER_US[tokens]
+    got = kv_page_transfer_us(DS3, tokens, MACHINE.interconnect)
+    assert got == pytest.approx(expected, rel=TOL)
+    assert got == batch_costs.swap_transfer_us(tokens)
 
 
 def test_golden_single_priority_reproduces_fifo():

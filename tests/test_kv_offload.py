@@ -1,0 +1,167 @@
+"""Closed-form unit tests for ``repro.sched.kv_offload`` (ISSUE 7).
+
+The module prices the two KV-placement regimes the paper contrasts --
+MLA's compressed latent (~28x smaller per token) against full-MHA K/V
+-- and, since ISSUE 7, the serving engine's host-tier page transfers.
+Everything here is checked against hand-computed byte counts and the
+roofline primitives, so a silent change to any pricing formula fails
+loudly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.roofline import pcie_transfer_time_us
+from repro.hw.spec import paper_testbed
+from repro.model.presets import DS3, QW2
+from repro.sched.decode import kv_swap_transfer_us
+from repro.sched.kv_offload import (
+    gpu_kv_budget_tokens,
+    kv_bytes_per_token_layer,
+    kv_cache_total_bytes,
+    kv_offload_step_cost,
+    kv_page_transfer_us,
+)
+from repro.sched.workload import ACTIVATION_BYTES, kv_token_bytes
+
+MACHINE = paper_testbed("a100")
+MHA = dataclasses.replace(DS3, kv_rank=0)
+
+
+# -- per-token units ---------------------------------------------------------
+
+def test_mla_latent_unit():
+    assert kv_bytes_per_token_layer(DS3) == DS3.kv_rank * ACTIVATION_BYTES
+
+
+def test_mha_full_kv_unit():
+    assert kv_bytes_per_token_layer(MHA) == 2.0 * DS3.hidden * ACTIVATION_BYTES
+
+
+def test_mla_vs_mha_compression_ratio():
+    # The paper's headline: MLA's latent is ~28x smaller than full K/V
+    # at DeepSeek-V3 dimensions (2*7168 / 512 = 28).
+    ratio = kv_bytes_per_token_layer(MHA) / kv_bytes_per_token_layer(DS3)
+    assert ratio == pytest.approx(2.0 * DS3.hidden / DS3.kv_rank)
+    assert 20.0 < ratio < 40.0
+
+
+def test_unit_matches_sched_workload():
+    # Two modules, one formula: swap pricing and offload pricing must
+    # agree on the per-token-per-layer unit for every preset.
+    for preset in (DS3, QW2, MHA):
+        assert kv_bytes_per_token_layer(preset) == kv_token_bytes(preset)
+
+
+def test_total_bytes_closed_form():
+    n = 4096
+    assert kv_cache_total_bytes(DS3, n) == \
+        DS3.kv_rank * ACTIVATION_BYTES * n * DS3.n_layers
+
+
+# -- page transfer pricing (host KV tier) ------------------------------------
+
+def test_page_transfer_matches_closed_form():
+    link = MACHINE.interconnect
+    for n in (16, 1024, 8192):
+        expected = pcie_transfer_time_us(
+            kv_bytes_per_token_layer(DS3) * DS3.n_layers * n, link)
+        assert kv_page_transfer_us(DS3, n, link) == expected
+
+
+def test_page_transfer_bit_identical_to_swap_pricing():
+    """Parked-session pricing == preemption-swap pricing, bit for bit:
+    one set of goldens covers both paths."""
+    link = MACHINE.interconnect
+    for preset in (DS3, MHA):
+        for n in (0, 1, 64, 1024, 8192):
+            assert kv_page_transfer_us(preset, n, link) == \
+                kv_swap_transfer_us(n, kv_token_bytes(preset),
+                                    preset.n_layers, link)
+
+
+def test_page_transfer_zero_tokens_is_free():
+    # No transfer issued at all -- not even link latency.
+    assert kv_page_transfer_us(DS3, 0, MACHINE.interconnect) == 0.0
+
+
+def test_page_transfer_negative_raises():
+    with pytest.raises(ConfigError):
+        kv_page_transfer_us(DS3, -1, MACHINE.interconnect)
+
+
+def test_page_transfer_scales_with_degraded_link():
+    link = MACHINE.interconnect
+    slow = dataclasses.replace(link, pcie_bandwidth=link.pcie_bandwidth / 4)
+    fast = kv_page_transfer_us(DS3, 1024, link)
+    degraded = kv_page_transfer_us(DS3, 1024, slow)
+    assert degraded > fast
+
+
+# -- VRAM budget boundaries --------------------------------------------------
+
+def test_budget_zero_when_weights_fill_vram():
+    vram = MACHINE.gpu.vram_capacity
+    assert gpu_kv_budget_tokens(DS3, MACHINE, weight_bytes=vram) == 0
+    assert gpu_kv_budget_tokens(DS3, MACHINE, weight_bytes=vram * 0.9) == 0
+
+
+def test_budget_closed_form():
+    weights = 10e9
+    spare = MACHINE.gpu.vram_capacity * 0.9 - weights
+    per_token = kv_bytes_per_token_layer(DS3) * DS3.n_layers
+    assert gpu_kv_budget_tokens(DS3, MACHINE, weights) == int(
+        spare // per_token)
+
+
+def test_budget_mla_dwarfs_mha():
+    weights = 10e9
+    assert gpu_kv_budget_tokens(DS3, MACHINE, weights) > \
+        20 * gpu_kv_budget_tokens(MHA, MACHINE, weights)
+
+
+def test_budget_invalid_layout_raises():
+    broken = dataclasses.replace(DS3, kv_rank=0, hidden=0)
+    with pytest.raises(ConfigError):
+        gpu_kv_budget_tokens(broken, MACHINE, weight_bytes=0.0)
+
+
+# -- per-step offload cost ---------------------------------------------------
+
+def test_step_cost_all_resident_has_no_fetch():
+    cost = kv_offload_step_cost(DS3, MACHINE, context_len=1024,
+                                weight_bytes=10e9)
+    assert cost.offloaded_tokens == 0
+    assert cost.fetch_us_per_layer == 0.0
+    assert cost.offload_fraction == 0.0
+    assert cost.total_us_per_layer == cost.attn_us_per_layer
+
+
+def test_step_cost_overflow_pays_pcie():
+    # Choose weights that leave room for ~2000 MHA tokens, then overflow.
+    per_token = kv_bytes_per_token_layer(MHA) * MHA.n_layers
+    weights = MACHINE.gpu.vram_capacity * 0.9 - per_token * 2000
+    budget = gpu_kv_budget_tokens(MHA, MACHINE, weight_bytes=weights)
+    assert budget == 2000
+    ctx = budget + 5000
+    cost = kv_offload_step_cost(MHA, MACHINE, context_len=ctx,
+                                weight_bytes=weights)
+    assert cost.gpu_tokens == budget
+    assert cost.offloaded_tokens == 5000
+    assert cost.fetch_us_per_layer == pcie_transfer_time_us(
+        kv_bytes_per_token_layer(MHA) * 5000, MACHINE.interconnect)
+    assert 0.0 < cost.offload_fraction < 1.0
+
+
+def test_step_cost_zero_context():
+    cost = kv_offload_step_cost(DS3, MACHINE, context_len=0,
+                                weight_bytes=10e9)
+    assert cost.offload_fraction == 0.0
+    assert cost.offloaded_tokens == 0
+
+
+def test_step_cost_negative_context_raises():
+    with pytest.raises(ConfigError):
+        kv_offload_step_cost(DS3, MACHINE, context_len=-1, weight_bytes=0.0)
