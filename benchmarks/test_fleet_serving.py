@@ -1,0 +1,229 @@
+"""Fleet-scale serving: pipeline-parallel replicas behind a router.
+
+Four arms over one conversational workload (8 sessions x 4 turns,
+linearly growing turn prompts, Poisson think times), all emitted to
+``benchmarks/BENCH_fleet.json``.  Every server is a 2-stage
+pipeline-parallel :class:`ContinuousBatchingServer` with the radix
+prefix cache enabled; the fleet arms put four of them behind a
+:class:`FleetRouter`:
+
+- **single** -- one replica serving everything: the prefix-reuse
+  baseline the fleet arms are scored against (and a saturation point:
+  one pipeline absorbs the whole arrival stream).
+- **round_robin** -- 4 replicas, arrivals dealt in rotation.  Session
+  turns scatter across replicas, so each follow-up re-prefills history
+  that some *other* replica has cached.
+- **affinity** -- 4 replicas with session-affinity routing: follow-up
+  turns return to the replica holding their prefix KV, paying prefill
+  only for the fresh suffix.
+- **affinity_kill** -- the affinity fleet with one replica killed
+  mid-run (:class:`ReplicaFault`): in-flight and queued casualties are
+  resubmitted through the router and the replica restarts cold.
+
+Claims asserted: session-affinity beats round-robin on follow-up-turn
+TTFT p95 (and mean), fleet-wide prefix reuse stays >= 0.5x the
+single-replica reuse rate, the kill arm loses zero requests and keeps
+SLO attainment >= 0.9, and every arm is bit-reproducible.
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.faults import FaultPlan, ReplicaFault
+from repro.model import QW2, MoETransformer, tiny_config
+from repro.serving import (
+    BatchSchedulerConfig,
+    ContinuousBatchingServer,
+    FleetConfig,
+    FleetRouter,
+    InferenceSession,
+    PrefixCacheConfig,
+    ServingSLO,
+    multi_turn_workload,
+)
+
+OUT_PATH = Path(__file__).parent / "BENCH_fleet.json"
+
+N_SESSIONS = 8
+N_TURNS = 4
+N_REPLICAS = 4
+PIPELINE_STAGES = 2
+KV_BUDGET = 4096
+MIN_ATTAINMENT = 0.90
+MIN_REUSE_VS_SINGLE = 0.5
+
+WORKLOAD = dict(
+    n_sessions=N_SESSIONS, n_turns=N_TURNS, system_tokens=32,
+    user_tokens=176, assistant_tokens=176, max_new_tokens=8, vocab_size=64,
+    mean_think_us=2e6, service_allowance_us=3e6,
+    mean_session_offset_us=1e6, seed=11,
+)
+
+SLO = ServingSLO(ttft_ms=5000, tpot_ms=500)
+
+KILL_PLAN = FaultPlan(
+    replicas=(ReplicaFault(6e6, 15e6, replica=0, kind="kill"),))
+
+_SESSION = InferenceSession(MoETransformer(tiny_config("tiny-qw")), QW2)
+
+
+def _make_server():
+    """One fleet replica: 2-stage pipeline + radix prefix cache."""
+    return ContinuousBatchingServer(
+        _SESSION,
+        BatchSchedulerConfig(kv_budget_tokens=KV_BUDGET, max_batch_size=8,
+                             pipeline_stages=PIPELINE_STAGES),
+        prefix_cache=PrefixCacheConfig())
+
+
+def _followup_ttft_ms(workload, timings):
+    """Follow-up-turn TTFTs in ms (first turns excluded).
+
+    Timings are matched to workload requests by arrival time; kill-arm
+    resubmissions carry a shifted arrival and drop out of the follow-up
+    set (their TTFT is dominated by the fault, not the routing policy).
+    """
+    sid_of = {t.arrival_us: t.session_id for t in workload}
+    first_arrival = {}
+    for t in sorted(workload, key=lambda t: t.arrival_us):
+        first_arrival.setdefault(t.session_id, t.arrival_us)
+    return sorted(
+        (tm.first_token_us - tm.arrival_us) / 1e3
+        for tm in timings
+        if tm.arrival_us in sid_of
+        and first_arrival[sid_of[tm.arrival_us]] != tm.arrival_us)
+
+
+def _p95(values):
+    """Nearest-rank 95th percentile."""
+    return values[max(0, math.ceil(0.95 * len(values)) - 1)]
+
+
+def _run_single():
+    workload = multi_turn_workload(**WORKLOAD)
+    stats = _make_server().replay(list(workload))
+    fu = _followup_ttft_ms(workload, stats.timings)
+    sessions = stats.sessions.summary()
+    return {
+        "timings": [(t.arrival_us, t.first_token_us, t.finish_us)
+                    for t in stats.timings],
+        "summary": stats.summary(),
+        "followup_ttft_p95_ms": _p95(fu),
+        "followup_ttft_mean_ms": sum(fu) / len(fu),
+        "reuse_fraction": (sessions["prefix_tokens_avoided"]
+                           / sessions["prefix_prompt_tokens"]),
+        "attainment": stats.goodput(SLO)["attainment"],
+        "n_shed": stats.n_shed,
+    }
+
+
+def _run_fleet(policy, fault_plan=None):
+    workload = multi_turn_workload(**WORKLOAD)
+    stats = FleetRouter(
+        _make_server,
+        FleetConfig(n_replicas=N_REPLICAS, policy=policy),
+        fault_plan=fault_plan).replay(list(workload))
+    fu = _followup_ttft_ms(workload, stats.merged.timings)
+    return {
+        "timings": [(t.arrival_us, t.first_token_us, t.finish_us)
+                    for t in stats.merged.timings],
+        "summary": stats.summary(),
+        "followup_ttft_p95_ms": _p95(fu),
+        "followup_ttft_mean_ms": sum(fu) / len(fu),
+        "reuse_fraction": stats.prefix_reuse_fraction(),
+        "attainment": stats.goodput(SLO)["attainment"],
+        "n_shed": stats.n_shed,
+        "routed": list(stats.routed),
+    }
+
+
+def _arms():
+    arms = {}
+    for name, runner in (
+            ("single", _run_single),
+            ("round_robin", lambda: _run_fleet("round-robin")),
+            ("affinity", lambda: _run_fleet("session-affinity")),
+            ("affinity_kill",
+             lambda: _run_fleet("session-affinity", KILL_PLAN))):
+        run1 = runner()
+        run2 = runner()
+        run1["bit_reproducible"] = (
+            run1["timings"] == run2["timings"]
+            and run1["summary"] == run2["summary"])
+        arms[name] = run1
+    return arms
+
+
+def test_fleet_serving(run_once):
+    arms = run_once(_arms)
+    single, rr, aff, kill = (arms[k] for k in
+                             ("single", "round_robin", "affinity",
+                              "affinity_kill"))
+
+    OUT_PATH.write_text(json.dumps(
+        {"model_costs": QW2.name,
+         "workload": WORKLOAD,
+         "fleet": {"n_replicas": N_REPLICAS,
+                   "pipeline_stages": PIPELINE_STAGES,
+                   "kv_budget_tokens": KV_BUDGET},
+         "slo": {"ttft_ms": SLO.ttft_ms, "tpot_ms": SLO.tpot_ms},
+         "claims": {"min_attainment": MIN_ATTAINMENT,
+                    "min_reuse_vs_single": MIN_REUSE_VS_SINGLE},
+         "arms": {k: {kk: vv for kk, vv in v.items() if kk != "timings"}
+                  for k, v in arms.items()}}, indent=2))
+
+    print()
+    print(format_table(
+        ["arm", "reuse", "follow-up ttft p95 (ms)", "mean (ms)",
+         "attainment", "resubmitted"],
+        [(name,
+          round(a["reuse_fraction"], 3),
+          round(a["followup_ttft_p95_ms"], 1),
+          round(a["followup_ttft_mean_ms"], 1),
+          round(a["attainment"], 3),
+          int(a["summary"].get("fleet_resubmitted", 0)))
+         for name, a in arms.items()],
+        title=(f"Fleet serving (QW2 costs, {N_REPLICAS} replicas x "
+               f"{PIPELINE_STAGES}-stage pipeline, "
+               f"{N_SESSIONS} sessions x {N_TURNS} turns)"),
+    ))
+
+    # Every arm serves the full workload -- the kill arm included:
+    # casualties are resubmitted, never lost -- and is bit-reproducible.
+    for a in arms.values():
+        assert a["summary"]["requests"] == N_SESSIONS * N_TURNS
+        assert a["n_shed"] == 0
+        assert a["bit_reproducible"]
+
+    # Every replica is a 2-stage pipeline: staged pricing is on
+    # everywhere and never slower than serial.
+    for a in arms.values():
+        assert a["summary"]["pipeline_stages"] == PIPELINE_STAGES
+        assert a["summary"]["pipeline_step_speedup"] >= 1.0
+
+    # Both fleet arms deal work across all four replicas.
+    for a in (rr, aff):
+        assert sorted(a["routed"]) == [8, 8, 8, 8]
+
+    # Headline: session-affinity keeps follow-up turns on the replica
+    # holding their prefix KV, beating round-robin's re-prefills on
+    # follow-up TTFT p95 (and mean).
+    assert aff["followup_ttft_p95_ms"] < rr["followup_ttft_p95_ms"]
+    assert aff["followup_ttft_mean_ms"] < rr["followup_ttft_mean_ms"]
+
+    # Affinity preserves prefix reuse across the fleet: at least half
+    # the single-replica reuse rate (in fact it beats round-robin's,
+    # whose turns keep landing on replicas without their history).
+    assert aff["reuse_fraction"] >= \
+        MIN_REUSE_VS_SINGLE * single["reuse_fraction"]
+    assert aff["reuse_fraction"] > rr["reuse_fraction"]
+    assert aff["summary"]["fleet_affinity_hits"] > 0
+
+    # Kill arm: the dead replica's in-flight work is resubmitted --
+    # zero requests lost -- and fleet attainment holds.
+    assert kill["summary"]["fleet_kills"] == 1
+    assert kill["summary"]["fleet_resubmitted"] >= 1
+    assert kill["summary"]["fleet_shed_on_kill"] == 0
+    assert kill["attainment"] >= MIN_ATTAINMENT

@@ -132,6 +132,17 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "VRAM with prefetch-hidden swap-in; disabled configs "
                "reproduce the prior engine bit-for-bit",
                artifact="BENCH_session.json"),
+    Experiment("fleet",
+               "extension (fleet-scale serving)",
+               "test_fleet_serving.py",
+               "4 pipeline-parallel replicas behind a session-affinity "
+               "router beat round-robin on follow-up TTFT p95 while "
+               "preserving >=0.5x the single-replica prefix-reuse rate; "
+               "killing a replica mid-run loses zero requests (in-flight "
+               "work resubmits through the router) and keeps SLO "
+               "attainment >=0.9; single-stage 1-replica configs "
+               "reproduce the bare server bit-for-bit",
+               artifact="BENCH_fleet.json"),
 )
 
 

@@ -22,6 +22,7 @@ from .plan import (
     FaultWindow,
     NumaContention,
     PcieDegradation,
+    ReplicaFault,
     UploadFailureWindow,
     canonical_chaos_plan,
 )
@@ -30,6 +31,6 @@ from .retry import RetryPolicy
 __all__ = [
     "ClockJitter", "CpuStraggler", "FaultInjector", "FaultPlan",
     "FaultWindow", "IDENTITY_PERTURBATION", "NUMA_CPU_SHARE",
-    "NumaContention", "PcieDegradation", "RetryPolicy", "StepPerturbation",
-    "UploadFailureWindow", "canonical_chaos_plan",
+    "NumaContention", "PcieDegradation", "ReplicaFault", "RetryPolicy",
+    "StepPerturbation", "UploadFailureWindow", "canonical_chaos_plan",
 ]

@@ -105,6 +105,34 @@ class UploadFailureWindow(FaultWindow):
 
 
 @dataclass(frozen=True)
+class ReplicaFault(FaultWindow):
+    """One fleet replica goes away for the window.
+
+    ``kind="kill"`` models a crash-restart: the replica's in-flight work
+    at ``start_us`` is lost (the fleet router resubmits or sheds it per
+    policy) and its caches restart cold at ``end_us``.  ``kind="drain"``
+    models a graceful rollout: the replica stops *accepting* new work at
+    ``start_us`` but completes what it already holds, and resumes
+    accepting at ``end_us``.  Interpreted by
+    :class:`~repro.serving.fleet.FleetRouter`; the single-node injector
+    ignores these windows, so a replica-only plan perturbs a bare
+    server not at all.
+    """
+
+    replica: int = 0
+    kind: str = "kill"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.replica < 0:
+            raise ConfigError("replica index must be >= 0")
+        if self.kind not in ("kill", "drain"):
+            raise ConfigError(
+                f"unknown replica fault kind {self.kind!r}; "
+                "expected 'kill' or 'drain'")
+
+
+@dataclass(frozen=True)
 class ClockJitter:
     """Per-iteration multiplicative step-time noise, uniform in ``1 +- sigma``."""
 
@@ -132,6 +160,7 @@ class FaultPlan:
     numa: tuple[NumaContention, ...] = ()
     upload_failures: tuple[UploadFailureWindow, ...] = ()
     jitter: ClockJitter | None = None
+    replicas: tuple[ReplicaFault, ...] = ()
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -139,7 +168,8 @@ class FaultPlan:
         for name, kind in (("pcie", PcieDegradation),
                            ("stragglers", CpuStraggler),
                            ("numa", NumaContention),
-                           ("upload_failures", UploadFailureWindow)):
+                           ("upload_failures", UploadFailureWindow),
+                           ("replicas", ReplicaFault)):
             for w in getattr(self, name):
                 if not isinstance(w, kind):
                     raise ConfigError(
@@ -156,7 +186,7 @@ class FaultPlan:
     def is_empty(self) -> bool:
         """True when the plan perturbs nothing."""
         return (not self.pcie and not self.stragglers and not self.numa
-                and not self.upload_failures
+                and not self.upload_failures and not self.replicas
                 and (self.jitter is None or self.jitter.sigma == 0.0))
 
 

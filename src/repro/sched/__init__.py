@@ -24,8 +24,13 @@ from .kv_offload import (
 )
 from .multi_gpu import (
     PipelineConfig,
+    interstage_transfer_us,
     simulate_pipelined_decode,
     simulate_pipelined_prefill,
+    stage_boundary_bytes,
+    stage_works,
+    staged_interval_us,
+    staged_step_time_us,
     vram_per_stage_bytes,
 )
 from .prefill import build_prefill_chunk, simulate_prefill
@@ -46,8 +51,9 @@ __all__ = [
     "build_prefill_chunk", "simulate_prefill",
     "KVOffloadCost", "gpu_kv_budget_tokens", "kv_bytes_per_token_layer",
     "kv_cache_total_bytes", "kv_offload_step_cost",
-    "PipelineConfig", "simulate_pipelined_decode",
-    "simulate_pipelined_prefill", "vram_per_stage_bytes",
+    "PipelineConfig", "interstage_transfer_us", "simulate_pipelined_decode",
+    "simulate_pipelined_prefill", "stage_boundary_bytes", "stage_works",
+    "staged_interval_us", "staged_step_time_us", "vram_per_stage_bytes",
     "DecodeLayerWork", "ExpertGemmDispatch", "PrefillLayerWork",
     "decode_layer_work", "prefill_layer_work", "scheduling_penalty",
 ]

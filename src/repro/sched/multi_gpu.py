@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from ..errors import SchedulingError
 from ..hw.event_sim import Simulator, Task
 from ..hw.roofline import pcie_transfer_time_us
-from ..hw.spec import MachineSpec
+from ..hw.spec import InterconnectSpec, MachineSpec
+from .decode import DecodeScheduleConfig, batched_step_time_us
 from .workload import DecodeLayerWork, PrefillLayerWork
 
 
@@ -182,3 +183,104 @@ def vram_per_stage_bytes(total_gpu_bytes: float, config: PipelineConfig
     if total_gpu_bytes < 0:
         raise SchedulingError("bytes must be non-negative")
     return total_gpu_bytes / config.n_stages
+
+
+# -- continuous-batching stage split (steady-state interval model) -----------
+#
+# The task-graph simulators above answer "how long does one chunked prefill
+# or one batch-1 decode take end to end".  The continuous scheduler needs a
+# different number: the steady-state *iteration interval* of a decode batch
+# flowing through the stages, where stage s works on iteration t while
+# stage s+1 finishes iteration t-1.  The closed-form model below prices
+# that interval from the same per-layer works the single-GPU pricing uses,
+# so a one-stage config collapses to ``batched_step_time_us`` exactly.
+
+
+def stage_works(
+    works: list[DecodeLayerWork], config: PipelineConfig,
+) -> list[list[DecodeLayerWork]]:
+    """Partition per-layer works into the contiguous per-stage lists.
+
+    Mirrors :meth:`PipelineConfig.stage_of`; trailing stages may be empty
+    when there are more stages than layers.
+    """
+    if not works:
+        raise SchedulingError("stage split needs at least one layer")
+    n_layers = len(works)
+    out: list[list[DecodeLayerWork]] = [[] for _ in range(config.n_stages)]
+    for k, w in enumerate(works):
+        out[config.stage_of(k, n_layers)].append(w)
+    return out
+
+
+def stage_boundary_bytes(
+    works: list[DecodeLayerWork], config: PipelineConfig,
+) -> tuple[float, ...]:
+    """Activation bytes crossing each stage boundary, in layer order.
+
+    One entry per boundary layer (a layer whose stage differs from its
+    predecessor's), carrying that layer's per-iteration activation
+    footprint.  Returned raw so callers can price the handoffs on the
+    link of the moment (possibly fault-degraded).
+    """
+    n_layers = len(works)
+    return tuple(
+        works[k].transfer_bytes
+        for k in range(1, n_layers)
+        if config.stage_of(k, n_layers) != config.stage_of(k - 1, n_layers)
+    )
+
+
+def interstage_transfer_us(
+    works: list[DecodeLayerWork], config: PipelineConfig,
+    link: InterconnectSpec,
+) -> float:
+    """Total PCIe time of the activation handoffs at stage boundaries."""
+    return sum(pcie_transfer_time_us(b, link)
+               for b in stage_boundary_bytes(works, config))
+
+
+def staged_interval_us(
+    works: list[DecodeLayerWork],
+    schedule_config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    config: PipelineConfig,
+) -> float:
+    """Steady-state pipelined iteration interval, transfers excluded.
+
+    ``min(serial, max(slowest stage, shared-CPU floor))``: consecutive
+    iterations overlap across stages, so the interval is the slowest
+    stage's own batched step time -- but the routed experts of *every*
+    stage run on the one shared CPU pool, which serializes across stages
+    and floors the interval at the summed CPU expert time (the paper's
+    "pipelining buys VRAM headroom, not speed" once decode is CPU-bound).
+    The serial clamp keeps a degenerate split (one non-empty stage, or
+    overlap the stages cannot actually exploit) from pricing *better*
+    than the unsplit step it decomposes.
+    """
+    serial = batched_step_time_us(works, schedule_config, machine)
+    stages = [s for s in stage_works(works, config) if s]
+    if len(stages) <= 1:
+        return serial
+    slowest = max(batched_step_time_us(s, schedule_config, machine)
+                  for s in stages)
+    cpu_floor = sum(w.cpu_routed_us for w in works)
+    return min(serial, max(slowest, cpu_floor))
+
+
+def staged_step_time_us(
+    works: list[DecodeLayerWork],
+    schedule_config: DecodeScheduleConfig,
+    machine: MachineSpec,
+    config: PipelineConfig,
+) -> float:
+    """Steady-state cost of one decode iteration across pipeline stages.
+
+    The pipelined interval plus the stage-boundary activation handoffs
+    over PCIe -- the handoff legs are latency the interval cannot hide,
+    so a CPU-bound batch prices slightly *worse* than single-GPU while a
+    GPU-bound one divides across stages.  With one stage this is exactly
+    :func:`repro.sched.decode.batched_step_time_us` over the same works.
+    """
+    return (staged_interval_us(works, schedule_config, machine, config)
+            + interstage_transfer_us(works, config, machine.interconnect))

@@ -13,12 +13,19 @@ from .continuous import (
     ContinuousBatchingServer,
     serving_expert_cache,
 )
+from .fleet import (
+    ROUTING_POLICIES,
+    FleetConfig,
+    FleetRouter,
+    FleetStats,
+)
 from .metrics import (
     BatchTimeline,
     CachePoint,
     ExpertCacheTimeline,
     FaultStats,
     GraphStats,
+    PipelineStats,
     PreemptionStats,
     RequestTiming,
     ServingSLO,
@@ -53,8 +60,10 @@ from .session import (
 __all__ = [
     "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
     "serving_expert_cache",
+    "FleetConfig", "FleetRouter", "FleetStats", "ROUTING_POLICIES",
     "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "FaultStats",
-    "GraphStats", "PreemptionStats", "RequestTiming", "ServingSLO",
+    "GraphStats", "PipelineStats", "PreemptionStats", "RequestTiming",
+    "ServingSLO",
     "ServingStats", "SessionStats",
     "ShedRecord", "TimelinePoint", "percentile", "percentiles",
     "KVTierConfig", "MatchProbe", "PrefixCacheConfig", "RadixPrefixCache",

@@ -90,6 +90,11 @@ from ..sched.decode import (
     kv_swap_transfer_us,
 )
 from ..sched.kv_offload import kv_page_transfer_us
+from ..sched.multi_gpu import (
+    PipelineConfig,
+    stage_boundary_bytes,
+    staged_interval_us,
+)
 from ..sched.workload import (
     BatchedDispatchSummary,
     DecodeLayerWork,
@@ -105,6 +110,7 @@ from .metrics import (
     ExpertCacheTimeline,
     FaultStats,
     GraphStats,
+    PipelineStats,
     PreemptionStats,
     RequestTiming,
     ServingStats,
@@ -162,6 +168,14 @@ class BatchSchedulerConfig:
     ``"per-expert"`` (one launch per hit expert), ``"grouped"`` (single
     grouped kernel with layout-aware streaming), or ``"auto"`` (the cost
     model prices both arms and picks the cheaper per cache outcome).
+
+    ``pipeline_stages`` shards the layer stack across that many GPUs
+    (contiguous balanced stages, :class:`repro.sched.PipelineConfig`):
+    decode iterations price as the steady-state pipelined interval plus
+    stage-boundary activation handoffs over PCIe, composing with the
+    expert cache, chunked prefill, graph capture, and fault
+    perturbations.  ``1`` (the default) keeps the single-GPU pricing
+    bit-for-bit.
     """
 
     kv_budget_tokens: int = 8192
@@ -172,6 +186,7 @@ class BatchSchedulerConfig:
     chunk_policy: str = "decode-priority"
     graph_cache: GraphCacheConfig | None = None   # None -> free replay
     gemm_dispatch: str = "legacy"
+    pipeline_stages: int = 1
 
     def __post_init__(self) -> None:
         if self.kv_budget_tokens <= 0:
@@ -192,6 +207,8 @@ class BatchSchedulerConfig:
             raise ConfigError(
                 f"unknown gemm_dispatch {self.gemm_dispatch!r}; expected "
                 "'legacy', 'per-expert', 'grouped' or 'auto'")
+        if self.pipeline_stages <= 0:
+            raise ConfigError("pipeline_stages must be positive")
 
 
 class BatchCostModel:
@@ -217,13 +234,22 @@ class BatchCostModel:
 
     def __init__(self, session: InferenceSession,
                  ari_threshold: int | None = None,
-                 gemm_dispatch: str = "legacy") -> None:
+                 gemm_dispatch: str = "legacy",
+                 pipeline_stages: int = 1) -> None:
         if gemm_dispatch not in ("legacy", "per-expert", "grouped", "auto"):
             raise ConfigError(
                 f"unknown gemm_dispatch {gemm_dispatch!r}")
+        if pipeline_stages <= 0:
+            raise ConfigError("pipeline_stages must be positive")
         self.session = session
         self.ari_threshold = ari_threshold
         self.gemm_dispatch = gemm_dispatch
+        self.pipeline_stages = pipeline_stages
+        self._pipeline = (PipelineConfig(pipeline_stages)
+                          if pipeline_stages > 1 else None)
+        # (stage ratio, boundary activation bytes) per step-shape memo key.
+        self._pipeline_factors: dict[tuple, tuple[float, tuple[float, ...]]]\
+            = {}
         self._step: dict[tuple[int, int], float] = {}
         self._summaries: dict[tuple[int, int], BatchedDispatchSummary] = {}
         self._works: dict[tuple[int, int], list[DecodeLayerWork]] = {}
@@ -674,6 +700,59 @@ class BatchCostModel:
         moe_layers = sum(1 for w in works if w.cpu_routed_us > 0)
         return sum(w.n_gpu_kernels for w in works) + moe_layers + 1
 
+    # -- pipeline-stage pricing ----------------------------------------------
+
+    def pipeline_factors(self, context_lens: list[int],
+                         chunk_tokens: int = 0
+                         ) -> tuple[float, tuple[float, ...]]:
+        """Stage-split ratio and boundary bytes for one iteration shape.
+
+        The ratio is ``staged interval / unsplit serial cost`` over the
+        step's *clean* layer works (:func:`repro.sched.staged_interval_us`
+        against :func:`repro.sched.decode.batched_step_time_us`) -- it is
+        structural per step shape, so expert-cache repricing, fault
+        perturbations, and clock jitter (which scale the whole step)
+        compose multiplicatively through it.  The stage-boundary
+        activation bytes come back raw for the caller to price on the
+        link of the moment (possibly fault-degraded).  Single-stage
+        models return ``(1.0, ())`` without touching any memo.
+        """
+        if self._pipeline is None:
+            return 1.0, ()
+        cfg = self._schedule_config()
+        if not context_lens:
+            key, works = self._hybrid_key_works([], chunk_tokens)
+            full = self.hybrid_step_us([], chunk_tokens)
+            cfg = self._hybrid_schedule_config()
+        elif chunk_tokens:
+            key, works = self._hybrid_key_works(context_lens, chunk_tokens)
+            full = self.hybrid_step_us(context_lens, chunk_tokens)
+            cfg = self._hybrid_schedule_config()
+        else:
+            key = self._key(context_lens)
+            full = self.decode_step_us(context_lens)
+            works = self._works[key]
+        if key not in self._pipeline_factors:
+            staged = staged_interval_us(works, cfg,
+                                        self.session.costs.machine,
+                                        self._pipeline)
+            self._pipeline_factors[key] = (
+                staged / full, stage_boundary_bytes(works, self._pipeline))
+        return self._pipeline_factors[key]
+
+    def staged_decode_step_us(self, context_lens: list[int]) -> float:
+        """Pipelined steady-state cost of one clean decode iteration.
+
+        ``decode_step_us * stage ratio + boundary handoffs`` on the
+        undegraded link -- exactly what the serving loop charges per
+        iteration when no cache/fault/jitter effect is active, and the
+        quantity the golden pins lock down.
+        """
+        ratio, boundary = self.pipeline_factors(context_lens)
+        link = self.session.costs.machine.interconnect
+        return (self.decode_step_us(context_lens) * ratio
+                + sum(pcie_transfer_time_us(b, link) for b in boundary))
+
     def batched_prefill_us(self, total_prompt_tokens: int) -> float:
         """One prefill pass over all co-admitted prompts' tokens."""
         if total_prompt_tokens <= 0:
@@ -868,9 +947,11 @@ class ContinuousBatchingServer:
         self.session = session
         self.config = config or BatchSchedulerConfig()
         self.priorities = priorities
-        self.costs = BatchCostModel(session,
-                                    ari_threshold=self.config.ari_threshold,
-                                    gemm_dispatch=self.config.gemm_dispatch)
+        self.costs = BatchCostModel(
+            session,
+            ari_threshold=self.config.ari_threshold,
+            gemm_dispatch=self.config.gemm_dispatch,
+            pipeline_stages=self.config.pipeline_stages)
         # The pool tracks token occupancy only; K/V payloads stay tiny.
         self.pool = PagedKVPool(
             n_heads=1, head_dim=1,
@@ -919,6 +1000,14 @@ class ContinuousBatchingServer:
         self._last_graph_capture_us = 0.0
         self._last_cache_step: CacheStepResult | None = None
         self._last_step_topology: tuple = ("plain",)
+        self.pipeline_stats: PipelineStats | None = None
+        if self.config.pipeline_stages > 1:
+            # Attached only when the layer stack is actually sharded, so
+            # single-stage configs keep their summaries (and goldens)
+            # unchanged.
+            self.pipeline_stats = PipelineStats(
+                n_stages=self.config.pipeline_stages)
+            self.stats.pipeline = self.pipeline_stats
         if kv_tier is not None and prefix_cache is None:
             raise ConfigError("kv_tier requires a prefix_cache config")
         self.kv_tier = kv_tier
@@ -1565,7 +1654,9 @@ class ContinuousBatchingServer:
         self._last_graph_capture_us = 0.0
         self._last_cache_step = None
         if self.graph_cache is None:
-            return self._priced_step_us(context_lens, clock, chunk_tokens)
+            return self._apply_pipeline(
+                self._priced_step_us(context_lens, clock, chunk_tokens),
+                context_lens, chunk_tokens, clock)
         padded = list(context_lens)
         if padded:
             bucket = self.graph_cache.config.batch_bucket(len(padded))
@@ -1573,7 +1664,9 @@ class ContinuousBatchingServer:
             if pad:
                 padded.extend([max(padded)] * pad)
                 self.graph_stats.padding_tokens += pad
-        cost = self._priced_step_us(padded, clock, chunk_tokens)
+        cost = self._apply_pipeline(
+            self._priced_step_us(padded, clock, chunk_tokens),
+            padded, chunk_tokens, clock)
         key = self._graph_key(padded, chunk_tokens)
         n_kernels = self.costs.step_kernel_count(
             padded, chunk_tokens, self._last_cache_step)
@@ -1585,6 +1678,35 @@ class ContinuousBatchingServer:
             self.graph_stats.capture_stall_us += look.capture_us
             self._last_graph_capture_us = look.capture_us
         return cost + look.capture_us
+
+    def _apply_pipeline(self, cost: float, context_lens: list[int],
+                        chunk_tokens: int, clock: float) -> float:
+        """Reprice one iteration for the pipeline-stage split.
+
+        ``cost * stage ratio + boundary handoffs``: the ratio carries
+        whatever cache repricing, fault perturbation, and jitter the
+        priced cost already absorbed (they scale the whole step), while
+        the stage-boundary activation transfers are priced fresh on the
+        clock's possibly fault-degraded link.  The graph caller applies
+        this *before* any capture stall -- capture is a one-off host-side
+        cost the stage overlap cannot hide or divide.  A no-op (returns
+        ``cost`` untouched) for single-stage configs.
+        """
+        if self.pipeline_stats is None:
+            return cost
+        if not context_lens and not chunk_tokens:
+            return cost
+        ratio, boundary = self.costs.pipeline_factors(context_lens,
+                                                      chunk_tokens)
+        link = self._link_at(clock)
+        xfer = sum(pcie_transfer_time_us(b, link) for b in boundary)
+        staged = cost * ratio + xfer
+        ps = self.pipeline_stats
+        ps.staged_iterations += 1
+        ps.serial_us += cost
+        ps.staged_us += staged
+        ps.interstage_transfer_us += xfer
+        return staged
 
     def _graph_key(self, context_lens: list[int],
                    chunk_tokens: int) -> tuple:

@@ -423,6 +423,42 @@ class GraphStats:
 
 
 @dataclass
+class PipelineStats:
+    """Pipeline-stage pricing counters of one serving run.
+
+    Attached to :class:`ServingStats` by the continuous-batching server
+    when ``BatchSchedulerConfig.pipeline_stages > 1``; the flat view
+    lands in :meth:`ServingStats.summary` via :meth:`summary`.
+
+    ``serial_us`` is what the same iterations would have cost unsplit
+    (the single-GPU price, cache/fault/jitter effects included);
+    ``staged_us`` is what the stage-split pricing actually charged, of
+    which ``interstage_transfer_us`` went to stage-boundary activation
+    handoffs over PCIe.  ``staged_us > serial_us`` is a legitimate
+    outcome -- a CPU-bound batch gains nothing from the split but still
+    pays the handoffs (pipelining buys VRAM headroom, not speed).
+    """
+
+    n_stages: int = 1
+    staged_iterations: int = 0
+    serial_us: float = 0.0
+    staged_us: float = 0.0
+    interstage_transfer_us: float = 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat ``pipeline_*`` counters for the summary."""
+        return {
+            "pipeline_stages": float(self.n_stages),
+            "pipeline_iterations": float(self.staged_iterations),
+            "pipeline_serial_ms": self.serial_us / 1e3,
+            "pipeline_staged_ms": self.staged_us / 1e3,
+            "pipeline_interstage_ms": self.interstage_transfer_us / 1e3,
+            "pipeline_step_speedup": (self.serial_us / self.staged_us
+                                      if self.staged_us > 0 else 1.0),
+        }
+
+
+@dataclass
 class SessionStats:
     """Prefix-cache and KV-tier counters of one serving run.
 
@@ -518,6 +554,7 @@ class ServingStats:
     preemptions: PreemptionStats | None = None
     graphs: GraphStats | None = None
     sessions: SessionStats | None = None
+    pipeline: PipelineStats | None = None
     shed: list[ShedRecord] = field(default_factory=list)
 
     def add(self, timing: RequestTiming) -> None:
@@ -586,6 +623,10 @@ class ServingStats:
             # Attached only when a prefix cache is configured, so
             # sessionless summaries carry no prefix_*/tier_* keys.
             out.update(self.sessions.summary())
+        if self.pipeline is not None:
+            # Attached only when the layer stack is sharded, so
+            # single-stage summaries carry no pipeline_* keys.
+            out.update(self.pipeline.summary())
         return out
 
     def class_summary(self) -> dict[str, dict[str, float]]:

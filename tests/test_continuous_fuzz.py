@@ -481,3 +481,187 @@ def test_session_replay_deterministic(wl, cfg, tier):
     s1, s2 = run(), run()
     assert s1.timings == s2.timings
     assert s1.summary() == s2.summary()
+
+
+# -- ISSUE 8: cross-feature matrix (every serving feature, combined) ----------
+
+feature_matrix_strategy = st.fixed_dictionaries({
+    "pipeline_stages": st.sampled_from([1, 2, 3]),
+    "expert_cache": st.booleans(),
+    "prefill_chunk_tokens": st.none() | st.sampled_from([16, 64]),
+    "prefix_cache": st.booleans(),
+    "graph_cache": st.booleans(),
+    "priorities": st.booleans(),
+    "faults": st.booleans(),
+    "fault_seed": st.integers(0, 10_000),
+    "prio_seed": st.integers(0, 1_000),
+})
+
+
+def _matrix_server(wl, cfg, features):
+    """One server with the sampled feature combination enabled."""
+    from repro.sched import GraphCacheConfig
+
+    session = get_session()
+    cache = (serving_expert_cache(
+        session, vram_budget_bytes=16 * DS3.expert_bytes(BF16))
+        if features["expert_cache"] else None)
+    injector = (FaultInjector(canonical_chaos_plan(features["fault_seed"]))
+                if features["faults"] else None)
+    return ContinuousBatchingServer(
+        session,
+        BatchSchedulerConfig(
+            kv_budget_tokens=cfg["kv_budget_tokens"],
+            max_batch_size=cfg["max_batch_size"],
+            prefill_chunk_tokens=features["prefill_chunk_tokens"],
+            chunk_policy=cfg["chunk_policy"],
+            pipeline_stages=features["pipeline_stages"],
+            graph_cache=(GraphCacheConfig(batch_buckets=(1, 2, 4, 8))
+                         if features["graph_cache"] else None)),
+        expert_cache=cache,
+        fault_injector=injector,
+        prefix_cache=(PrefixCacheConfig()
+                      if features["prefix_cache"] else None),
+        priorities=(PriorityConfig(preemption=True)
+                    if features["priorities"] else None))
+
+
+@settings(max_examples=14, deadline=None)
+@given(wl=session_workload_strategy, cfg=config_strategy,
+       features=feature_matrix_strategy)
+def test_feature_matrix_invariants(wl, cfg, features):
+    """ISSUE 8 fuzz: every feature combination upholds every contract.
+
+    Expert cache x chunked prefill x priorities x prefix cache x graph
+    cache x pipeline stages x chaos: whatever is enabled together, the
+    replay conserves tokens against the functional model, frees every
+    page exactly once (pool drained to the cache's resident footprint,
+    reservations and swap stash zeroed), respects the KV budget and
+    batch cap, keeps timestamps monotone, and replays bit-identically
+    under the same seed.
+    """
+    session = get_session()
+    cfg = _session_cfg(wl, cfg)
+
+    def run():
+        workload = _with_priorities(
+            multi_turn_workload(vocab_size=64, **wl), features["prio_seed"])
+        server = _matrix_server(wl, cfg, features)
+        return workload, server, server.replay(list(workload))
+
+    workload, server, stats = run()
+
+    # Every turn finishes; nothing is dropped by any feature combo.
+    assert stats.n_requests == len(workload)
+    # Token conservation against the functional model.
+    expected = sum(len(session.generate(t.request).tokens)
+                   for t in workload)
+    assert sum(t.generated_tokens for t in stats.timings) == expected
+    # Pages freed exactly once, whatever combination of prefix pins,
+    # preemption stashes, and chunk state was live mid-run: request
+    # slots all drained (only the prefix cache's resident pages stay),
+    # reservations and swap stash zeroed.
+    assert server._reserved_pages == 0
+    assert server.pool.n_swapped == 0
+    assert server.pool.swapped_tokens == 0
+    if server.prefix_cache is None:
+        assert server.pool.n_slots == 0
+        assert server.pool.used_tokens == 0
+    else:
+        assert server.prefix_cache.total_refs == 0
+        assert server.pool.used_tokens == server.prefix_cache.gpu_tokens
+    # Budget/cap respected throughout; the clock only moves forward.
+    for p in server.timeline.points:
+        assert p.kv_used_tokens <= server.pool.budget_tokens
+        assert p.batch_size <= cfg["max_batch_size"]
+    points = server.timeline.points
+    assert all(b.t_us > a.t_us for a, b in zip(points, points[1:]))
+    for t in stats.timings:
+        assert t.arrival_us <= t.start_us <= t.first_token_us <= t.finish_us
+    # Pipeline accounting only exists when stages were configured, and
+    # never counts more staged iterations than iterations.
+    if features["pipeline_stages"] > 1:
+        assert stats.pipeline is not None
+        assert stats.pipeline.staged_iterations <= len(points)
+        assert stats.pipeline.staged_us > 0 or \
+            stats.pipeline.staged_iterations == 0
+    else:
+        assert stats.pipeline is None
+        assert "pipeline_stages" not in stats.summary()
+
+    # Same seed, same features: bit-identical replay.
+    _, _, again = run()
+    assert stats.timings == again.timings
+    assert stats.summary() == again.summary()
+
+
+fleet_matrix_strategy = st.fixed_dictionaries({
+    "n_replicas": st.integers(1, 3),
+    "policy": st.sampled_from(
+        ["round-robin", "least-loaded", "session-affinity",
+         "priority-spill"]),
+    "on_kill": st.sampled_from(["resubmit", "shed"]),
+    "fault": st.sampled_from(["none", "kill", "drain"]),
+    "pipeline_stages": st.sampled_from([1, 2]),
+    "prefix_cache": st.booleans(),
+})
+
+
+@settings(max_examples=10, deadline=None)
+@given(wl=session_workload_strategy, cfg=config_strategy,
+       fleet=fleet_matrix_strategy)
+def test_fleet_matrix_invariants(wl, cfg, fleet):
+    """ISSUE 8 fuzz, fleet level: routing x faults x features.
+
+    Whatever policy and replica-fault combination runs, every submitted
+    request is accounted for exactly once (finished or shed -- resubmits
+    never lose or duplicate), per-replica routed counts sum to the
+    assignment count, and the whole fleet replay is bit-identical under
+    the same seed.
+    """
+    from repro.faults import ReplicaFault
+    from repro.serving import FleetConfig, FleetRouter
+
+    cfg = _session_cfg(wl, cfg)
+    plan = None
+    if fleet["fault"] != "none":
+        plan = FaultPlan(replicas=(
+            ReplicaFault(2e5, 5e6, replica=0, kind=fleet["fault"]),))
+
+    def run():
+        workload = multi_turn_workload(vocab_size=64, **wl)
+        router = FleetRouter(
+            lambda: ContinuousBatchingServer(
+                get_session(),
+                BatchSchedulerConfig(
+                    kv_budget_tokens=cfg["kv_budget_tokens"],
+                    max_batch_size=cfg["max_batch_size"],
+                    pipeline_stages=fleet["pipeline_stages"]),
+                prefix_cache=(PrefixCacheConfig()
+                              if fleet["prefix_cache"] else None)),
+            FleetConfig(n_replicas=fleet["n_replicas"],
+                        policy=fleet["policy"],
+                        on_kill=fleet["on_kill"]),
+            fault_plan=plan)
+        return workload, router.replay(list(workload))
+
+    workload, stats = run()
+
+    # Conservation: every submission finishes or is shed, exactly once.
+    assert stats.n_requests + stats.n_shed == len(workload)
+    if fleet["on_kill"] == "resubmit" or fleet["fault"] != "kill":
+        assert stats.n_shed == 0
+        assert stats.n_requests == len(workload)
+    assert stats.shed_on_kill == stats.n_shed
+    # Routing accounting: every assignment went to a real replica.
+    assert sum(stats.routed) == len(stats.assignments)
+    assert sum(stats.routed) >= len(workload)
+    assert all(0 <= a[3] < fleet["n_replicas"] for a in stats.assignments)
+    # Drains never create casualties.
+    if fleet["fault"] == "drain":
+        assert stats.kills == 0
+        assert stats.resubmitted == 0
+
+    _, again = run()
+    assert stats.timings == again.timings
+    assert stats.summary() == again.summary()

@@ -373,6 +373,81 @@ def test_golden_parked_session_transfer(batch_costs, tokens):
     assert got == batch_costs.swap_transfer_us(tokens)
 
 
+# --- Fleet / pipeline goldens (ISSUE 8) ------------------------------------
+# Staged decode pricing pins for the 2-stage pipeline split (DS-3 costs on
+# the A100 testbed): the same step shapes as GOLDEN_DECODE_STEP_US, priced
+# through the ratio decomposition.  The interval model clamps at
+# min(serial, max(slowest stage, shared-CPU floor)), so each staged step
+# must also stay at or below its serial counterpart.
+GOLDEN_STAGED_DECODE_STEP_US = {
+    (1, 64): 118_947.0,
+    (8, 64): 757_912.0,
+    (16, 256): 1_441_471.0,
+}
+
+
+@pytest.fixture(scope="module")
+def staged_costs():
+    model = MoETransformer(tiny_config("tiny-qw"))
+    return BatchCostModel(InferenceSession(model, DS3), pipeline_stages=2)
+
+
+@pytest.mark.parametrize("batch,ctx", sorted(GOLDEN_STAGED_DECODE_STEP_US))
+def test_golden_staged_decode_step(staged_costs, batch_costs, batch, ctx):
+    expected = GOLDEN_STAGED_DECODE_STEP_US[(batch, ctx)]
+    got = staged_costs.staged_decode_step_us([ctx] * batch)
+    assert got == pytest.approx(expected, rel=TOL)
+    assert got <= staged_costs.decode_step_us([ctx] * batch)
+    # The serial leg of the staged model is the pinned decode step: a
+    # pipelined cost model must not perturb single-stage pricing.
+    assert staged_costs.decode_step_us([ctx] * batch) == \
+        batch_costs.decode_step_us([ctx] * batch)
+
+
+def test_golden_pipeline_single_stage_reproduces_pr7():
+    """ISSUE 8 acceptance: ``pipeline_stages=1`` (the default, passed
+    explicitly) keeps the PR 7 engine bit-for-bit -- same floats, clean
+    and under the canonical fault storm."""
+    one = {"pipeline_stages": 1}
+    assert _equivalence_replay(None, sched_extra=one) == \
+        _equivalence_replay(None)
+    assert _equivalence_replay(None, chaos=True, sched_extra=one) == \
+        _equivalence_replay(None, chaos=True)
+
+
+def test_golden_one_replica_fleet_reproduces_bare_server():
+    """ISSUE 8 acceptance: a fault-free 1-replica fleet *is* the bare
+    server -- per-request timings and the full stats summary are
+    bit-identical under every routing policy (the fleet_* counters are
+    additive extras on top of the merged summary)."""
+    from repro.serving import (
+        BatchSchedulerConfig, ContinuousBatchingServer, FleetConfig,
+        FleetRouter, ROUTING_POLICIES, poisson_workload,
+    )
+    session = InferenceSession(MoETransformer(tiny_config("tiny-qw")), DS3)
+
+    def make_server():
+        return ContinuousBatchingServer(
+            session,
+            BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4))
+
+    def key(timings):
+        return [(t.arrival_us, t.start_us, t.first_token_us, t.finish_us,
+                 t.generated_tokens, t.timed_out) for t in timings]
+
+    wl = poisson_workload(n_requests=8, mean_interarrival_us=1e6,
+                          prompt_len=16, max_new_tokens=8, vocab_size=64,
+                          seed=11)
+    bare = make_server().replay(list(wl))
+    for policy in sorted(ROUTING_POLICIES):
+        fs = FleetRouter(make_server,
+                         FleetConfig(n_replicas=1, policy=policy)
+                         ).replay(list(wl))
+        assert key(fs.timings) == key(bare.timings)
+        assert {k: v for k, v in fs.summary().items()
+                if not k.startswith("fleet_")} == bare.summary()
+
+
 def test_golden_single_priority_reproduces_fifo():
     """ISSUE 5 acceptance: a priority config over single-class traffic
     (every request defaults to STANDARD) reproduces the PR 4 FIFO
