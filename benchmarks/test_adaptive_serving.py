@@ -1,0 +1,180 @@
+"""Self-tuning control plane vs static configs under traffic shifts.
+
+Three arms over the canonical 3-phase traffic-shift scenario (diurnal
+ramp -> flash crowd -> hot-set shift,
+:func:`~repro.serving.traffic.three_phase_scenario`), all emitted to
+``benchmarks/BENCH_adaptive.json``:
+
+- **static_small** -- ``prefill_chunk_tokens=256, max_batch_size=4``:
+  tuned for the light interactive phase, collapses when the hot set
+  shifts to long analytic prompts (a 1536-token prompt needs ~6 chunked
+  iterations of TTFT);
+- **static_large** -- ``prefill_chunk_tokens=2048, max_batch_size=32``:
+  tuned for throughput, gives up a little attainment on the light
+  phase;
+- **adaptive** -- starts from *static_small's exact config* plus an
+  :class:`~repro.serving.controller.ControllerConfig`: the online
+  controller observes windowed SLO attainment and hill-climbs the
+  chunk/batch knobs at runtime, with no per-phase tuning.
+
+Claims asserted: the adaptive arm reaches >= 0.9x the best static
+config's goodput on *every* phase, beats the worst static config by
+>= 1.3x on at least one phase, and every arm (controller decisions
+included) is bit-reproducible run-to-run.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.model import QW2, MoETransformer, tiny_config
+from repro.serving import (
+    BatchSchedulerConfig,
+    ContinuousBatchingServer,
+    ControllerConfig,
+    InferenceSession,
+    ServingSLO,
+    three_phase_scenario,
+)
+
+OUT_PATH = Path(__file__).parent / "BENCH_adaptive.json"
+
+SCENARIO = dict(
+    prompt_len=64, max_new_tokens=10, vocab_size=64,
+    phase_us=20e6, trough_interarrival_us=2e6,
+    peak_factor=3.0, burst_factor=8.0, long_prompt_len=1536,
+    requests_per_phase=(20, 18, 9), seed=7,
+)
+KV_BUDGET = 16384
+SLO = ServingSLO(ttft_ms=3000, tpot_ms=300)
+
+STATIC_ARMS = {
+    "static_small": dict(prefill_chunk_tokens=256, max_batch_size=4),
+    "static_large": dict(prefill_chunk_tokens=2048, max_batch_size=32),
+}
+ADAPTIVE_BASE = "static_small"     # the adaptive arm starts from this config
+
+CONTROLLER = dict(
+    window_us=2.5e6, warmup_windows=1, ewma_alpha=0.5,
+    chunk_ladder=(128, 256, 512, 1024, 2048),
+    batch_ladder=(4, 8, 16, 32),
+)
+
+MIN_VS_BEST = 0.9        # adaptive >= 0.9x best static, every phase
+MIN_VS_WORST = 1.3       # adaptive >= 1.3x worst static, some phase
+
+_SESSION = InferenceSession(MoETransformer(tiny_config("tiny-qw")), QW2)
+
+
+def _phase_goodput(stats, phases):
+    """Per-phase goodput (SLO-attaining completions per phase second)."""
+    out = []
+    for p in phases:
+        done = [t for t in stats.timings if p.covers(t.arrival_us)]
+        shed = [s for s in stats.shed if p.covers(s.arrival_us)]
+        good = sum(1 for t in done if SLO.met_by(t) and not t.timed_out)
+        submitted = len(done) + len(shed)
+        span_s = (p.end_us - p.start_us) / 1e6
+        out.append({
+            "name": p.name,
+            "submitted": submitted,
+            "good": good,
+            "goodput_per_s": good / span_s,
+            "attainment": good / submitted if submitted else 0.0,
+        })
+    return out
+
+
+def _run(knobs, adaptive):
+    workload, phases = three_phase_scenario(**SCENARIO)
+    config = BatchSchedulerConfig(kv_budget_tokens=KV_BUDGET, **knobs)
+    controller = (ControllerConfig(slo=SLO, **CONTROLLER)
+                  if adaptive else None)
+    server = ContinuousBatchingServer(_SESSION, config,
+                                      controller=controller)
+    stats = server.replay(list(workload))
+    out = {
+        "timings": [(t.arrival_us, t.start_us, t.first_token_us,
+                     t.finish_us) for t in stats.timings],
+        "phases": _phase_goodput(stats, phases),
+        "summary": stats.summary(),
+        "overall_attainment": stats.goodput(SLO)["attainment"],
+    }
+    if adaptive:
+        out["decision_trace"] = stats.controller.trace()
+    return out
+
+
+def _arms():
+    arms = {}
+    runs = [(name, knobs, False) for name, knobs in STATIC_ARMS.items()]
+    runs.append(("adaptive", STATIC_ARMS[ADAPTIVE_BASE], True))
+    for name, knobs, adaptive in runs:
+        run1 = _run(knobs, adaptive)
+        run2 = _run(knobs, adaptive)
+        run1["bit_reproducible"] = (
+            run1["timings"] == run2["timings"]
+            and run1["summary"] == run2["summary"]
+            and run1.get("decision_trace") == run2.get("decision_trace"))
+        arms[name] = run1
+    return arms
+
+
+def test_adaptive_serving(run_once):
+    arms = run_once(_arms)
+    statics = [arms[name] for name in STATIC_ARMS]
+    adaptive = arms["adaptive"]
+    n_phases = len(adaptive["phases"])
+    best = [max(s["phases"][i]["goodput_per_s"] for s in statics)
+            for i in range(n_phases)]
+    worst = [min(s["phases"][i]["goodput_per_s"] for s in statics)
+             for i in range(n_phases)]
+    got = [adaptive["phases"][i]["goodput_per_s"] for i in range(n_phases)]
+
+    OUT_PATH.write_text(json.dumps(
+        {"model_costs": QW2.name,
+         "scenario": {k: v for k, v in SCENARIO.items()},
+         "slo": {"ttft_ms": SLO.ttft_ms, "tpot_ms": SLO.tpot_ms},
+         "static_arms": STATIC_ARMS,
+         "adaptive_base": ADAPTIVE_BASE,
+         "controller": {k: v for k, v in CONTROLLER.items()},
+         "claims": {"min_vs_best": MIN_VS_BEST,
+                    "min_vs_worst": MIN_VS_WORST},
+         "arms": {k: {kk: vv for kk, vv in v.items() if kk != "timings"}
+                  for k, v in arms.items()}}, indent=2))
+
+    print()
+    phase_names = [p["name"] for p in adaptive["phases"]]
+    print(format_table(
+        ["arm"] + [f"{n} (good/s)" for n in phase_names] + ["attainment"],
+        [(name,) + tuple(round(p["goodput_per_s"], 3)
+                         for p in arm["phases"])
+         + (round(arm["overall_attainment"], 3),)
+         for name, arm in arms.items()],
+        title=("Adaptive vs static configs "
+               "(QW2 costs, 3-phase traffic shift)"),
+    ))
+
+    # Every arm is bit-reproducible -- the adaptive arm's controller
+    # decisions included.
+    for arm in arms.values():
+        assert arm["bit_reproducible"]
+
+    # The controller actually adapted (and its counters surfaced).
+    assert adaptive["summary"]["ctrl_moves"] >= 2
+    assert adaptive["summary"]["ctrl_windows"] >= 6
+    for arm_name in STATIC_ARMS:
+        assert "ctrl_windows" not in arms[arm_name]["summary"]
+
+    # Headline: starting from static_small's exact knobs, the online
+    # controller reaches >= 0.9x the best static config on every phase
+    # -- no per-phase tuning -- and beats the worst static config by
+    # >= 1.3x where the static mismatch bites (the hot-set shift).
+    for i, name in enumerate(phase_names):
+        assert got[i] >= MIN_VS_BEST * best[i], (
+            f"phase {name}: adaptive {got[i]:.3f} < "
+            f"{MIN_VS_BEST} x best static {best[i]:.3f}")
+    assert any(got[i] >= MIN_VS_WORST * worst[i]
+               for i in range(n_phases)), (
+        f"adaptive {got} never beats worst static {worst} "
+        f"by {MIN_VS_WORST}x")

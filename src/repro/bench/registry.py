@@ -143,6 +143,17 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "attainment >=0.9; single-stage 1-replica configs "
                "reproduce the bare server bit-for-bit",
                artifact="BENCH_fleet.json"),
+    Experiment("adaptive",
+               "extension (self-tuning control plane)",
+               "test_adaptive_serving.py",
+               "an online controller hill-climbing the chunk/batch knobs "
+               "from the small static config reaches >=0.9x the best "
+               "static config's goodput on every phase of the 3-phase "
+               "traffic-shift scenario and beats the worst static config "
+               ">=1.3x where its mismatch bites; every arm (controller "
+               "decisions included) is bit-reproducible, and a disabled "
+               "controller reproduces the prior engine bit-for-bit",
+               artifact="BENCH_adaptive.json"),
 )
 
 

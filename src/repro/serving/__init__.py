@@ -13,11 +13,19 @@ from .continuous import (
     ContinuousBatchingServer,
     serving_expert_cache,
 )
+from .controller import (
+    ControllerConfig,
+    ControllerStats,
+    KnobDecision,
+    OnlineController,
+)
 from .fleet import (
     ROUTING_POLICIES,
     FleetConfig,
     FleetRouter,
     FleetStats,
+    RoutingWeightAdapter,
+    RoutingWeightConfig,
 )
 from .metrics import (
     BatchTimeline,
@@ -28,6 +36,7 @@ from .metrics import (
     PipelineStats,
     PreemptionStats,
     RequestTiming,
+    RollingWindow,
     ServingSLO,
     ServingStats,
     SessionStats,
@@ -56,14 +65,24 @@ from .session import (
     InferenceSession,
     PhaseCostModel,
 )
+from .traffic import (
+    TrafficPhase,
+    diurnal_workload,
+    flash_crowd_workload,
+    hot_set_shift_workload,
+    three_phase_scenario,
+)
 
 __all__ = [
     "BatchCostModel", "BatchSchedulerConfig", "ContinuousBatchingServer",
     "serving_expert_cache",
+    "ControllerConfig", "ControllerStats", "KnobDecision",
+    "OnlineController",
     "FleetConfig", "FleetRouter", "FleetStats", "ROUTING_POLICIES",
+    "RoutingWeightAdapter", "RoutingWeightConfig",
     "BatchTimeline", "CachePoint", "ExpertCacheTimeline", "FaultStats",
     "GraphStats", "PipelineStats", "PreemptionStats", "RequestTiming",
-    "ServingSLO",
+    "RollingWindow", "ServingSLO",
     "ServingStats", "SessionStats",
     "ShedRecord", "TimelinePoint", "percentile", "percentiles",
     "KVTierConfig", "MatchProbe", "PrefixCacheConfig", "RadixPrefixCache",
@@ -72,4 +91,6 @@ __all__ = [
     "LocalServer", "TimedRequest", "multi_turn_workload", "poisson_workload",
     "GenerationRequest", "GenerationResult", "InferenceSession",
     "PhaseCostModel",
+    "TrafficPhase", "diurnal_workload", "flash_crowd_workload",
+    "hot_set_shift_workload", "three_phase_scenario",
 ]

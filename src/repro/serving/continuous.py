@@ -105,6 +105,7 @@ from ..sched.workload import (
     kv_token_bytes,
     merge_hybrid_work,
 )
+from .controller import ControllerConfig, ControllerStats, OnlineController
 from .metrics import (
     BatchTimeline,
     ExpertCacheTimeline,
@@ -933,6 +934,17 @@ class ContinuousBatchingServer:
     Reuse/tier counters land on ``stats.sessions`` and the timeline;
     ``prefix_cache=None`` (the default) is bit-identical to the
     sessionless engine.
+
+    With a ``controller`` :class:`~repro.serving.controller.
+    ControllerConfig` the engine self-tunes: an
+    :class:`~repro.serving.controller.OnlineController` observes
+    windowed signals at every iteration boundary and adapts
+    ``prefill_chunk_tokens`` / ``max_batch_size`` at runtime via
+    bounded hill-climbing with guarded rollback (see the controller
+    module docstring).  Knob moves install a replacement frozen config
+    between iterations, so every pricing memo stays valid; decision
+    counters land on ``stats.controller`` and ``controller=None`` (the
+    default) is bit-identical to the static-config engine.
     """
 
     def __init__(self, session: InferenceSession,
@@ -943,7 +955,8 @@ class ContinuousBatchingServer:
                  resilience: ResilienceConfig | None = None,
                  priorities: PriorityConfig | None = None,
                  prefix_cache: PrefixCacheConfig | None = None,
-                 kv_tier: KVTierConfig | None = None) -> None:
+                 kv_tier: KVTierConfig | None = None,
+                 controller: ControllerConfig | None = None) -> None:
         self.session = session
         self.config = config or BatchSchedulerConfig()
         self.priorities = priorities
@@ -1025,6 +1038,18 @@ class ContinuousBatchingServer:
         self._session_last_finish: dict[str, float] = {}
         self._session_think: dict[str, float] = {}
         self._predicted_next: dict[str, float] = {}
+        self._controller: OnlineController | None = None
+        self.controller_stats: ControllerStats | None = None
+        if controller is not None:
+            # Attached only when the control plane is on, so static
+            # configs keep their summaries (and goldens) unchanged.
+            self.controller_stats = ControllerStats()
+            self.stats.controller = self.controller_stats
+            self._controller = OnlineController(
+                controller,
+                base_chunk=self.config.prefill_chunk_tokens,
+                base_batch=self.config.max_batch_size,
+                stats=self.controller_stats)
 
     # -- admission ----------------------------------------------------------
 
@@ -1520,6 +1545,16 @@ class ContinuousBatchingServer:
                 self._sync_session_stats()
             if finished:
                 active = [a for a in active if id(a) not in finished]
+            if self._controller is not None:
+                # Live knob mutation at the iteration boundary: the
+                # controller observes this iteration's signals; any
+                # returned override installs a validated replacement
+                # config that the next iteration's planning reads.
+                arrived = sum(1 for t in pending if t.arrival_us <= clock)
+                moves = self._controller.tick(clock, self.stats,
+                                              queue_depth=arrived)
+                if moves:
+                    self.config = replace(self.config, **moves)
         if self.session_stats is not None:
             self._sync_session_stats()
         return self.stats

@@ -17,7 +17,13 @@ pluggable policy:
   for untagged or orphaned traffic, counting every rebalance);
 - ``"priority-spill"`` -- INTERACTIVE traffic takes the least-loaded
   replica; STANDARD/BATCH spills away from it so the fast lane stays
-  clear.
+  clear;
+- ``"adaptive"`` -- weighted round-robin whose weights a
+  :class:`RoutingWeightAdapter` adapts online from EWMA-smoothed
+  inverse backlog (the fleet-level arm of the self-tuning control
+  plane in :mod:`repro.serving.controller`): replicas that fall behind
+  -- a slow pipeline, a cold restart -- shed routing share until their
+  backlog recovers, deterministically via stride scheduling.
 
 Replica-level chaos comes from :class:`~repro.faults.plan.ReplicaFault`
 windows in a :class:`~repro.faults.plan.FaultPlan`: a ``"kill"`` window
@@ -50,12 +56,92 @@ from .priority import Priority
 from .server import TimedRequest
 
 ROUTING_POLICIES = ("round-robin", "least-loaded", "session-affinity",
-                    "priority-spill")
+                    "priority-spill", "adaptive")
 
 # Event-kind ordinals of the routing sweep: kills close a replica's epoch
 # before any same-instant arrival can route to the survivors' new state.
 _EV_KILL = 0
 _EV_ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class RoutingWeightConfig:
+    """Schedule of the ``"adaptive"`` policy's weight adaptation.
+
+    Weights refresh every ``update_every`` routed arrivals from the
+    router's backlog estimates: each replica's target weight is
+    proportional to ``1 / (1 + backlog_s)``, EWMA-smoothed with
+    ``ewma_alpha`` and floored at ``floor`` of the total so a lagging
+    replica keeps a trickle of probe traffic (otherwise its backlog
+    estimate could never recover).
+    """
+
+    update_every: int = 8
+    ewma_alpha: float = 0.5
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.update_every <= 0:
+            raise ConfigError("update_every must be positive")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        if not 0 <= self.floor < 1:
+            raise ConfigError("floor must be in [0, 1)")
+
+
+class RoutingWeightAdapter:
+    """Online routing weights: EWMA inverse backlog + stride assignment.
+
+    The fleet-level counterpart of the per-replica
+    :class:`~repro.serving.controller.OnlineController`: instead of
+    tuning a replica's knobs it tunes *where traffic goes*.  Every
+    arrival the router reports each replica's estimated backlog; every
+    ``update_every`` arrivals the weights move (EWMA) toward normalized
+    inverse backlog.  Assignment is stride (weighted-round-robin)
+    scheduling over the current weights -- each accepting replica
+    accrues credit proportional to its weight and the largest credit
+    wins (ties break on the lower index) -- so the routing sequence is
+    a pure function of the arrival order and the backlog estimates,
+    keeping fleet replays bit-reproducible.
+    """
+
+    def __init__(self, config: RoutingWeightConfig, n_replicas: int) -> None:
+        if n_replicas <= 0:
+            raise ConfigError("n_replicas must be positive")
+        self.config = config
+        self.n = n_replicas
+        self.weights = [1.0 / n_replicas] * n_replicas
+        self._credits = [0.0] * n_replicas
+        self._seen = 0
+        self.updates = 0
+
+    def observe(self, backlogs_us: list[float]) -> None:
+        """Fold one arrival's backlog estimates into the weights."""
+        if len(backlogs_us) != self.n:
+            raise ConfigError("one backlog estimate per replica required")
+        self._seen += 1
+        if self._seen % self.config.update_every:
+            return
+        self.updates += 1
+        raw = [1.0 / (1.0 + b / 1e6) for b in backlogs_us]
+        total = sum(raw)
+        alpha = self.config.ewma_alpha
+        target = [r / total for r in raw]
+        mixed = [alpha * t + (1 - alpha) * w
+                 for t, w in zip(target, self.weights)]
+        floored = [max(m, self.config.floor / self.n) for m in mixed]
+        norm = sum(floored)
+        self.weights = [f / norm for f in floored]
+
+    def pick(self, accepting: list[int]) -> int:
+        """Stride-schedule the next arrival over the accepting replicas."""
+        if not accepting:
+            raise ConfigError("no accepting replicas to pick from")
+        for r in accepting:
+            self._credits[r] += self.weights[r]
+        choice = max(accepting, key=lambda r: (self._credits[r], -r))
+        self._credits[choice] -= sum(self.weights[r] for r in accepting)
+        return choice
 
 
 @dataclass(frozen=True)
@@ -67,13 +153,16 @@ class FleetConfig:
     re-enters them at the kill instant (plus ``resubmit_delay_us``,
     modelling failure detection) to be re-routed across the survivors;
     ``"shed"`` drops them, counted against fleet goodput like any other
-    shed submission.
+    shed submission.  ``routing_weights`` configures the ``"adaptive"``
+    policy's :class:`RoutingWeightAdapter` (defaults apply when left
+    ``None``); setting it with any other policy is an error.
     """
 
     n_replicas: int = 2
     policy: str = "least-loaded"
     on_kill: str = "resubmit"
     resubmit_delay_us: float = 0.0
+    routing_weights: RoutingWeightConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_replicas <= 0:
@@ -88,6 +177,9 @@ class FleetConfig:
                 "'resubmit' or 'shed'")
         if self.resubmit_delay_us < 0:
             raise ConfigError("resubmit_delay_us must be >= 0")
+        if self.routing_weights is not None and self.policy != "adaptive":
+            raise ConfigError(
+                "routing_weights only applies to the 'adaptive' policy")
 
 
 @dataclass
@@ -121,6 +213,8 @@ class FleetStats:
     affinity_rebalances: int = 0
     spill_routed: int = 0
     deferred_arrivals: int = 0
+    weight_updates: int = 0
+    routing_weights: tuple[float, ...] = ()
 
     @property
     def timings(self) -> list[RequestTiming]:
@@ -156,6 +250,12 @@ class FleetStats:
             "fleet_routed_imbalance": (max(routed) / mean_routed
                                        if mean_routed > 0 else 0.0),
         })
+        if self.policy == "adaptive":
+            # Weight-adapter counters appear only under the adaptive
+            # policy, so static-policy summaries stay key-identical.
+            out["fleet_weight_updates"] = float(self.weight_updates)
+            for i, w in enumerate(self.routing_weights):
+                out[f"fleet_weight_{i}"] = w
         return out
 
     def goodput(self, slo: ServingSLO,
@@ -301,6 +401,11 @@ class FleetRouter:
             return choice
         if policy == "least-loaded":
             return self._least_loaded(accepting, t_us)
+        if policy == "adaptive":
+            self._weights.observe(
+                [self._backlog(r, t_us)
+                 for r in range(self.config.n_replicas)])
+            return self._weights.pick(accepting)
         if policy == "session-affinity":
             sid = timed.session_id
             if sid is None:
@@ -391,6 +496,8 @@ class FleetRouter:
         self._sticky: dict[str, int] = {}
         self._n_assigned = [0] * n
         self._rr = 0
+        self._weights = RoutingWeightAdapter(
+            self.config.routing_weights or RoutingWeightConfig(), n)
         self._affinity_hits = 0
         self._affinity_rebalances = 0
         self._spill_routed = 0
@@ -516,4 +623,6 @@ class FleetRouter:
             affinity_rebalances=self._affinity_rebalances,
             spill_routed=self._spill_routed,
             deferred_arrivals=deferred,
+            weight_updates=self._weights.updates,
+            routing_weights=tuple(self._weights.weights),
         )

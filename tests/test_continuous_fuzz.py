@@ -665,3 +665,94 @@ def test_fleet_matrix_invariants(wl, cfg, fleet):
     _, again = run()
     assert stats.timings == again.timings
     assert stats.summary() == again.summary()
+
+
+# -- ISSUE 9: online controller (self-tuning control plane) -------------------
+
+from repro.serving import ControllerConfig, ServingSLO  # noqa: E402
+
+controller_strategy = st.builds(
+    ControllerConfig,
+    slo=st.builds(ServingSLO,
+                  ttft_ms=st.sampled_from([100.0, 2000.0, 1e6]),
+                  tpot_ms=st.sampled_from([100.0, 500.0, 1e6])),
+    window_us=st.sampled_from([2e5, 1e6, 5e6]),
+    warmup_windows=st.integers(0, 2),
+    ewma_alpha=st.sampled_from([0.3, 0.5, 1.0]),
+    rollback_tolerance=st.sampled_from([0.0, 0.05, 0.2]),
+    shed_penalty=st.sampled_from([0.0, 2.0]),
+    chunk_ladder=st.just((8, 16, 32, 64)),
+    batch_ladder=st.sampled_from([(), (2, 4, 8)]),
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy, seed=st.integers(0, 10_000))
+def test_controller_disabled_is_baseline_bit_identical(wl, cfg, seed):
+    """ISSUE 9 acceptance: ``controller=None`` must reproduce the PR 8
+    engine bit-for-bit, clean and under ``canonical_chaos_plan`` -- the
+    control plane is pay-for-play, gated entirely on its config."""
+    def run(controller, plan=None):
+        workload = poisson_workload(vocab_size=64, **wl)
+        injector = FaultInjector(plan) if plan is not None else None
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg),
+            fault_injector=injector, controller=controller)
+        return server, server.replay(list(workload))
+
+    server_b, base = run(None)
+    server_d, disabled = run(None)
+    assert base.timings == disabled.timings
+    assert base.summary() == disabled.summary()
+    assert server_b.timeline.as_dict() == server_d.timeline.as_dict()
+    assert disabled.controller is None
+    assert not any(k.startswith("ctrl_") for k in disabled.summary())
+
+    _, base_chaos = run(None, canonical_chaos_plan(seed))
+    _, dis_chaos = run(None, canonical_chaos_plan(seed))
+    assert base_chaos.timings == dis_chaos.timings
+    assert base_chaos.summary() == dis_chaos.summary()
+
+
+@settings(max_examples=8, deadline=None)
+@given(wl=workload_strategy, cfg=config_strategy, ctrl=controller_strategy)
+def test_controller_adaptive_bit_reproducible(wl, cfg, ctrl):
+    """ISSUE 9 fuzz: same seed, same controller => bit-identical runs
+    (timings, summary, and the full decision trace), and the adaptive
+    engine still upholds the scheduler contracts -- every request
+    finishes, pages drain, the KV budget holds, and the batch size
+    never exceeds the largest cap the controller may set."""
+    def run():
+        workload = poisson_workload(vocab_size=64, **wl)
+        server = ContinuousBatchingServer(
+            get_session(), BatchSchedulerConfig(**cfg), controller=ctrl)
+        return workload, server, server.replay(list(workload))
+
+    workload, server, stats = run()
+    assert stats.n_requests == len(workload)
+    assert server.pool.n_slots == 0
+    assert server.pool.used_tokens == 0
+    assert server._reserved_pages == 0
+    batch_cap = max((cfg["max_batch_size"],) + ctrl.batch_ladder)
+    for p in server.timeline.points:
+        assert p.kv_used_tokens <= server.pool.budget_tokens
+        assert p.batch_size <= batch_cap
+    for t in stats.timings:
+        assert t.arrival_us <= t.start_us <= t.first_token_us <= t.finish_us
+    # The live config never leaves the controller's ladders (plus the
+    # base values it started from).
+    assert server.config.prefill_chunk_tokens in (
+        ctrl.chunk_ladder + (cfg["prefill_chunk_tokens"],))
+    assert server.config.max_batch_size in (
+        ctrl.batch_ladder + (cfg["max_batch_size"],))
+    # Control accounting is consistent with the trace.
+    c = stats.controller
+    assert c is not None
+    assert len(c.decisions) == c.windows
+    assert c.rollbacks <= c.moves
+    assert stats.summary()["ctrl_windows"] == float(c.windows)
+
+    _, _, again = run()
+    assert stats.timings == again.timings
+    assert stats.summary() == again.summary()
+    assert c.trace() == again.controller.trace()

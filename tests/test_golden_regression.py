@@ -462,3 +462,91 @@ def test_golden_single_priority_reproduces_fifo():
     assert (_equivalence_replay(None, chaos=True,
                                 priorities=PriorityConfig())
             == fifo_chaos)
+
+
+# --- Online-controller goldens (ISSUE 9) ------------------------------------
+# The control plane is pay-for-play and its decisions are a pure function
+# of the (deterministic) simulation, so both the disabled-equals-PR-8
+# identity and the full per-window decision trace can be pinned exactly.
+
+def test_golden_controller_disabled_reproduces_pr8():
+    """ISSUE 9 acceptance: ``controller=None`` (the default, passed
+    explicitly) keeps the PR 8 engine bit-for-bit -- same floats, clean
+    and under the canonical fault storm."""
+    off = {"controller": None}
+    assert _equivalence_replay(None, server_extra=off) == \
+        _equivalence_replay(None)
+    assert _equivalence_replay(None, chaos=True, server_extra=off) == \
+        _equivalence_replay(None, chaos=True)
+
+
+# One pinned control scenario: QW2 costs, a 0.5 s decision window, and a
+# light Poisson trickle whose TTFT pressure walks the chunk budget and
+# batch cap up their ladders.  The trace is exact integers/strings -- a
+# change to any window, objective, or hill-climb rule moves it.
+GOLDEN_CONTROLLER_TRACE = [
+    (1, "observe", 4, 16),
+    (2, "move:prefill_chunk_tokens:+1", 4, 32),
+    (3, "keep:prefill_chunk_tokens", 4, 32),
+    (4, "move:max_batch_size:+1", 8, 32),
+    (5, "keep:max_batch_size", 8, 32),
+    (6, "move:prefill_chunk_tokens:+1", 8, 64),
+    (7, "keep:prefill_chunk_tokens", 8, 64),
+]
+
+
+def _controller_replay(with_controller):
+    from repro.serving import (
+        BatchSchedulerConfig, ContinuousBatchingServer, ControllerConfig,
+        ServingSLO, poisson_workload,
+    )
+    session = InferenceSession(MoETransformer(tiny_config("tiny-qw")), QW2)
+    controller = ControllerConfig(
+        slo=ServingSLO(ttft_ms=2000, tpot_ms=500),
+        window_us=5e5, warmup_windows=1,
+        chunk_ladder=(8, 16, 32, 64), batch_ladder=(2, 4, 8),
+    ) if with_controller else None
+    server = ContinuousBatchingServer(
+        session,
+        BatchSchedulerConfig(kv_budget_tokens=512, max_batch_size=4,
+                             prefill_chunk_tokens=16),
+        controller=controller)
+    stats = server.replay(poisson_workload(
+        n_requests=10, mean_interarrival_us=2e5, prompt_len=16,
+        max_new_tokens=6, vocab_size=64, seed=3))
+    return server, stats
+
+
+def test_golden_controller_decision_trace():
+    _, stats = _controller_replay(True)
+    assert stats.controller.trace() == GOLDEN_CONTROLLER_TRACE
+    s = stats.summary()
+    assert s["ctrl_windows"] == 7.0
+    assert s["ctrl_moves"] == 3.0
+    assert s["ctrl_rollbacks"] == 0.0
+
+
+def test_golden_controller_warmup_prices_static():
+    """Until its first move the controller only observes, so everything
+    the engine does before that boundary is bit-identical to the static
+    config -- pinned against the first ``move`` decision's timestamp."""
+    server_a, adaptive = _controller_replay(True)
+    server_s, static = _controller_replay(False)
+    first_move = next(d for d in adaptive.controller.decisions
+                      if d.action.startswith("move"))
+    assert first_move.t_us == 1_000_000.0      # warmup + 1 observe window
+
+    def prefix(stats, t_cut):
+        return [(t.arrival_us, t.start_us, t.first_token_us, t.finish_us)
+                for t in stats.timings if t.finish_us <= t_cut]
+
+    assert prefix(adaptive, first_move.t_us) == \
+        prefix(static, first_move.t_us)
+    points_a = [p for p in server_a.timeline.points
+                if p.t_us <= first_move.t_us]
+    points_s = [p for p in server_s.timeline.points
+                if p.t_us <= first_move.t_us]
+    assert points_a == points_s
+    # ... and past the boundary the configs genuinely diverge (the
+    # controller's moves are not a no-op on this scenario).
+    assert server_a.config != server_s.config

@@ -1,0 +1,220 @@
+"""Unit tests for the non-stationary traffic generators (ISSUE 9)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import (
+    TrafficPhase,
+    diurnal_workload,
+    flash_crowd_workload,
+    hot_set_shift_workload,
+    three_phase_scenario,
+)
+
+
+def _key(workload):
+    return [(t.arrival_us, len(t.request.prompt), tuple(t.request.prompt))
+            for t in workload]
+
+
+# --- TrafficPhase -----------------------------------------------------------
+
+def test_phase_validation_and_covers():
+    with pytest.raises(ConfigError):
+        TrafficPhase("p", 10.0, 10.0)
+    p = TrafficPhase("p", 10.0, 20.0)
+    assert p.covers(10.0) and p.covers(19.999)
+    assert not p.covers(9.999) and not p.covers(20.0)   # half-open [lo, hi)
+
+
+# --- Generator validation ----------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_requests": 0},
+    {"period_us": 0.0},
+    {"trough_interarrival_us": 0.0},
+    {"peak_factor": 0.5},
+])
+def test_diurnal_validation(kwargs):
+    base = dict(n_requests=4, period_us=1e6, trough_interarrival_us=1e5,
+                peak_factor=2.0, prompt_len=8, max_new_tokens=4,
+                vocab_size=32)
+    base.update(kwargs)
+    with pytest.raises(ConfigError):
+        diurnal_workload(**base)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_requests": 0},
+    {"base_interarrival_us": 0.0},
+    {"burst_duration_us": 0.0},
+    {"burst_start_us": -1.0},
+    {"burst_factor": 0.9},
+])
+def test_flash_crowd_validation(kwargs):
+    base = dict(n_requests=4, base_interarrival_us=1e5, burst_start_us=1e5,
+                burst_duration_us=1e5, burst_factor=4.0, prompt_len=8,
+                max_new_tokens=4, vocab_size=32)
+    base.update(kwargs)
+    with pytest.raises(ConfigError):
+        flash_crowd_workload(**base)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_requests": 0},
+    {"mean_interarrival_us": 0.0},
+    {"shift_us": -1.0},
+    {"hot_fraction": 0.4},
+    {"hot_fraction": 1.1},
+    {"vocab_size": 2},
+    {"short_prompt_len": 0},
+    {"long_prompt_len": 8},       # must exceed short_prompt_len
+])
+def test_hot_set_shift_validation(kwargs):
+    base = dict(n_requests=4, mean_interarrival_us=1e5, shift_us=1e6,
+                short_prompt_len=8, long_prompt_len=32, max_new_tokens=4,
+                vocab_size=32)
+    base.update(kwargs)
+    with pytest.raises(ConfigError):
+        hot_set_shift_workload(**base)
+
+
+# --- Determinism -------------------------------------------------------------
+
+def test_generators_deterministic_and_seed_sensitive():
+    kw = dict(n_requests=12, prompt_len=8, max_new_tokens=4, vocab_size=32)
+    a = diurnal_workload(period_us=1e6, trough_interarrival_us=1e5,
+                         peak_factor=3.0, seed=5, **kw)
+    b = diurnal_workload(period_us=1e6, trough_interarrival_us=1e5,
+                         peak_factor=3.0, seed=5, **kw)
+    c = diurnal_workload(period_us=1e6, trough_interarrival_us=1e5,
+                         peak_factor=3.0, seed=6, **kw)
+    assert _key(a) == _key(b)
+    assert _key(a) != _key(c)
+
+    f1 = flash_crowd_workload(base_interarrival_us=1e5, burst_start_us=2e5,
+                              burst_duration_us=3e5, burst_factor=5.0,
+                              seed=5, **kw)
+    f2 = flash_crowd_workload(base_interarrival_us=1e5, burst_start_us=2e5,
+                              burst_duration_us=3e5, burst_factor=5.0,
+                              seed=5, **kw)
+    assert _key(f1) == _key(f2)
+
+    h1 = hot_set_shift_workload(n_requests=12, mean_interarrival_us=1e5,
+                                shift_us=5e5, short_prompt_len=8,
+                                long_prompt_len=32, max_new_tokens=4,
+                                vocab_size=32, seed=5)
+    h2 = hot_set_shift_workload(n_requests=12, mean_interarrival_us=1e5,
+                                shift_us=5e5, short_prompt_len=8,
+                                long_prompt_len=32, max_new_tokens=4,
+                                vocab_size=32, seed=5)
+    assert _key(h1) == _key(h2)
+
+
+# --- Shape properties --------------------------------------------------------
+
+def test_diurnal_peak_is_denser_than_trough():
+    # 400 draws at these rates span almost exactly one period, so the
+    # mid-period peak and the leading trough are both populated.
+    wl = diurnal_workload(n_requests=400, period_us=1e6,
+                          trough_interarrival_us=1e4, peak_factor=8.0,
+                          prompt_len=4, max_new_tokens=2, vocab_size=16,
+                          seed=1)
+    arrivals = [t.arrival_us for t in wl]
+    # Compare density near the peak (mid-period) vs near the trough.
+    peak = sum(1 for a in arrivals if 0.4e6 <= a < 0.6e6)
+    trough = sum(1 for a in arrivals if a < 0.2e6)
+    assert peak > 2 * trough
+    assert arrivals == sorted(arrivals)
+
+
+def test_flash_crowd_burst_is_denser():
+    wl = flash_crowd_workload(n_requests=300, base_interarrival_us=1e4,
+                              burst_start_us=1e6, burst_duration_us=1e6,
+                              burst_factor=10.0, prompt_len=4,
+                              max_new_tokens=2, vocab_size=16, seed=1)
+    arrivals = [t.arrival_us for t in wl]
+    in_burst = sum(1 for a in arrivals if 1e6 <= a < 2e6)
+    before = sum(1 for a in arrivals if a < 1e6)
+    # The burst window is as long as the pre-burst span but 10x the rate.
+    assert in_burst > 2 * before
+
+
+def test_hot_set_shift_inverts_archetype_mix():
+    wl = hot_set_shift_workload(n_requests=400, mean_interarrival_us=1e4,
+                                shift_us=2e6, short_prompt_len=8,
+                                long_prompt_len=64, max_new_tokens=2,
+                                vocab_size=32, hot_fraction=0.9, seed=1)
+
+    def frac_short(batch):
+        short = sum(1 for t in batch if len(t.request.prompt) == 8)
+        return short / len(batch)
+
+    pre = [t for t in wl if t.arrival_us < 2e6]
+    post = [t for t in wl if t.arrival_us >= 2e6]
+    assert frac_short(pre) > 0.75       # interactive dominates before
+    assert frac_short(post) < 0.25      # analytic dominates after
+    # Archetypes draw from disjoint vocab halves (hot-set separation).
+    for t in pre + post:
+        prompt = t.request.prompt
+        if len(prompt) == 8:
+            assert max(prompt) < 16
+        else:
+            assert min(prompt) >= 16
+
+
+# --- three_phase_scenario -----------------------------------------------------
+
+def test_three_phase_partition_and_determinism():
+    kw = dict(prompt_len=8, max_new_tokens=4, vocab_size=32, phase_us=1e6,
+              trough_interarrival_us=1e5, requests_per_phase=(10, 12, 8),
+              seed=3)
+    wl1, phases1 = three_phase_scenario(**kw)
+    wl2, phases2 = three_phase_scenario(**kw)
+    assert _key(wl1) == _key(wl2)
+    assert phases1 == phases2
+
+    assert [p.name for p in phases1] == [
+        "diurnal-ramp", "flash-crowd", "hot-set-shift"]
+    # Phases tile [0, 3 * phase_us) exactly.
+    assert phases1[0].start_us == 0.0
+    for a, b in zip(phases1, phases1[1:]):
+        assert a.end_us == b.start_us
+    assert phases1[-1].end_us == pytest.approx(3e6)
+
+    # Every arrival lands in exactly one phase (clamping guarantees no
+    # stragglers escape), with the configured per-phase counts.
+    counts = [sum(1 for t in wl1 if p.covers(t.arrival_us))
+              for p in phases1]
+    assert counts == [10, 12, 8]
+    assert sum(counts) == len(wl1)
+    arrivals = [t.arrival_us for t in wl1]
+    assert arrivals == sorted(arrivals)
+
+
+def test_three_phase_scalar_count_and_long_prompt_default():
+    wl, phases = three_phase_scenario(prompt_len=8, max_new_tokens=4,
+                                      vocab_size=32, phase_us=1e6,
+                                      requests_per_phase=6, seed=0)
+    assert len(wl) == 18
+    lens = {len(t.request.prompt) for t in wl}
+    assert lens == {8, 32}              # long prompts default to 4x
+    with pytest.raises(ConfigError):
+        three_phase_scenario(prompt_len=8, max_new_tokens=4, vocab_size=32,
+                             phase_us=0.0)
+    with pytest.raises(ConfigError):
+        three_phase_scenario(prompt_len=8, max_new_tokens=4, vocab_size=32,
+                             requests_per_phase=(1, 2))
+
+
+def test_three_phase_rate_knobs_change_output():
+    # Interarrivals well under the phase span, so arrivals land inside
+    # their phases un-clamped and rate knobs can move them.
+    base = dict(prompt_len=8, max_new_tokens=4, vocab_size=32, phase_us=1e6,
+                trough_interarrival_us=1e5, requests_per_phase=6, seed=0)
+    wl_a, _ = three_phase_scenario(**base)
+    wl_b, _ = three_phase_scenario(peak_factor=9.0, **base)
+    assert _key(wl_a) != _key(wl_b)
+    assert not math.isclose(wl_a[1].arrival_us, wl_b[1].arrival_us)
