@@ -18,16 +18,21 @@ and per-kernel launches remain.
 
 from __future__ import annotations
 
-from ..hw.roofline import TORCH_AMX, TORCH_AVX512
+from ..kernels.backend import get_backend
 from ..moe.numa import NumaStrategy
 from ..sched.cuda_graph import LaunchMode
 from .base import SystemProfile
 
+# Fiddler's CPU kernels are the registry's PyTorch/oneDNN vendor backend
+# (the same TORCH_AMX/TORCH_AVX512 profile objects as before).
+_TORCH_VENDOR = get_backend("torch-vendor")
+
 FIDDLER = SystemProfile(
     name="fiddler",
     display_name="Fiddler",
-    prefill_kernel=TORCH_AMX,        # oneDNN picks AMX for batched GEMMs
-    decode_kernel=TORCH_AVX512,      # ...and AVX-512 for GEMV-shaped work
+    # oneDNN picks AMX for batched GEMMs, AVX-512 for GEMV-shaped work.
+    prefill_kernel=_TORCH_VENDOR.throughput_profile,
+    decode_kernel=_TORCH_VENDOR.latency_profile,
     launch_mode=LaunchMode.PER_KERNEL_PYTHON,
     numa_strategy=NumaStrategy.OBLIVIOUS,
     overlap_cpu_gpu=True,

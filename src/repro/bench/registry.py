@@ -154,6 +154,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "decisions included) is bit-reproducible, and a disabled "
                "controller reproduces the prior engine bit-for-bit",
                artifact="BENCH_adaptive.json"),
+    Experiment("backend-compare",
+               "extension (pluggable kernel backends)",
+               "test_backend_compare.py",
+               "the registry default prices the golden decode steps with "
+               "the exact floats of a backend-unset cost model; the "
+               "vendor backend is strictly slower on every shape; every "
+               "registered backend prices strictly positive"),
 )
 
 

@@ -16,10 +16,14 @@ from typing import Sequence
 from ..baselines.base import SystemProfile
 from ..errors import ConfigError
 from ..hw.event_sim import Simulator
-from ..hw.roofline import KT_AMX, KT_AVX512
 from ..hw.spec import MachineSpec
 from ..hw.trace import Trace
 from ..hw.units import tokens_per_second
+from ..kernels.backend import (
+    KT_AMX_AVX512_BACKEND,
+    KernelBackend,
+    resolve_backend,
+)
 from ..model.presets import ModelPreset
 from ..moe.numa import NumaStrategy
 from ..sched.cuda_graph import LaunchMode
@@ -30,6 +34,7 @@ from ..sched.workload import (
     DecodeLayerWork,
     HybridChunkWork,
     PrefillLayerWork,
+    ari_selection_for,
     batched_decode_layer_work,
     decode_layer_work,
     hybrid_chunk_layer_work,
@@ -37,11 +42,14 @@ from ..sched.workload import (
 )
 from ..tensor.dtypes import BF16, DType
 
+# The paper system's kernels come off the registry's default backend --
+# the same KT_AMX/KT_AVX512 profile objects as always, now with a single
+# owner.
 KTRANSFORMERS = SystemProfile(
     name="ktransformers",
     display_name="KTransformers",
-    prefill_kernel=KT_AMX,
-    decode_kernel=KT_AVX512,
+    prefill_kernel=KT_AMX_AVX512_BACKEND.throughput_profile,
+    decode_kernel=KT_AMX_AVX512_BACKEND.latency_profile,
     launch_mode=LaunchMode.CUDA_GRAPH,
     numa_strategy=NumaStrategy.TENSOR_PARALLEL,
     overlap_cpu_gpu=True,
@@ -70,13 +78,6 @@ class ThroughputResult:
         return self.trace.utilization(resource)
 
 
-def _supported_kernel(kernel, system: SystemProfile, machine: MachineSpec):
-    """Fall back to the (AVX-512) decode kernel on CPUs without AMX."""
-    if kernel.uses_amx and not machine.cpu.has_amx:
-        return system.decode_kernel
-    return kernel
-
-
 def _dense_decode_work(moe_work: DecodeLayerWork) -> DecodeLayerWork:
     """A dense (non-MoE) layer: GPU-only, no routed experts."""
     return DecodeLayerWork(
@@ -95,14 +96,24 @@ def decode_works(
     dtype: DType,
     context_len: int,
     batch_size: int = 1,
+    backend: "str | KernelBackend | None" = None,
 ) -> list[DecodeLayerWork]:
-    """Per-layer decode work: dense layers first, then MoE layers."""
+    """Per-layer decode work: dense layers first, then MoE layers.
+
+    ``backend`` selects a registry :class:`KernelBackend` (by name or
+    object) for the kernel lanes and launch constants; ``None`` keeps the
+    system profile's kernels, which the default backend matches
+    bit-for-bit.
+    """
+    backend = resolve_backend(backend)
+    if backend is not None:
+        machine = backend.apply_launch(machine)
     # ARI-aware dispatch also applies to batched decode: large batches push
-    # per-expert token counts past the AVX-512/AMX crossover.
+    # per-expert token counts past the latency/throughput crossover.
+    selection = ari_selection_for(machine, system.decode_kernel,
+                                  system.prefill_kernel, None, backend)
     tokens_per_expert = batch_size * preset.top_k / preset.n_experts
-    kernel = (system.decode_kernel if tokens_per_expert <= 4
-              else system.prefill_kernel)
-    kernel = _supported_kernel(kernel, system, machine)
+    kernel = selection.select_profile(tokens_per_expert)
     moe = decode_layer_work(
         preset, machine, dtype, context_len,
         cpu_profile=kernel,
@@ -123,15 +134,20 @@ def run_decode(
     context_len: int = 32,
     n_deferred: int | None = None,
     batch_size: int = 1,
+    backend: "str | KernelBackend | None" = None,
 ) -> ThroughputResult:
     """Simulate decoding ``n_tokens`` steps of ``batch_size`` sequences.
 
     ``n_deferred`` enables Expert Deferral (None or 0 disables it; the
-    paper's per-model defaults live on the preset).  Reported throughput
-    counts ``n_tokens * batch_size`` generated tokens.
+    paper's per-model defaults live on the preset).  ``backend`` selects a
+    registry :class:`KernelBackend` for kernels and launch constants.
+    Reported throughput counts ``n_tokens * batch_size`` generated tokens.
     """
+    backend = resolve_backend(backend)
+    if backend is not None:
+        machine = backend.apply_launch(machine)
     works = decode_works(system, preset, machine, dtype, context_len,
-                         batch_size=batch_size)
+                         batch_size=batch_size, backend=backend)
     config = DecodeScheduleConfig(
         launch_mode=system.launch_mode,
         overlap_cpu_gpu=system.overlap_cpu_gpu,
@@ -150,22 +166,29 @@ def batched_decode_works(
     context_lens: Sequence[int],
     ari_threshold: int | None = None,
     seed: int = 0,
+    backend: "str | KernelBackend | None" = None,
 ) -> tuple[list[DecodeLayerWork], BatchedDispatchSummary]:
     """Per-layer work of one multi-request decode step (continuous batching).
 
     Unlike :func:`decode_works`, kernel dispatch happens per expert over
     the batch's *aggregated* token counts, so a big enough batch shifts
-    individual experts from the AVX-512 to the AMX kernel even while
-    others stay below the crossover.
+    individual experts from the latency to the throughput kernel even
+    while others stay below the crossover.  ``backend`` selects a
+    registry backend for the lanes and launch constants; ``None`` keeps
+    the system profile's kernels.
     """
+    backend = resolve_backend(backend)
+    if backend is not None:
+        machine = backend.apply_launch(machine)
     kwargs = {} if ari_threshold is None else {"ari_threshold": ari_threshold}
     moe, summary = batched_decode_layer_work(
         preset, machine, dtype, context_lens,
         avx512_profile=system.decode_kernel,
-        amx_profile=_supported_kernel(system.prefill_kernel, system, machine),
+        amx_profile=system.prefill_kernel,
         numa_strategy=system.numa_strategy,
         kernels_per_layer=system.decode_kernels_per_layer,
         seed=seed,
+        backend=backend,
         **kwargs,
     )
     dense = _dense_decode_work(moe)
@@ -182,6 +205,7 @@ def hybrid_chunk_works(
     batch_size: int,
     ari_threshold: int | None = None,
     seed: int = 0,
+    backend: "str | KernelBackend | None" = None,
 ) -> tuple[list[HybridChunkWork], BatchedDispatchSummary]:
     """Per-layer marginal work of piggybacking a prefill chunk on decode.
 
@@ -192,15 +216,21 @@ def hybrid_chunk_works(
     the result with :func:`batched_decode_works` output via
     :func:`repro.sched.workload.merge_hybrid_work` to price a mixed
     iteration; ``batch_size == 0`` prices a chunk-only iteration.
+    ``backend`` selects a registry backend; ``None`` keeps the system
+    profile's kernels.
     """
+    backend = resolve_backend(backend)
+    if backend is not None:
+        machine = backend.apply_launch(machine)
     kwargs = {} if ari_threshold is None else {"ari_threshold": ari_threshold}
     moe, summary = hybrid_chunk_layer_work(
         preset, machine, dtype, chunk_tokens, batch_size,
         avx512_profile=system.decode_kernel,
-        amx_profile=_supported_kernel(system.prefill_kernel, system, machine),
+        amx_profile=system.prefill_kernel,
         numa_strategy=system.numa_strategy,
         kernels_per_layer=system.decode_kernels_per_layer,
         seed=seed,
+        backend=backend,
         **kwargs,
     )
     dense = HybridChunkWork(
@@ -223,17 +253,22 @@ def run_batched_decode(
     context_lens: Sequence[int] = (32,),
     n_deferred: int | None = None,
     ari_threshold: int | None = None,
+    backend: "str | KernelBackend | None" = None,
 ) -> tuple[ThroughputResult, BatchedDispatchSummary]:
     """Simulate ``n_tokens`` continuous-batching decode iterations.
 
     Each iteration decodes one token for every request in
     ``context_lens`` (one entry per request, giving its context length).
-    Reported throughput counts ``n_tokens * len(context_lens)`` generated
-    tokens; the returned summary records the per-expert ARI dispatch.
+    ``backend`` selects a registry :class:`KernelBackend`.  Reported
+    throughput counts ``n_tokens * len(context_lens)`` generated tokens;
+    the returned summary records the per-expert ARI dispatch.
     """
+    backend = resolve_backend(backend)
+    if backend is not None:
+        machine = backend.apply_launch(machine)
     works, summary = batched_decode_works(
         system, preset, machine, dtype, context_lens,
-        ari_threshold=ari_threshold,
+        ari_threshold=ari_threshold, backend=backend,
     )
     config = DecodeScheduleConfig(
         launch_mode=system.launch_mode,
@@ -255,10 +290,21 @@ def run_prefill(
     prompt_len: int = 1024,
     chunk_tokens: int = 2048,
     seed: int = 0,
+    backend: "str | KernelBackend | None" = None,
 ) -> ThroughputResult:
-    """Simulate prefilling a ``prompt_len``-token prompt in chunks."""
+    """Simulate prefilling a ``prompt_len``-token prompt in chunks.
+
+    ``backend`` selects a registry :class:`KernelBackend`; ``None`` keeps
+    the system profile's kernels (matched bit-for-bit by the default
+    backend).
+    """
     if prompt_len <= 0:
         raise ConfigError("prompt_len must be positive")
+    backend = resolve_backend(backend)
+    if backend is not None:
+        machine = backend.apply_launch(machine)
+    selection = ari_selection_for(machine, system.decode_kernel,
+                                  system.prefill_kernel, None, backend)
     chunks: list[int] = []
     remaining = prompt_len
     while remaining > 0:
@@ -269,11 +315,9 @@ def run_prefill(
     works_per_chunk: list[list[PrefillLayerWork]] = []
     for i, size in enumerate(chunks):
         # ARI-aware dispatch (Section 3.2): short chunks route so few
-        # tokens to each expert that the low-latency decode kernel wins.
+        # tokens to each expert that the low-latency lane wins.
         tokens_per_expert = size * preset.top_k / preset.n_experts
-        kernel = (system.decode_kernel if tokens_per_expert <= 4
-                  else system.prefill_kernel)
-        kernel = _supported_kernel(kernel, system, machine)
+        kernel = selection.select_profile(tokens_per_expert)
         moe = prefill_layer_work(
             preset, machine, dtype, size,
             cpu_profile=kernel,

@@ -11,8 +11,14 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigError(ReproError):
-    """An invalid model, hardware, or engine configuration was supplied."""
+class ConfigError(ReproError, ValueError):
+    """An invalid model, hardware, or engine configuration was supplied.
+
+    Also a :class:`ValueError`: rejected configuration values (unknown
+    string knobs, out-of-range numbers) are value errors in the Python
+    sense, and fail-fast construction-time checks should be catchable
+    either way.
+    """
 
 
 class SimulationError(ReproError):

@@ -133,9 +133,37 @@ LLAMACPP_AVX512 = CPUKernelProfile(
     call_overhead_us=8.0,
 )
 
+# Portable Triton-style lanes (PAPERS.md, arXiv:2605.23911): cross-platform
+# fused MoE dispatch that forgoes AMX intrinsics entirely.  The "tall" lane
+# handles skinny low-ARI GEMMs with llama.cpp-class latency; the "bulk" lane
+# blocks work into 32-row software tiles, recovering most of the streaming
+# bandwidth without tile registers but topping out well below KT's AMX peak.
+TRITON_CPU_TALL = CPUKernelProfile(
+    name="triton_cpu_tall",
+    uses_amx=False,
+    compute_fraction=1.9 / 5.5,
+    bw_eff_low=0.78,
+    bw_eff_high=0.78,
+    bw_ramp_tokens=1,
+    tile_m=1,
+    call_overhead_us=9.0,
+)
+
+TRITON_CPU_BULK = CPUKernelProfile(
+    name="triton_cpu_bulk",
+    uses_amx=False,
+    compute_fraction=2.6 / 5.5,
+    bw_eff_low=0.62,
+    bw_eff_high=0.80,
+    bw_ramp_tokens=32,
+    tile_m=32,
+    call_overhead_us=11.0,
+)
+
 CPU_KERNEL_PROFILES = {
     p.name: p
-    for p in (KT_AMX, KT_AVX512, TORCH_AMX, TORCH_AVX512, LLAMACPP_AVX512)
+    for p in (KT_AMX, KT_AVX512, TORCH_AMX, TORCH_AVX512, LLAMACPP_AVX512,
+              TRITON_CPU_TALL, TRITON_CPU_BULK)
 }
 
 

@@ -1,7 +1,23 @@
-"""CPU compute kernels: KT AMX/AVX-512, vendor baselines, hybrid dispatch."""
+"""CPU compute kernels: KT AMX/AVX-512, vendor baselines, hybrid dispatch,
+and the pluggable backend registry."""
 
 from .amx import AMXKernel, BlockPlan, plan_blocks
 from .avx512 import AVX512Kernel
+from .backend import (
+    DEFAULT_BACKEND,
+    AriSelection,
+    KernelBackend,
+    KT_AMX_AVX512_BACKEND,
+    LaunchModel,
+    TORCH_VENDOR_BACKEND,
+    TRITON_PORTABLE_BACKEND,
+    available_backends,
+    backend_summaries,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
 from .base import CPUGemmKernel
 from .dispatch import DEFAULT_ARI_THRESHOLD, HybridKernel
 from .gemm_ref import reference_gemm
@@ -13,4 +29,9 @@ __all__ = [
     "DEFAULT_ARI_THRESHOLD", "HybridKernel",
     "reference_gemm",
     "LlamaCppKernel", "TorchAMXKernel", "TorchAVX512Kernel",
+    "AriSelection", "KernelBackend", "LaunchModel",
+    "DEFAULT_BACKEND", "KT_AMX_AVX512_BACKEND", "TORCH_VENDOR_BACKEND",
+    "TRITON_PORTABLE_BACKEND",
+    "available_backends", "backend_summaries", "get_backend",
+    "register_backend", "resolve_backend", "unregister_backend",
 ]

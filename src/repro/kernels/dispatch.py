@@ -2,9 +2,17 @@
 
 Figure 7 shows the AVX-512 kernel beating AMX whenever at most four tokens
 are routed to an expert, because AMX must pad work to full 16-row tiles and
-pays higher per-call latency.  The hybrid backend therefore switches kernels
-per GEMM based on the token count -- both kernels consume the same packed
-layout, so switching is free.
+pays higher per-call latency.  :class:`HybridKernel` therefore switches
+kernels per GEMM based on the token count -- both kernels consume the same
+packed layout, so switching is free.
+
+Which two kernels sit on either side of the crossover is no longer
+hard-wired to AMX/AVX-512: a :class:`~repro.kernels.backend.KernelBackend`
+from the registry in :mod:`repro.kernels.backend` supplies the latency and
+throughput lanes (and the calibrated crossover) per backend, and
+``KernelBackend.make_hybrid_kernel()`` builds the matching functional
+dispatcher.  Constructed bare, :class:`HybridKernel` defaults to the
+paper's KT AMX/AVX-512 pair.
 """
 
 from __future__ import annotations
@@ -23,24 +31,34 @@ DEFAULT_ARI_THRESHOLD = 4
 
 
 class HybridKernel(CPUGemmKernel):
-    """Selects AVX-512 for <= ``ari_threshold`` tokens, AMX above."""
+    """Selects the latency lane for <= ``ari_threshold`` tokens, else the
+    throughput lane.
 
-    def __init__(self, ari_threshold: int = DEFAULT_ARI_THRESHOLD) -> None:
+    Defaults to the paper's pair (AVX-512 latency lane, AMX throughput
+    lane); backends supply their own lanes via
+    :meth:`repro.kernels.backend.KernelBackend.make_hybrid_kernel`.
+    """
+
+    def __init__(self, ari_threshold: int = DEFAULT_ARI_THRESHOLD,
+                 latency_kernel: CPUGemmKernel | None = None,
+                 throughput_kernel: CPUGemmKernel | None = None) -> None:
         if ari_threshold < 0:
             raise ValueError("ari_threshold must be non-negative")
         self.ari_threshold = ari_threshold
-        self._amx = AMXKernel()
-        self._avx = AVX512Kernel()
+        self._throughput = throughput_kernel or AMXKernel()
+        self._latency = latency_kernel or AVX512Kernel()
 
     @property
     def profile(self):  # type: ignore[override]
-        # The hybrid kernel has no single profile; expose the AMX one for
-        # introspection.  Cost and run always go through select().
-        return self._amx.profile
+        # The hybrid kernel has no single profile; expose the throughput
+        # lane's for introspection.  Cost and run always go through
+        # select().
+        return self._throughput.profile
 
     def select(self, tokens: int) -> CPUGemmKernel:
         """The kernel that will execute a GEMM over ``tokens`` rows."""
-        return self._avx if tokens <= self.ari_threshold else self._amx
+        return (self._latency if tokens <= self.ari_threshold
+                else self._throughput)
 
     def run(self, x: np.ndarray, weights: PackedWeights) -> np.ndarray:
         return self.select(np.asarray(x).shape[0]).run(x, weights)

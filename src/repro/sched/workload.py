@@ -15,6 +15,7 @@ import numpy as np
 
 from ..hw.roofline import CPUKernelProfile, gpu_kernel_time_us
 from ..hw.spec import MachineSpec
+from ..kernels.backend import AriSelection, KernelBackend
 from ..kernels.dispatch import DEFAULT_ARI_THRESHOLD
 from ..model.presets import ModelPreset
 from ..moe.numa import MoELayerDims, NumaStrategy, moe_layer_time_us
@@ -189,6 +190,34 @@ def batched_expert_counts(preset: ModelPreset, batch_size: int,
     return routing.expert_token_counts(preset.n_experts)
 
 
+def ari_selection_for(
+    machine: MachineSpec,
+    avx512_profile: CPUKernelProfile,
+    amx_profile: CPUKernelProfile,
+    ari_threshold: int | None = None,
+    backend: KernelBackend | None = None,
+) -> AriSelection:
+    """Resolve the shared ARI selector for one pricing call site.
+
+    With a ``backend``, selection comes straight off the registry entry
+    (its lanes, labels, and calibrated crossover, with the machine's
+    AMX-capability fallback applied); without one, the legacy explicit
+    profile pair is wrapped in the same :class:`AriSelection` -- so every
+    call site classifies through one implementation and the historical
+    copy-pasted ``select()`` closures cannot diverge again.
+    """
+    if backend is not None:
+        return backend.selection(machine, ari_threshold=ari_threshold)
+    if amx_profile.uses_amx and not machine.cpu.has_amx:
+        amx_profile = avx512_profile
+    return AriSelection(
+        latency_profile=avx512_profile,
+        throughput_profile=amx_profile,
+        ari_threshold=(DEFAULT_ARI_THRESHOLD if ari_threshold is None
+                       else ari_threshold),
+    )
+
+
 def batched_decode_layer_work(
     preset: ModelPreset,
     machine: MachineSpec,
@@ -198,8 +227,9 @@ def batched_decode_layer_work(
     amx_profile: CPUKernelProfile,
     numa_strategy: NumaStrategy,
     kernels_per_layer: int,
-    ari_threshold: int = DEFAULT_ARI_THRESHOLD,
+    ari_threshold: int | None = None,
     seed: int = 0,
+    backend: KernelBackend | None = None,
 ) -> tuple[DecodeLayerWork, BatchedDispatchSummary]:
     """Price one MoE layer of a multi-request (continuous-batching) step.
 
@@ -209,18 +239,25 @@ def batched_decode_layer_work(
       *before* kernel dispatch, and each expert's GEMM pair is priced once
       over its coalesced token count (weights stream from DRAM once per
       expert per step, not once per request);
-    - kernel selection is per expert: experts whose aggregated count
-      exceeds ``ari_threshold`` switch from the low-latency AVX-512 kernel
-      to AMX, exactly like :class:`repro.kernels.dispatch.HybridKernel`;
+    - kernel selection is per expert through the registry's shared
+      :class:`~repro.kernels.backend.AriSelection`: experts whose
+      aggregated count exceeds the ARI threshold switch from the
+      backend's latency lane to its throughput lane (the paper's
+      AVX-512 -> AMX crossover under the default backend), exactly like
+      :class:`repro.kernels.dispatch.HybridKernel`;
     - attention KV traffic sums over each request's own context length.
 
-    Returns the priced layer work plus the dispatch decisions.
+    ``backend`` (a :class:`~repro.kernels.backend.KernelBackend`)
+    overrides the explicit profile pair; ``None`` keeps the legacy
+    arguments, which the default registry backend reproduces
+    bit-for-bit.  Returns the priced layer work plus the dispatch
+    decisions.
     """
     batch_size = len(context_lens)
     if batch_size <= 0:
         raise ValueError("context_lens must not be empty")
-    if not machine.cpu.has_amx:
-        amx_profile = avx512_profile
+    selection = ari_selection_for(machine, avx512_profile, amx_profile,
+                                  ari_threshold, backend)
     gpu = machine.gpu
     layer_bytes = preset.gpu_layer_bytes(dtype)
     shared_bytes = preset.shared_expert_bytes(dtype)
@@ -240,24 +277,17 @@ def batched_decode_layer_work(
 
     counts = batched_expert_counts(preset, batch_size, seed=seed)
 
-    def select(tokens: int) -> CPUKernelProfile:
-        return avx512_profile if tokens <= ari_threshold else amx_profile
-
     dims = MoELayerDims(preset.hidden, preset.moe_intermediate, dtype)
     cpu_routed_us = moe_layer_time_us(
-        counts, dims, avx512_profile, machine, numa_strategy,
-        select_profile=select,
+        counts, dims, selection.latency_profile, machine, numa_strategy,
+        select_profile=selection.select_profile,
     )
 
-    kernel_names = tuple(
-        "idle" if t == 0 else ("avx512" if t <= ari_threshold else "amx")
-        for t in counts
-    )
     summary = BatchedDispatchSummary(
         batch_size=batch_size,
-        ari_threshold=ari_threshold,
+        ari_threshold=selection.ari_threshold,
         expert_token_counts=tuple(int(t) for t in counts),
-        kernel_names=kernel_names,
+        kernel_names=selection.kernel_names(counts),
     )
     work = DecodeLayerWork(
         gpu_attn_us=gpu_attn_us,
@@ -417,16 +447,20 @@ def hybrid_chunk_layer_work(
     amx_profile: CPUKernelProfile,
     numa_strategy: NumaStrategy,
     kernels_per_layer: int,
-    ari_threshold: int = DEFAULT_ARI_THRESHOLD,
+    ari_threshold: int | None = None,
     seed: int = 0,
+    backend: KernelBackend | None = None,
 ) -> tuple[HybridChunkWork, BatchedDispatchSummary]:
     """Price one MoE layer's share of a prefill chunk piggybacked on decode.
 
     The chunk's per-expert token counts (an actual routing pass, like
     :func:`prefill_layer_work`) are *summed with* the decode batch's
     counts before pricing, and kernel dispatch is ARI-per-expert over the
-    combined counts -- chunk tokens can push a decode-warm expert past
-    the AVX-512/AMX crossover exactly like extra batch would.  The
+    combined counts through the same shared
+    :class:`~repro.kernels.backend.AriSelection` the batched decode path
+    uses -- chunk tokens can push a decode-warm expert past the
+    backend's latency/throughput crossover exactly like extra batch
+    would (``backend=None`` keeps the explicit profile pair).  The
     returned work carries the combined cost *minus* the decode batch's
     own cost (clamped at zero: per-expert kernel switches can make the
     coalesced GEMM marginally cheaper), so
@@ -445,8 +479,8 @@ def hybrid_chunk_layer_work(
         raise ValueError("chunk_tokens must be positive")
     if batch_size < 0:
         raise ValueError("batch_size must be >= 0")
-    if not machine.cpu.has_amx:
-        amx_profile = avx512_profile
+    selection = ari_selection_for(machine, avx512_profile, amx_profile,
+                                  ari_threshold, backend)
     gpu = machine.gpu
     layer_bytes = preset.gpu_layer_bytes(dtype)
     shared_bytes = preset.shared_expert_bytes(dtype)
@@ -474,28 +508,21 @@ def hybrid_chunk_layer_work(
     chunk_counts = routing.expert_token_counts(preset.n_experts)
     combined = decode_counts + chunk_counts
 
-    def select(tokens: int) -> CPUKernelProfile:
-        return avx512_profile if tokens <= ari_threshold else amx_profile
-
     dims = MoELayerDims(preset.hidden, preset.moe_intermediate, dtype)
     combined_us = moe_layer_time_us(
-        combined, dims, avx512_profile, machine, numa_strategy,
-        select_profile=select,
+        combined, dims, selection.latency_profile, machine, numa_strategy,
+        select_profile=selection.select_profile,
     )
     decode_us = moe_layer_time_us(
-        decode_counts, dims, avx512_profile, machine, numa_strategy,
-        select_profile=select,
+        decode_counts, dims, selection.latency_profile, machine,
+        numa_strategy, select_profile=selection.select_profile,
     ) if batch_size > 0 else 0.0
 
-    kernel_names = tuple(
-        "idle" if t == 0 else ("avx512" if t <= ari_threshold else "amx")
-        for t in combined
-    )
     summary = BatchedDispatchSummary(
         batch_size=batch_size,
-        ari_threshold=ari_threshold,
+        ari_threshold=selection.ari_threshold,
         expert_token_counts=tuple(int(t) for t in combined),
-        kernel_names=kernel_names,
+        kernel_names=selection.kernel_names(combined),
     )
     work = HybridChunkWork(
         gpu_attn_us=gpu_attn_us,
@@ -547,13 +574,19 @@ def prefill_layer_work(
     kernels_per_layer: int,
     dynamic_scheduling: bool = True,
     seed: int = 0,
+    backend: KernelBackend | None = None,
 ) -> PrefillLayerWork:
     """Per-layer work of prefilling a chunk of ``chunk_tokens`` tokens.
 
     Expert token counts are drawn from an actual routing pass over balanced
     synthetic logits, so prefill imbalance (and the benefit of dynamic work
-    scheduling) is realistic rather than assumed.
+    scheduling) is realistic rather than assumed.  ``backend`` replaces
+    ``cpu_profile`` with the registry backend's throughput lane (resolved
+    against the machine's AMX capability); ``None`` keeps the explicit
+    profile.
     """
+    if backend is not None:
+        _, cpu_profile = backend.resolve_profiles(machine)
     gpu = machine.gpu
     layer_bytes = preset.gpu_layer_bytes(dtype)
     shared_bytes = preset.shared_expert_bytes(dtype)

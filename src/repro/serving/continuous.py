@@ -76,6 +76,7 @@ from ..faults.injector import (
 )
 from ..hw.roofline import overlapped_transfer_stall_us, pcie_transfer_time_us
 from ..hw.spec import InterconnectSpec
+from ..kernels.backend import KernelBackend, resolve_backend
 from ..model.paged import DEFAULT_PAGE_TOKENS, PagedKVPool
 from ..moe.expert_cache import (
     CacheStepResult,
@@ -177,17 +178,28 @@ class BatchSchedulerConfig:
     expert cache, chunked prefill, graph capture, and fault
     perturbations.  ``1`` (the default) keeps the single-GPU pricing
     bit-for-bit.
+
+    ``backend`` names a registered
+    :class:`~repro.kernels.backend.KernelBackend` (or passes one
+    directly): the cost model prices every step with that backend's
+    kernel lanes, ARI crossover, and launch constants.  ``None`` keeps
+    the system profile's kernels, which the default
+    ``"kt-amx-avx512"`` backend reproduces bit-for-bit -- switching
+    backends is pure configuration.  Unknown names raise
+    :class:`ValueError` at construction time listing the registered
+    choices.
     """
 
     kv_budget_tokens: int = 8192
     max_batch_size: int = 32
     page_tokens: int = DEFAULT_PAGE_TOKENS
-    ari_threshold: int | None = None   # None -> kernels' DEFAULT_ARI_THRESHOLD
+    ari_threshold: int | None = None   # None -> backend's calibrated crossover
     prefill_chunk_tokens: int | None = None   # None -> monolithic prefill
     chunk_policy: str = "decode-priority"
     graph_cache: GraphCacheConfig | None = None   # None -> free replay
     gemm_dispatch: str = "legacy"
     pipeline_stages: int = 1
+    backend: "str | KernelBackend | None" = None   # None -> system kernels
 
     def __post_init__(self) -> None:
         if self.kv_budget_tokens <= 0:
@@ -210,6 +222,9 @@ class BatchSchedulerConfig:
                 "'legacy', 'per-expert', 'grouped' or 'auto'")
         if self.pipeline_stages <= 0:
             raise ConfigError("pipeline_stages must be positive")
+        # Fail fast on typo'd backend names: raises ValueError listing
+        # the registered backends.
+        resolve_backend(self.backend)
 
 
 class BatchCostModel:
@@ -236,13 +251,22 @@ class BatchCostModel:
     def __init__(self, session: InferenceSession,
                  ari_threshold: int | None = None,
                  gemm_dispatch: str = "legacy",
-                 pipeline_stages: int = 1) -> None:
+                 pipeline_stages: int = 1,
+                 backend: "str | KernelBackend | None" = None) -> None:
         if gemm_dispatch not in ("legacy", "per-expert", "grouped", "auto"):
             raise ConfigError(
                 f"unknown gemm_dispatch {gemm_dispatch!r}")
         if pipeline_stages <= 0:
             raise ConfigError("pipeline_stages must be positive")
         self.session = session
+        self.backend = resolve_backend(backend)
+        # The backend's launch constants apply to every priced step; with
+        # no backend (or one that overrides nothing, like the default)
+        # this is the session's machine spec object itself, keeping the
+        # float paths bit-identical.
+        self.machine = (self.backend.apply_launch(session.costs.machine)
+                        if self.backend is not None
+                        else session.costs.machine)
         self.ari_threshold = ari_threshold
         self.gemm_dispatch = gemm_dispatch
         self.pipeline_stages = pipeline_stages
@@ -306,11 +330,12 @@ class BatchCostModel:
         if key not in self._step:
             bsz, ctx = key
             works, summary = batched_decode_works(
-                costs.system, costs.preset, costs.machine, costs.dtype,
+                costs.system, costs.preset, self.machine, costs.dtype,
                 context_lens=[ctx] * bsz, ari_threshold=self.ari_threshold,
+                backend=self.backend,
             )
             self._step[key] = batched_step_time_us(
-                works, self._schedule_config(), costs.machine
+                works, self._schedule_config(), self.machine
             )
             self._summaries[key] = summary
             self._works[key] = works
@@ -353,7 +378,7 @@ class BatchCostModel:
                                / self.HIT_RATE_BUCKETS)
             self._cached_works[ck] = [
                 w if w.cpu_routed_us <= 0.0 else apply_expert_cache(
-                    w, costs.preset, costs.machine, costs.dtype,
+                    w, costs.preset, self.machine, costs.dtype,
                     total_tokens=layer_tokens, hit_tokens=hit_tokens,
                     n_hit_experts=n_hit_experts, dispatch=dispatch,
                 )
@@ -369,7 +394,7 @@ class BatchCostModel:
                                            dispatch)
         if ck not in self._cached_step:
             self._cached_step[ck] = cache_aware_step_time_us(
-                works, self._schedule_config(), self.session.costs.machine,
+                works, self._schedule_config(), self.machine,
             )
         return self._cached_step[ck]
 
@@ -451,7 +476,7 @@ class BatchCostModel:
         ck, works = self._cached_key_works(context_lens, cache_step)
         if ck not in self._cached_step:
             self._cached_step[ck] = cache_aware_step_time_us(
-                works, self._schedule_config(), self.session.costs.machine,
+                works, self._schedule_config(), self.machine,
             )
         return self._cached_step[ck] + cache_step.stall_us
 
@@ -475,7 +500,7 @@ class BatchCostModel:
         if pk not in self._perturbed:
             self._perturbed[pk] = batched_step_time_us(
                 self._works[key], self._schedule_config(),
-                self.session.costs.machine, perturb=pert.sim_hook(),
+                self.machine, perturb=pert.sim_hook(),
             )
         return self._perturbed[pk]
 
@@ -498,7 +523,7 @@ class BatchCostModel:
         pk = (ck, pert.price_key())
         if pk not in self._cached_pert:
             self._cached_pert[pk] = cache_aware_step_time_us(
-                works, self._schedule_config(), self.session.costs.machine,
+                works, self._schedule_config(), self.machine,
                 perturb=pert.sim_hook(),
             )
         return self._cached_pert[pk] + cache_step.stall_us
@@ -538,9 +563,10 @@ class BatchCostModel:
         if ck not in self._chunk_works:
             costs = self.session.costs
             works, summary = hybrid_chunk_works(
-                costs.system, costs.preset, costs.machine, costs.dtype,
+                costs.system, costs.preset, self.machine, costs.dtype,
                 chunk_tokens=ck[1], batch_size=ck[0],
                 ari_threshold=self.ari_threshold,
+                backend=self.backend,
             )
             self._chunk_works[ck] = works
             self._chunk_summaries[ck] = summary
@@ -588,7 +614,7 @@ class BatchCostModel:
         if hk not in self._hybrid:
             self._hybrid[hk] = batched_step_time_us(
                 works, self._hybrid_schedule_config(),
-                self.session.costs.machine,
+                self.machine,
             )
         return self._hybrid[hk]
 
@@ -630,7 +656,7 @@ class BatchCostModel:
                       for d, c in zip(cached_works, chunk_works)]
             self._cached_hybrid[hk] = cache_aware_step_time_us(
                 merged, self._hybrid_schedule_config(),
-                self.session.costs.machine,
+                self.machine,
             )
         return self._cached_hybrid[hk] + cache_step.stall_us
 
@@ -649,7 +675,7 @@ class BatchCostModel:
         if pk not in self._hybrid_pert:
             self._hybrid_pert[pk] = batched_step_time_us(
                 works, self._hybrid_schedule_config(),
-                self.session.costs.machine, perturb=pert.sim_hook(),
+                self.machine, perturb=pert.sim_hook(),
             )
         return self._hybrid_pert[pk]
 
@@ -674,7 +700,7 @@ class BatchCostModel:
                       for d, c in zip(cached_works, chunk_works)]
             self._cached_hybrid_pert[pk] = cache_aware_step_time_us(
                 merged, self._hybrid_schedule_config(),
-                self.session.costs.machine, perturb=pert.sim_hook(),
+                self.machine, perturb=pert.sim_hook(),
             )
         return self._cached_hybrid_pert[pk] + cache_step.stall_us
 
@@ -735,7 +761,7 @@ class BatchCostModel:
             works = self._works[key]
         if key not in self._pipeline_factors:
             staged = staged_interval_us(works, cfg,
-                                        self.session.costs.machine,
+                                        self.machine,
                                         self._pipeline)
             self._pipeline_factors[key] = (
                 staged / full, stage_boundary_bytes(works, self._pipeline))
@@ -750,7 +776,7 @@ class BatchCostModel:
         quantity the golden pins lock down.
         """
         ratio, boundary = self.pipeline_factors(context_lens)
-        link = self.session.costs.machine.interconnect
+        link = self.machine.interconnect
         return (self.decode_step_us(context_lens) * ratio
                 + sum(pcie_transfer_time_us(b, link) for b in boundary))
 
@@ -761,8 +787,9 @@ class BatchCostModel:
         costs = self.session.costs
         bucket = self._bucket(total_prompt_tokens, self.PREFILL_BUCKETS)
         if bucket not in self._prefill:
-            r = run_prefill(costs.system, costs.preset, costs.machine,
-                            costs.dtype, prompt_len=bucket)
+            r = run_prefill(costs.system, costs.preset, self.machine,
+                            costs.dtype, prompt_len=bucket,
+                            backend=self.backend)
             self._prefill[bucket] = r.elapsed_us
         cost = self._prefill[bucket]
         if total_prompt_tokens > self.PREFILL_BUCKETS[-1]:
@@ -792,7 +819,7 @@ class BatchCostModel:
         """
         costs = self.session.costs
         if link is None:
-            link = costs.machine.interconnect
+            link = self.machine.interconnect
         return kv_swap_transfer_us(
             n_tokens, kv_token_bytes(costs.preset),
             costs.preset.n_layers, link)
@@ -964,7 +991,8 @@ class ContinuousBatchingServer:
             session,
             ari_threshold=self.config.ari_threshold,
             gemm_dispatch=self.config.gemm_dispatch,
-            pipeline_stages=self.config.pipeline_stages)
+            pipeline_stages=self.config.pipeline_stages,
+            backend=self.config.backend)
         # The pool tracks token occupancy only; K/V payloads stay tiny.
         self.pool = PagedKVPool(
             n_heads=1, head_dim=1,
@@ -999,10 +1027,7 @@ class ContinuousBatchingServer:
             self.stats.preemptions = self.preempt_stats
         self._preempted: list[_InFlight] = []
         self._preempt_stall_us = 0.0
-        self.graph_cache: GraphCache | None = None
-        if self.config.graph_cache is not None:
-            self.graph_cache = GraphCache(self.config.graph_cache,
-                                          session.costs.machine)
+        self.graph_cache: GraphCache | None = self._make_graph_cache()
         self.graph_stats: GraphStats | None = None
         if (self.config.graph_cache is not None
                 or self.config.gemm_dispatch != "legacy"):
@@ -1050,6 +1075,49 @@ class ContinuousBatchingServer:
                 base_chunk=self.config.prefill_chunk_tokens,
                 base_batch=self.config.max_batch_size,
                 stats=self.controller_stats)
+
+    # -- kernel backend ------------------------------------------------------
+
+    def _make_graph_cache(self) -> GraphCache | None:
+        """The capture cache under the active backend's launch constants.
+
+        Capture pricing sees the cost model's (launch-adjusted) machine,
+        plus the backend's ``graph_instantiation_us`` override when it
+        carries one; ``graph_cache=None`` configs price replay as free,
+        exactly as before.
+        """
+        if self.config.graph_cache is None:
+            return None
+        graph_config = self.config.graph_cache
+        backend = self.costs.backend
+        if (backend is not None
+                and backend.launch.graph_instantiation_us is not None):
+            graph_config = replace(
+                graph_config,
+                instantiation_us=backend.launch.graph_instantiation_us)
+        return GraphCache(graph_config, self.costs.machine)
+
+    def rebind_backend(self, backend: "str | KernelBackend | None") -> None:
+        """Re-point a *fresh* server's pricing at another kernel backend.
+
+        Replica factories are zero-argument (:class:`~repro.serving.
+        fleet.FleetRouter` calls them once per replica epoch), so
+        mixed-hardware fleets bind each replica's backend by rebuilding
+        the cost model and graph cache on the just-created server.
+        Refuses once any request has been served: pricing memos must
+        never mix backends.
+        """
+        if self._iteration or self.stats.timings or self.stats.shed:
+            raise ConfigError(
+                "rebind_backend requires a fresh server (no served work)")
+        self.config = replace(self.config, backend=backend)
+        self.costs = BatchCostModel(
+            self.session,
+            ari_threshold=self.config.ari_threshold,
+            gemm_dispatch=self.config.gemm_dispatch,
+            pipeline_stages=self.config.pipeline_stages,
+            backend=backend)
+        self.graph_cache = self._make_graph_cache()
 
     # -- admission ----------------------------------------------------------
 
@@ -1166,7 +1234,7 @@ class ContinuousBatchingServer:
 
     def _link_at(self, clock: float) -> InterconnectSpec:
         """The (possibly fault-degraded) PCIe link on the serving clock."""
-        link = self.session.costs.machine.interconnect
+        link = self.costs.machine.interconnect
         if self.fault_injector is None:
             return link
         pert = self.fault_injector.perturbation_at(clock, self._iteration)

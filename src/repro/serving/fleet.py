@@ -50,6 +50,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..faults.plan import FaultPlan, ReplicaFault
+from ..kernels.backend import resolve_backend
 from .continuous import ContinuousBatchingServer
 from .metrics import PipelineStats, RequestTiming, ServingSLO, ServingStats
 from .priority import Priority
@@ -156,6 +157,15 @@ class FleetConfig:
     shed submission.  ``routing_weights`` configures the ``"adaptive"``
     policy's :class:`RoutingWeightAdapter` (defaults apply when left
     ``None``); setting it with any other policy is an error.
+
+    ``backends`` models a mixed-hardware fleet: one registered
+    :class:`~repro.kernels.backend.KernelBackend` name (or instance, or
+    ``None`` for the replica factory's own default) per replica.  The
+    router rebinds each freshly created replica server to its entry via
+    :meth:`~repro.serving.continuous.ContinuousBatchingServer.
+    rebind_backend`, so heterogeneous kernel stacks are pure config.
+    Unknown backend names raise :class:`ValueError` at construction
+    time; the tuple length must equal ``n_replicas``.
     """
 
     n_replicas: int = 2
@@ -163,6 +173,7 @@ class FleetConfig:
     on_kill: str = "resubmit"
     resubmit_delay_us: float = 0.0
     routing_weights: RoutingWeightConfig | None = None
+    backends: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.n_replicas <= 0:
@@ -180,6 +191,14 @@ class FleetConfig:
         if self.routing_weights is not None and self.policy != "adaptive":
             raise ConfigError(
                 "routing_weights only applies to the 'adaptive' policy")
+        if self.backends is not None:
+            object.__setattr__(self, "backends", tuple(self.backends))
+            if len(self.backends) != self.n_replicas:
+                raise ConfigError(
+                    f"backends must name one backend per replica: got "
+                    f"{len(self.backends)} for {self.n_replicas} replicas")
+            for b in self.backends:
+                resolve_backend(b)   # ValueError on unknown names
 
 
 @dataclass
@@ -329,6 +348,19 @@ class FleetRouter:
         # it never replays anything.
         self._probe = make_server()
 
+    def _make_replica(self, replica: int) -> ContinuousBatchingServer:
+        """A fresh server for one replica epoch, backend-bound if mixed.
+
+        With :attr:`FleetConfig.backends` set, the just-created server is
+        rebound to the replica's backend (a ``None`` entry keeps the
+        factory's default) before it replays anything.
+        """
+        server = self.make_server()
+        if (self.config.backends is not None
+                and self.config.backends[replica] is not None):
+            server.rebind_backend(self.config.backends[replica])
+        return server
+
     # -- liveness ------------------------------------------------------------
 
     def _alive(self, replica: int, t_us: float) -> bool:
@@ -456,7 +488,7 @@ class FleetRouter:
         self._epoch[replica] = []
         if not epoch:
             return []
-        server = self.make_server()
+        server = self._make_replica(replica)
         stats = server.replay(list(epoch))
         self._epoch_stats.append(stats)
         self._replica_epochs[replica].append(stats)

@@ -550,3 +550,54 @@ def test_golden_controller_warmup_prices_static():
     # ... and past the boundary the configs genuinely diverge (the
     # controller's moves are not a no-op on this scenario).
     assert server_a.config != server_s.config
+
+
+# --- Kernel-backend registry goldens (ISSUE 10) -----------------------------
+# The pluggable backend registry must be a pure refactor for the default
+# path: naming "kt-amx-avx512" explicitly (or leaving the knob unset)
+# reproduces the PR 9 engine bit-for-bit at every level -- raw engine
+# runs, cost-model pricing, and full serving replays, clean and under
+# the canonical fault storm.
+
+def test_golden_backend_default_reproduces_pr9():
+    """ISSUE 10 acceptance: ``backend="kt-amx-avx512"`` (and the unset
+    default) reproduce the PR 9 serving engine *bit for bit* -- same
+    floats, clean and under the canonical fault storm."""
+    on = {"backend": "kt-amx-avx512"}
+    assert _equivalence_replay(None, sched_extra=on) == \
+        _equivalence_replay(None)
+    assert _equivalence_replay(None, chaos=True, sched_extra=on) == \
+        _equivalence_replay(None, chaos=True)
+
+
+def test_golden_backend_cost_model_bit_identity(batch_costs):
+    """A cost model built with ``backend="kt-amx-avx512"`` prices the
+    golden decode, hybrid, and prefill steps with the exact same floats
+    as the default (backend-unset) model."""
+    explicit = BatchCostModel(
+        InferenceSession(MoETransformer(tiny_config("tiny-qw")), DS3),
+        backend="kt-amx-avx512")
+    for (batch, ctx) in GOLDEN_DECODE_STEP_US:
+        assert explicit.decode_step_us([ctx] * batch) == \
+            batch_costs.decode_step_us([ctx] * batch)
+    for (batch, ctx, chunk) in GOLDEN_HYBRID_STEP_US:
+        assert explicit.hybrid_step_us([ctx] * batch, chunk) == \
+            batch_costs.hybrid_step_us([ctx] * batch, chunk)
+    for tokens in GOLDEN_BATCHED_PREFILL_US:
+        assert explicit.batched_prefill_us(tokens) == \
+            batch_costs.batched_prefill_us(tokens)
+
+
+def test_golden_backend_engine_bit_identity():
+    """Raw engine entry points with the default backend named explicitly
+    return the exact same elapsed times as the legacy argument path."""
+    for preset in (DS3, QW2):
+        a = run_decode(KTRANSFORMERS, preset, MACHINE, BF16, n_tokens=4)
+        b = run_decode(KTRANSFORMERS, preset, MACHINE, BF16, n_tokens=4,
+                       backend="kt-amx-avx512")
+        assert b.elapsed_us == a.elapsed_us
+        pa = run_prefill(KTRANSFORMERS, preset, MACHINE, BF16,
+                         prompt_len=512)
+        pb = run_prefill(KTRANSFORMERS, preset, MACHINE, BF16,
+                         prompt_len=512, backend="kt-amx-avx512")
+        assert pb.elapsed_us == pa.elapsed_us
